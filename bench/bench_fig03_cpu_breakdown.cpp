@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 3 reproduction: breakdown of execution time by Table 1 task
+ * for all five benchmarks, sizes 32k-2048k, 1-64 MPI processes, on the
+ * modeled CPU instance.
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 3",
+                      "CPU-instance execution-time breakdown by task "
+                      "(one row per benchmark/size/process count)");
+
+    const auto records = runModelSweep(
+        cpuSweep(allBenchmarks(), paperSizesK(), paperRankCounts()));
+    emitTable(std::cout, makeBreakdownTable(records, "procs"), "fig03");
+
+    // The paper's headline observations, restated as checks.
+    std::cout << "\nObservations reproduced:\n";
+    const auto lj1 = runModelExperiment(
+        cpuSweep({BenchmarkId::LJ}, {32}, {1})[0]);
+    std::cout << " - lj spends "
+              << static_cast<int>(
+                     lj1.taskBreakdown.fraction(Task::Pair) * 100)
+              << "% of an unparallelized run in Pair (paper: >75%)\n";
+    const auto chain1 = runModelExperiment(
+        cpuSweep({BenchmarkId::Chain}, {32}, {1})[0]);
+    std::cout << " - chain (5 neigh/atom) Pair share: "
+              << static_cast<int>(
+                     chain1.taskBreakdown.fraction(Task::Pair) * 100)
+              << "% (paper: significantly less than lj)\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7 reproduction: GPU-instance execution-time breakdown by task
+ * for the four GPU-supported benchmarks (no Chute).
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 7",
+                      "GPU-instance execution-time breakdown by task "
+                      "(Chute unsupported by the reference GPU package)");
+
+    const auto records = runModelSweep(
+        gpuSweep(gpuBenchmarks(), paperSizesK(), paperGpuCounts()));
+    emitTable(std::cout, makeBreakdownTable(records, "GPUs"), "fig07");
+
+    const auto rhodo = runModelExperiment(
+        gpuSweep({BenchmarkId::Rhodo}, {2048}, {8})[0]);
+    std::cout << "\nObservations reproduced:\n"
+              << " - rhodo Pair share falls below 25% once accelerated "
+                 "(paper Section 6.1): "
+              << static_cast<int>(
+                     rhodo.taskBreakdown.fraction(Task::Pair) * 100)
+              << "%\n"
+              << " - Modify grows (SHAKE stays on the host CPU): "
+              << static_cast<int>(
+                     rhodo.taskBreakdown.fraction(Task::Modify) * 100)
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 8 reproduction: device-activity breakdown (CUDA kernels and
+ * memcpy) for the GPU-supported benchmarks.
+ */
+
+#include <iostream>
+
+#include "gpusim/gpu_model.h"
+#include "harness/report.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 8",
+                      "GPU kernels and data-movement share of device "
+                      "activity (one row per benchmark/size/devices)");
+
+    const GpuModel model;
+    std::vector<std::string> headers = {"benchmark", "size[k]", "GPUs"};
+    for (std::size_t a = 0; a < kNumGpuActivities; ++a)
+        headers.push_back(gpuActivityName(static_cast<GpuActivity>(a)));
+    Table table(std::move(headers));
+
+    for (BenchmarkId id : gpuBenchmarks()) {
+        for (long sizeK : paperSizesK()) {
+            const auto workload =
+                WorkloadInstance::make(id, sizeK * 1000);
+            for (int gpus : paperGpuCounts()) {
+                const auto result = model.evaluate(workload, gpus);
+                std::vector<std::string> row = {
+                    benchmarkName(id), std::to_string(sizeK),
+                    std::to_string(gpus)};
+                for (std::size_t a = 0; a < kNumGpuActivities; ++a)
+                    row.push_back(strprintf(
+                        "%4.1f", result.activityFraction(
+                                     static_cast<GpuActivity>(a)) *
+                                     100.0));
+                table.addRow(std::move(row));
+            }
+        }
+    }
+    emitTable(std::cout, table, "fig08");
+
+    // The two kernel-level observations of Section 6.1.
+    const auto eam =
+        model.evaluate(WorkloadInstance::make(BenchmarkId::EAM, 864000), 4);
+    const auto rhodo = model.evaluate(
+        WorkloadInstance::make(BenchmarkId::Rhodo, 864000), 4);
+    const auto rhodoBig = model.evaluate(
+        WorkloadInstance::make(BenchmarkId::Rhodo, 2048000), 4);
+    std::cout << "\nObservations reproduced:\n"
+              << " - k_eam_fast + k_energy_fast per-step device time ("
+              << strprintf("%.2f ms",
+                           (eam.deviceSecondsOf(GpuActivity::KEamFast) +
+                            eam.deviceSecondsOf(
+                                GpuActivity::KEnergyFast)) *
+                               1e3)
+              << ") exceeds k_charmm_long ("
+              << strprintf(
+                     "%.2f ms",
+                     rhodo.deviceSecondsOf(GpuActivity::KCharmmLong) * 1e3)
+              << ")\n"
+              << " - calc_neigh_list_cell share for rhodo grows from "
+              << strprintf("%.0f%%",
+                           rhodo.activityFraction(
+                               GpuActivity::CalcNeighListCell) *
+                               100)
+              << " (864k) to "
+              << strprintf("%.0f%%",
+                           rhodoBig.activityFraction(
+                               GpuActivity::CalcNeighListCell) *
+                               100)
+              << " (2048k): the 2M-atom breaking point\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10 reproduction: rhodopsin performance and parallel efficiency
+ * on the CPU instance as the kspace relative error threshold tightens
+ * from 1e-4 to 1e-7.
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 10",
+                      "rhodo CPU performance and parallel efficiency vs "
+                      "kspace error threshold");
+
+    Table table({"variant", "size[k]", "procs", "perf [TS/s]",
+                 "parallel eff [%]"});
+    for (double accuracy : paperErrorThresholds()) {
+        SweepOptions options;
+        options.kspaceAccuracy = accuracy;
+        const auto records = runModelSweep(cpuSweep(
+            {BenchmarkId::Rhodo}, paperSizesK(), paperRankCounts(),
+            options));
+        const std::string variant =
+            accuracy == 1e-4 ? "rhodo"
+                             : "rhodo-e-" + std::to_string(static_cast<int>(
+                                   -std::log10(accuracy)));
+        for (const auto &record : records) {
+            table.addRow({variant,
+                          std::to_string(record.spec.natoms / 1000),
+                          std::to_string(record.spec.resources),
+                          strprintf("%9.2f", record.timestepsPerSecond),
+                          strprintf("%6.2f",
+                                    record.parallelEfficiencyPct)});
+        }
+    }
+    emitTable(std::cout, table, "fig10");
+
+    AnchorReport anchors;
+    SweepOptions tight;
+    tight.kspaceAccuracy = 1e-7;
+    const auto loose = runModelExperiment(
+        cpuSweep({BenchmarkId::Rhodo}, {2048}, {64})[0]);
+    const auto hard = runModelExperiment(
+        cpuSweep({BenchmarkId::Rhodo}, {2048}, {64}, tight)[0]);
+    anchors.add("rhodo 2048k 64p @1e-4 [TS/s]", 10.77,
+                loose.timestepsPerSecond);
+    anchors.add("rhodo 2048k 64p @1e-7 [TS/s]", 3.54,
+                hard.timestepsPerSecond);
+    anchors.add("parallel eff @1e-4 [%]", 74.29,
+                loose.parallelEfficiencyPct);
+    anchors.add("parallel eff @1e-7 [%]", 56.54,
+                hard.parallelEfficiencyPct);
+    anchors.print(std::cout);
+    return 0;
+}

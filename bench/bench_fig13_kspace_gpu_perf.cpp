@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 13 reproduction: rhodopsin performance and parallel efficiency
+ * on the GPU instance vs the kspace error threshold — the memcpy-driven
+ * collapse at 1e-7.
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 13",
+                      "rhodo GPU performance and parallel efficiency vs "
+                      "kspace error threshold");
+
+    Table table({"variant", "size[k]", "GPUs", "perf [TS/s]",
+                 "parallel eff [%]"});
+    for (double accuracy : paperErrorThresholds()) {
+        SweepOptions options;
+        options.kspaceAccuracy = accuracy;
+        const auto records = runModelSweep(gpuSweep(
+            {BenchmarkId::Rhodo}, paperSizesK(), paperGpuCounts(),
+            options));
+        const std::string variant =
+            accuracy == 1e-4 ? "rhodo"
+                             : "rhodo-e-" + std::to_string(static_cast<int>(
+                                   -std::log10(accuracy)));
+        for (const auto &record : records) {
+            table.addRow({variant,
+                          std::to_string(record.spec.natoms / 1000),
+                          std::to_string(record.spec.resources),
+                          strprintf("%9.3f", record.timestepsPerSecond),
+                          strprintf("%6.2f",
+                                    record.parallelEfficiencyPct)});
+        }
+    }
+    emitTable(std::cout, table, "fig13");
+
+    AnchorReport anchors;
+    SweepOptions tight;
+    tight.kspaceAccuracy = 1e-7;
+    anchors.add("rhodo 2048k 8 GPUs @1e-4 [TS/s]", 16.09,
+                runModelExperiment(gpuSweep({BenchmarkId::Rhodo}, {2048},
+                                            {8})[0])
+                    .timestepsPerSecond);
+    anchors.add("rhodo 2048k 8 GPUs @1e-7 [TS/s]", 0.46,
+                runModelExperiment(gpuSweep({BenchmarkId::Rhodo}, {2048},
+                                            {8}, tight)[0])
+                    .timestepsPerSecond);
+    anchors.print(std::cout);
+    return 0;
+}

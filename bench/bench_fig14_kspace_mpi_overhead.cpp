@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 14 reproduction: rhodopsin total MPI overhead and imbalance
+ * percentage vs kspace error threshold (1e-5 omitted, as in the paper,
+ * because it behaves like 1e-6).
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 14",
+                      "rhodo total MPI overhead (top) and imbalance "
+                      "(bottom) vs kspace error threshold");
+
+    for (double accuracy : {1e-4, 1e-6, 1e-7}) {
+        SweepOptions options;
+        options.kspaceAccuracy = accuracy;
+        const auto records = runModelSweep(cpuSweep(
+            {BenchmarkId::Rhodo}, paperSizesK(), {4, 8, 16, 32, 64},
+            options));
+        std::cout << "\n--- threshold " << formatThreshold(accuracy)
+                  << " ---\n";
+        emitTable(std::cout, makeMpiOverheadTable(records),
+                  "fig14_" + formatThreshold(accuracy));
+    }
+
+    SweepOptions tight;
+    tight.kspaceAccuracy = 1e-7;
+    const auto loose = runModelExperiment(
+        cpuSweep({BenchmarkId::Rhodo}, {32}, {64})[0]);
+    const auto hard = runModelExperiment(
+        cpuSweep({BenchmarkId::Rhodo}, {32}, {64}, tight)[0]);
+    std::cout << "\nObservation reproduced: the MPI imbalance share "
+                 "drops from "
+              << strprintf("%.1f%%", loose.mpiImbalancePercent) << " to "
+              << strprintf("%.1f%%", hard.mpiImbalancePercent)
+              << " at 1e-7 (synchronization replaced by data exchange).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 15 reproduction: LJ and rhodopsin performance on the CPU
+ * instance with single, mixed (default), and double floating-point
+ * precision for the pairwise non-bonded forces.
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 15",
+                      "LJ and rhodo CPU performance vs floating-point "
+                      "precision");
+
+    Table table({"variant", "size[k]", "procs", "perf [TS/s]"});
+    for (BenchmarkId id : {BenchmarkId::LJ, BenchmarkId::Rhodo}) {
+        for (Precision precision :
+             {Precision::Mixed, Precision::Single, Precision::Double}) {
+            SweepOptions options;
+            options.precision = precision;
+            const auto records = runModelSweep(cpuSweep(
+                {id}, paperSizesK(), paperRankCounts(), options));
+            const std::string variant =
+                precision == Precision::Mixed
+                    ? benchmarkName(id)
+                    : std::string(benchmarkName(id)) + "-" +
+                          precisionName(precision);
+            for (const auto &record : records) {
+                table.addRow(
+                    {variant, std::to_string(record.spec.natoms / 1000),
+                     std::to_string(record.spec.resources),
+                     strprintf("%9.2f", record.timestepsPerSecond)});
+            }
+        }
+    }
+    emitTable(std::cout, table, "fig15");
+
+    AnchorReport anchors;
+    auto at = [&](BenchmarkId id, Precision precision) {
+        SweepOptions options;
+        options.precision = precision;
+        return runModelExperiment(cpuSweep({id}, {2048}, {64}, options)[0])
+            .timestepsPerSecond;
+    };
+    anchors.add("lj 2048k 64p single [TS/s]", 115.2,
+                at(BenchmarkId::LJ, Precision::Single));
+    anchors.add("lj 2048k 64p double [TS/s]", 98.9,
+                at(BenchmarkId::LJ, Precision::Double));
+    anchors.add("rhodo 2048k 64p single [TS/s]", 11.5,
+                at(BenchmarkId::Rhodo, Precision::Single));
+    anchors.add("rhodo 2048k 64p double [TS/s]", 8.4,
+                at(BenchmarkId::Rhodo, Precision::Double));
+    anchors.print(std::cout);
+    return 0;
+}

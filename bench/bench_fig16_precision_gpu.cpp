@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 16 reproduction: LJ and rhodopsin performance on the GPU
+ * instance vs floating-point precision — LJ is the most sensitive
+ * benchmark, rhodo is nearly flat.
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Figure 16",
+                      "LJ and rhodo GPU performance vs floating-point "
+                      "precision");
+
+    Table table({"variant", "size[k]", "GPUs", "perf [TS/s]"});
+    for (BenchmarkId id : {BenchmarkId::LJ, BenchmarkId::Rhodo}) {
+        for (Precision precision :
+             {Precision::Mixed, Precision::Single, Precision::Double}) {
+            SweepOptions options;
+            options.precision = precision;
+            const auto records = runModelSweep(gpuSweep(
+                {id}, paperSizesK(), paperGpuCounts(), options));
+            const std::string variant =
+                precision == Precision::Mixed
+                    ? benchmarkName(id)
+                    : std::string(benchmarkName(id)) + "-" +
+                          precisionName(precision);
+            for (const auto &record : records) {
+                table.addRow(
+                    {variant, std::to_string(record.spec.natoms / 1000),
+                     std::to_string(record.spec.resources),
+                     strprintf("%9.2f", record.timestepsPerSecond)});
+            }
+        }
+    }
+    emitTable(std::cout, table, "fig16");
+
+    AnchorReport anchors;
+    auto at = [&](BenchmarkId id, Precision precision) {
+        SweepOptions options;
+        options.precision = precision;
+        return runModelExperiment(gpuSweep({id}, {2048}, {8}, options)[0])
+            .timestepsPerSecond;
+    };
+    anchors.add("lj 2048k 8 GPUs single [TS/s]", 170.0,
+                at(BenchmarkId::LJ, Precision::Single));
+    anchors.add("lj 2048k 8 GPUs double [TS/s]", 121.6,
+                at(BenchmarkId::LJ, Precision::Double));
+    anchors.add("rhodo 2048k 8 GPUs single [TS/s]", 17.1,
+                at(BenchmarkId::Rhodo, Precision::Single));
+    anchors.add("rhodo 2048k 8 GPUs double [TS/s]", 16.5,
+                at(BenchmarkId::Rhodo, Precision::Double));
+    anchors.print(std::cout);
+    return 0;
+}

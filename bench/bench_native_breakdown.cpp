@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Native-engine characterization (the validation path of Figure 2's
+ * framework): runs the *real* from-scratch engine on host-scale
+ * instances of all five benchmarks, serial and decomposed, and prints
+ * the same task-breakdown and MPI tables the modeled figures use.
+ */
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "harness/report.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Native breakdown",
+                      "Real-engine task breakdown on the reproduction "
+                      "host (small instances; validates the Fig. 2 "
+                      "instrumentation path)");
+
+    std::vector<ExperimentRecord> records;
+    struct Config
+    {
+        BenchmarkId id;
+        long natoms;
+        long steps;
+    };
+    const std::vector<Config> configs = {
+        {BenchmarkId::Chain, 4000, 150}, {BenchmarkId::Chute, 3000, 1500},
+        {BenchmarkId::EAM, 4000, 80},    {BenchmarkId::LJ, 4000, 150},
+        {BenchmarkId::Rhodo, 2000, 25}};
+    for (const Config &config : configs) {
+        ExperimentSpec spec;
+        spec.mode = ExperimentMode::NativeSerial;
+        spec.benchmark = config.id;
+        spec.natoms = config.natoms;
+        spec.steps = config.steps;
+        records.push_back(runExperiment(spec));
+    }
+    emitTable(std::cout, makeBreakdownTable(records, "procs(=1)"),
+              "native_serial");
+
+    // Decomposed runs with simulated MPI (LJ / Chain / Chute).
+    std::vector<ExperimentRecord> ranked;
+    for (BenchmarkId id :
+         {BenchmarkId::LJ, BenchmarkId::Chain, BenchmarkId::Chute}) {
+        for (int ranks : {2, 4, 8}) {
+            ExperimentSpec spec;
+            spec.mode = ExperimentMode::NativeRanked;
+            spec.benchmark = id;
+            spec.natoms = 4000;
+            spec.resources = ranks;
+            spec.steps = 60;
+            ranked.push_back(runExperiment(spec));
+        }
+    }
+    emitTable(std::cout, makeBreakdownTable(ranked, "procs"),
+              "native_ranked_tasks");
+    emitTable(std::cout, makeMpiFunctionTable(ranked),
+              "native_ranked_mpi");
+    return 0;
+}

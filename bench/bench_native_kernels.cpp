@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the native engine's kernels:
+ * pair styles, neighbor construction, FFT, PPPM solve, and SHAKE.
+ * These measure the from-scratch substrate itself (the reproduction
+ * host's numbers, not the paper platform).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/suite.h"
+#include "kspace/fft3d.h"
+#include "md/simulation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mdbench;
+
+void
+BM_PairLJCompute(benchmark::State &state)
+{
+    auto sim = buildLJ(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state) {
+        sim->atoms.zeroForces();
+        sim->pair->compute(*sim, sim->neighbor.list());
+        benchmark::DoNotOptimize(sim->pair->energy());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim->neighbor.list().pairCount());
+}
+BENCHMARK(BM_PairLJCompute)->Arg(5)->Arg(8)->Arg(12);
+
+void
+BM_PairEamCompute(benchmark::State &state)
+{
+    auto sim = buildEAM(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state) {
+        sim->atoms.zeroForces();
+        sim->pair->compute(*sim, sim->neighbor.list());
+        benchmark::DoNotOptimize(sim->pair->energy());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim->neighbor.list().pairCount());
+}
+BENCHMARK(BM_PairEamCompute)->Arg(5)->Arg(8);
+
+void
+BM_NeighborBuild(benchmark::State &state)
+{
+    auto sim = buildLJ(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state) {
+        sim->neighbor.build(*sim);
+        benchmark::DoNotOptimize(sim->neighbor.list().pairCount());
+    }
+    state.SetItemsProcessed(state.iterations() * sim->atoms.nlocal());
+}
+BENCHMARK(BM_NeighborBuild)->Arg(5)->Arg(8)->Arg(12);
+
+void
+BM_Fft3d(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Fft3d fft(n, n, n);
+    Rng rng(7);
+    std::vector<Complex> data(fft.size());
+    for (auto &value : data)
+        value = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    for (auto _ : state) {
+        fft.forward(data);
+        fft.inverse(data);
+        benchmark::DoNotOptimize(data[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * fft.size());
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(24)->Arg(32);
+
+void
+BM_RhodoProxyStep(benchmark::State &state)
+{
+    auto sim = buildRhodoProxy(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state)
+        sim->run(1);
+    state.SetItemsProcessed(state.iterations() * sim->atoms.nlocal());
+}
+BENCHMARK(BM_RhodoProxyStep)->Arg(8);
+
+void
+BM_ChuteStep(benchmark::State &state)
+{
+    auto sim = buildChute(10, 10, 6);
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state)
+        sim->run(1);
+    state.SetItemsProcessed(state.iterations() * sim->atoms.nlocal());
+}
+BENCHMARK(BM_ChuteStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

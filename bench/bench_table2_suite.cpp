@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 2 reproduction: the benchmark-suite taxonomy with
+ * *measured* neighbors/atom from native instances of each experiment.
+ */
+
+#include <iostream>
+
+#include "core/suite.h"
+#include "harness/report.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Table 2",
+                      "Main characteristics of the benchmark suite "
+                      "(neighbors/atom measured on native instances)");
+
+    Table table({"Benchmark", "Force field", "Cutoff", "Neighbor skin",
+                 "Neigh/atom (measured)", "Neigh/atom (paper)",
+                 "pair_modify", "kspace_style", "Integration", "atoms"});
+    AnchorReport anchors;
+    for (BenchmarkId id : allBenchmarks()) {
+        const TaxonomyRow row = measureTaxonomy(id, 4000);
+        table.addRow({benchmarkName(id), row.forceField, row.cutoff,
+                      row.neighborSkin,
+                      strprintf("%.1f", row.measuredNeighborsPerAtom),
+                      strprintf("%.0f", row.paperNeighborsPerAtom),
+                      row.pairModify, row.kspaceStyle, row.integration,
+                      std::to_string(row.atoms)});
+        anchors.add(std::string(benchmarkName(id)) + " neighbors/atom",
+                    row.paperNeighborsPerAtom,
+                    row.measuredNeighborsPerAtom);
+    }
+    emitTable(std::cout, table, "table2");
+    anchors.print(std::cout);
+    return 0;
+}

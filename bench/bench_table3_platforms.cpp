@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3 reproduction: the CPU- and GPU-instance descriptions driving
+ * the platform-replay models.
+ */
+
+#include <iostream>
+
+#include "harness/report.h"
+#include "perf/platform.h"
+#include "util/string_utils.h"
+
+using namespace mdbench;
+
+int
+main()
+{
+    printFigureHeader(std::cout, "Table 3",
+                      "CPU and GPU instance descriptions (model inputs)");
+
+    const PlatformInstance cpu = PlatformInstance::cpuInstance();
+    const PlatformInstance gpu = PlatformInstance::gpuInstance();
+
+    Table cpuTable({"CPU spec", "CPU Instance", "GPU Instance"});
+    auto addCpuRow = [&](const std::string &name, auto getter) {
+        cpuTable.addRow({name, getter(cpu), getter(gpu)});
+    };
+    addCpuRow("CPU", [](const PlatformInstance &p) { return p.cpu.model; });
+    addCpuRow("Cores", [](const PlatformInstance &p) {
+        return std::to_string(p.cpu.cores);
+    });
+    addCpuRow("Threads", [](const PlatformInstance &p) {
+        return std::to_string(p.cpu.threads);
+    });
+    addCpuRow("Freq (turbo)", [](const PlatformInstance &p) {
+        return strprintf("%.1f GHz (%.1f GHz)", p.cpu.baseGHz,
+                         p.cpu.turboGHz);
+    });
+    addCpuRow("L1 / core", [](const PlatformInstance &p) {
+        return std::to_string(p.cpu.l1KBPerCore) + " KB";
+    });
+    addCpuRow("L3 shared", [](const PlatformInstance &p) {
+        return strprintf("%.2f MB", p.cpu.l3MB);
+    });
+    addCpuRow("Tech node", [](const PlatformInstance &p) {
+        return std::to_string(p.cpu.techNm) + " nm";
+    });
+    addCpuRow("TDP", [](const PlatformInstance &p) {
+        return strprintf("%.0f W", p.cpu.tdpW);
+    });
+    addCpuRow("Sockets", [](const PlatformInstance &p) {
+        return std::to_string(p.sockets);
+    });
+    addCpuRow("Memory", [](const PlatformInstance &p) {
+        return std::to_string(p.memoryGB) + " GB";
+    });
+    emitTable(std::cout, cpuTable, "table3_cpu");
+
+    Table gpuTable({"GPU spec", "GPU Instance"});
+    const GpuSpec &v100 = *gpu.gpu;
+    gpuTable.addRow({"GPU", v100.model});
+    gpuTable.addRow({"SM", std::to_string(v100.sms)});
+    gpuTable.addRow({"Global mem",
+                     strprintf("%.0f GB HBM", v100.memGB)});
+    gpuTable.addRow({"L2 shared", strprintf("%.0f MB", v100.l2MB)});
+    gpuTable.addRow({"L1 / SM",
+                     std::to_string(v100.l1KBPerSm) + " KB"});
+    gpuTable.addRow({"Frequency", strprintf("%.2f GHz", v100.freqGHz)});
+    gpuTable.addRow({"Tech node", std::to_string(v100.techNm) + " nm"});
+    gpuTable.addRow({"TDP", strprintf("%.0f W", v100.tdpW)});
+    gpuTable.addRow({"Devices", std::to_string(gpu.gpuCount)});
+    emitTable(std::cout, gpuTable, "table3_gpu");
+    return 0;
+}

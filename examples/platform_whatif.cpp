@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Characterization scenario: use the calibrated platform models as a
+ * what-if tool — how would my workload behave on the paper's CPU and
+ * GPU instances, where is the CPU/GPU crossover, and what does the
+ * energy bill look like? This is the workflow the paper's framework
+ * (Figure 2) supports for capacity planning.
+ *
+ * Build & run:  ./examples/platform_whatif
+ */
+
+#include <cstdio>
+
+#include "gpusim/gpu_model.h"
+#include "perf/cpu_model.h"
+
+int
+main()
+{
+    using namespace mdbench;
+
+    const CpuModel cpu;
+    const GpuModel gpu;
+
+    std::printf("What-if: biomolecular (rhodo-class) system sizes on the "
+                "paper's two instances\n\n");
+    std::printf("%10s %16s %16s %14s %14s\n", "atoms", "CPU 64p [TS/s]",
+                "GPU 8dev [TS/s]", "CPU [ns/day]", "GPU [ns/day]");
+    for (long atoms : {32000L, 128000L, 512000L, 2048000L, 8192000L}) {
+        const auto w = WorkloadInstance::make(BenchmarkId::Rhodo, atoms);
+        const auto c = cpu.evaluate(w, 64);
+        const auto g = gpu.evaluate(w, 8);
+        std::printf("%10ld %16.2f %16.2f %14.2f %14.2f\n", atoms,
+                    c.timestepsPerSecond, g.timestepsPerSecond,
+                    c.nsPerDay, g.nsPerDay);
+    }
+
+    std::printf("\nEnergy to simulate 1 ns of a 2M-atom rhodo system:\n");
+    const auto w = WorkloadInstance::make(BenchmarkId::Rhodo, 2048000);
+    const auto c = cpu.evaluate(w, 64);
+    const auto g = gpu.evaluate(w, 8);
+    const double stepsPerNs = 1e6 / 2.0; // 2 fs timestep
+    std::printf("  CPU instance: %.1f kWh (%.0f W for %.1f h)\n",
+                c.powerWatts * stepsPerNs * c.stepSeconds / 3.6e6,
+                c.powerWatts, stepsPerNs * c.stepSeconds / 3600.0);
+    std::printf("  GPU instance: %.1f kWh (%.0f W for %.1f h)\n",
+                g.powerWatts * stepsPerNs * g.stepSeconds / 3.6e6,
+                g.powerWatts, stepsPerNs * g.stepSeconds / 3600.0);
+
+    std::printf("\nSweet spots by error threshold (rhodo 2048k):\n");
+    std::printf("%12s %16s %16s\n", "threshold", "CPU 64p [TS/s]",
+                "GPU 8dev [TS/s]");
+    for (double accuracy : paperErrorThresholds()) {
+        const auto wt =
+            WorkloadInstance::make(BenchmarkId::Rhodo, 2048000, accuracy);
+        std::printf("%12.0e %16.2f %16.2f\n", accuracy,
+                    cpu.evaluate(wt, 64).timestepsPerSecond,
+                    gpu.evaluate(wt, 8).timestepsPerSecond);
+    }
+    std::printf("\nTakeaway (paper Section 10): the GPU instance wins at "
+                "the default threshold but collapses first as the mesh "
+                "grows — data movement, not flops, sets the limit.\n");
+    return 0;
+}

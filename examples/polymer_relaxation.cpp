@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Polymer-melt scenario (the paper's Chain workload): relax a
+ * Kremer-Grest bead-spring melt under a Langevin thermostat and track
+ * chain conformations — bond lengths and end-to-end distances — as the
+ * initially stretched lattice chains coil up.
+ *
+ * Build & run:  ./examples/polymer_relaxation
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "core/suite.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace mdbench;
+
+    auto sim = buildChain(20); // 20 chains x 100 beads
+    sim->thermoEvery = 0;
+    sim->setup();
+    std::printf("Kremer-Grest melt: %zu beads in %zu chains\n",
+                sim->atoms.nlocal(), sim->topology.bonds.size() / 99);
+
+    auto chainStats = [&](RunningStat &bonds, RunningStat &endToEnd) {
+        std::map<std::int64_t, std::pair<Vec3, Vec3>> ends;
+        for (const Bond &bond : sim->topology.bonds) {
+            const auto a = sim->topology.indexOf(bond.tagA);
+            const auto b = sim->topology.indexOf(bond.tagB);
+            bonds.push(sim->box
+                           .minimumImage(sim->atoms.x[a] - sim->atoms.x[b])
+                           .norm());
+        }
+        // Unwrapped end-to-end distance per chain via bond walking.
+        for (std::size_t i = 0; i < sim->atoms.nlocal(); ++i) {
+            const auto mol = sim->atoms.molecule[i];
+            const auto tag = sim->atoms.tag[i];
+            if ((tag - 1) % 100 == 0)
+                ends[mol].first = sim->atoms.x[i];
+        }
+        for (const auto &[mol, pair] : ends) {
+            Vec3 walk = pair.first;
+            const std::int64_t firstTag = (mol - 1) * 100 + 1;
+            for (int k = 0; k < 99; ++k) {
+                const auto a = sim->topology.indexOf(firstTag + k);
+                const auto b = sim->topology.indexOf(firstTag + k + 1);
+                walk += sim->box.minimumImage(sim->atoms.x[b] -
+                                              sim->atoms.x[a]);
+            }
+            endToEnd.push((walk - pair.first)
+                              .norm()); // |sum of bond vectors|
+        }
+    };
+
+    std::printf("%8s %14s %14s %10s\n", "step", "<bond len>",
+                "<end-to-end>", "T*");
+    for (int block = 0; block <= 10; ++block) {
+        RunningStat bonds;
+        RunningStat endToEnd;
+        chainStats(bonds, endToEnd);
+        std::printf("%8ld %14.4f %14.3f %10.3f\n", sim->step,
+                    bonds.mean(), endToEnd.mean(), sim->temperature());
+        if (block < 10)
+            sim->run(200);
+    }
+
+    std::printf("\nThe ideal Kremer-Grest bond length is ~0.97 sigma; "
+                "the lattice-stretched chains relax toward it while the "
+                "Langevin thermostat holds T* near 1.\n");
+    return 0;
+}

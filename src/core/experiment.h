@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Top-level experiment facade: runs any ExperimentSpec, dispatching
+ * between platform-replay models (full paper scale) and native
+ * execution of the real engine (host scale), the two operating points
+ * of this reproduction (DESIGN.md Section 3).
+ */
+
+#ifndef MDBENCH_CORE_EXPERIMENT_H
+#define MDBENCH_CORE_EXPERIMENT_H
+
+#include "harness/experiment.h"
+
+namespace mdbench {
+
+/**
+ * Run one experiment.
+ *
+ * - ModelCpu / ModelGpu: delegates to runModelExperiment.
+ * - NativeSerial: builds the benchmark with the src/core suite builders
+ *   at spec.natoms, runs spec.steps real timesteps, and reports the
+ *   measured TS/s and task breakdown.
+ * - NativeRanked: same, decomposed over spec.resources subdomains with
+ *   simulated MPI (LJ, Chain, and Chute only; EAM needs per-atom
+ *   density communication and Rhodo needs k-space/SHAKE, which the
+ *   native decomposed path does not implement — see DESIGN.md).
+ */
+ExperimentRecord runExperiment(const ExperimentSpec &spec);
+
+/** Run a mixed sweep through runExperiment. */
+std::vector<ExperimentRecord>
+runSweep(const std::vector<ExperimentSpec> &specs);
+
+} // namespace mdbench
+
+#endif // MDBENCH_CORE_EXPERIMENT_H

@@ -1,0 +1,395 @@
+#include "core/suite.h"
+
+#include <cmath>
+
+#include "forcefield/bond_styles.h"
+#include "forcefield/pair_eam.h"
+#include "forcefield/pair_gran_hooke_history.h"
+#include "forcefield/pair_lj_charmm_coul_long.h"
+#include "forcefield/pair_lj_cut.h"
+#include "kspace/ewald.h"
+#include "kspace/pppm.h"
+#include "md/fix_gravity.h"
+#include "md/fix_langevin.h"
+#include "md/fix_nh.h"
+#include "md/fix_nve.h"
+#include "md/fix_shake.h"
+#include "md/fix_wall_gran.h"
+#include "md/lattice.h"
+#include "md/velocity.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+
+namespace mdbench {
+
+namespace {
+
+// Chute granular parameters (LAMMPS bench/in.chute).
+constexpr double kChuteKn = 2000.0;
+constexpr double kChuteKt = 2.0 / 7.0 * kChuteKn;
+constexpr double kChuteGammaN = 50.0;
+constexpr double kChuteGammaT = 25.0;
+constexpr double kChuteXmu = 0.5;
+
+// Rhodo-proxy solvent geometry (TIP3P-like rigid 3-site molecules).
+constexpr double kSolventSpacing = 3.107; // A -> 0.1 atoms/A^3
+constexpr double kBondOH = 0.9572;
+constexpr double kAngleHOH = 104.52 * M_PI / 180.0;
+
+/**
+ * Install pair/bond/kspace styles and fixes for @p id on @p sim.
+ * Pure style configuration: atoms/box/velocities stay untouched, so the
+ * same function configures every rank of a decomposed run.
+ */
+void
+configureStyles(Simulation &sim, BenchmarkId id,
+                const SuiteOptions &options)
+{
+    switch (id) {
+      case BenchmarkId::LJ: {
+        auto pair = std::make_unique<PairLJCut>(1, 2.5);
+        pair->setCoeff(1, 1, 1.0, 1.0);
+        sim.pair = std::move(pair);
+        sim.neighbor.skin = 0.3;
+        sim.dt = 0.005;
+        sim.addFix<FixNVE>();
+        break;
+      }
+      case BenchmarkId::Chain: {
+        auto pair = std::make_unique<PairLJCut>(
+            1, std::pow(2.0, 1.0 / 6.0), true); // WCA
+        pair->setCoeff(1, 1, 1.0, 1.0);
+        sim.pair = std::move(pair);
+        sim.bondStyle = std::make_unique<BondFENE>();
+        sim.neighbor.skin = 0.4;
+        sim.dt = 0.006;
+        sim.addFix<FixNVE>();
+        sim.addFix<FixLangevin>(1.0, 1.0, options.seed + 17);
+        break;
+      }
+      case BenchmarkId::EAM: {
+        sim.units = Units::metal();
+        sim.pair =
+            std::make_unique<PairEAM>(EamTables::makeSyntheticCopper());
+        sim.neighbor.skin = 1.0;
+        sim.dt = 0.005; // ps
+        sim.addFix<FixNVE>();
+        break;
+      }
+      case BenchmarkId::Chute: {
+        sim.pair = std::make_unique<PairGranHookeHistory>(
+            kChuteKn, kChuteKt, kChuteGammaN, kChuteGammaT, kChuteXmu,
+            1.0);
+        sim.neighbor.skin = 0.1;
+        sim.dt = 1e-4;
+        sim.addFix<FixNVESphere>();
+        sim.fixes.push_back(std::make_unique<FixGravity>(
+            FixGravity::chute(1.0, 26.0)));
+        sim.addFix<FixWallGran>(0.0, kChuteKn, kChuteKt, kChuteGammaN,
+                                kChuteGammaT, kChuteXmu);
+        break;
+      }
+      case BenchmarkId::Rhodo: {
+        sim.units = Units::real();
+        auto pair = std::make_unique<PairLJCharmmCoulLong>(3, 8.0, 10.0,
+                                                           10.0);
+        pair->setCoeff(1, 0.1521, 3.1507); // O (TIP3P)
+        pair->setCoeff(2, 0.0, 1.0);       // H
+        pair->setCoeff(3, 0.2, 4.0);       // solute bead
+        sim.pair = std::move(pair);
+        sim.bondStyle = std::make_unique<BondHarmonic>();
+        static_cast<BondHarmonic &>(*sim.bondStyle)
+            .setCoeff(1, {100.0, kSolventSpacing});
+        sim.angleStyle = std::make_unique<AngleHarmonic>();
+        static_cast<AngleHarmonic &>(*sim.angleStyle)
+            .setCoeff(1, {30.0, M_PI});
+        if (options.useEwaldInsteadOfPppm)
+            sim.kspace = std::make_unique<Ewald>(options.kspaceAccuracy);
+        else
+            sim.kspace = std::make_unique<Pppm>(options.kspaceAccuracy);
+        sim.neighbor.skin = 2.0;
+        sim.dt = 2.0; // fs
+        sim.addFix<FixNPT>(308.0, 200.0, 1.0, 2000.0);
+        sim.addFix<FixShake>(1e-6);
+        break;
+      }
+      default:
+        panic("invalid BenchmarkId");
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Simulation>
+buildLJ(int cells, const SuiteOptions &options)
+{
+    require(cells >= 4, "LJ melt needs >= 4 cells per axis");
+    auto sim = std::make_unique<Simulation>();
+    buildFcc(*sim, cells, cells, cells, fccLatticeConstant(0.8442));
+    configureStyles(*sim, BenchmarkId::LJ, options);
+    Rng rng(options.seed);
+    createVelocities(*sim, 1.44, rng);
+    return sim;
+}
+
+std::unique_ptr<Simulation>
+buildChain(int chains, const SuiteOptions &options)
+{
+    require(chains >= 1, "need at least one chain");
+    const int beads = chains * 100;
+    const double spacing = std::cbrt(1.0 / 0.85);
+    const int n = static_cast<int>(std::ceil(std::cbrt(beads)));
+    require(n >= 4, "chain system too small for the WCA cutoff");
+
+    auto sim = std::make_unique<Simulation>();
+    sim->box = Box({0, 0, 0}, {n * spacing, n * spacing, n * spacing});
+    sim->atoms.setNumTypes(1);
+    sim->atoms.reserve(beads);
+
+    // Boustrophedon walk through the cubic lattice: consecutive sites
+    // are adjacent, so consecutive beads start one lattice spacing apart
+    // (inside the FENE well).
+    std::int64_t tag = 1;
+    for (int index = 0; index < beads; ++index) {
+        const int iz = index / (n * n);
+        const int rem = index % (n * n);
+        const int iyRaw = rem / n;
+        int ix = rem % n;
+        // Serpentine rows keyed on the *global* row index so the walk
+        // stays contiguous across layer transitions too.
+        const int iy = (iz % 2) ? n - 1 - iyRaw : iyRaw;
+        if ((iz * n + iyRaw) % 2)
+            ix = n - 1 - ix;
+        sim->atoms.addAtom(tag, 1,
+                           {(ix + 0.5) * spacing, (iy + 0.5) * spacing,
+                            (iz + 0.5) * spacing});
+        sim->atoms.molecule[tag - 1] = (index / 100) + 1;
+        if (index % 100 != 0)
+            sim->topology.bonds.push_back({tag - 1, tag, 1});
+        ++tag;
+    }
+
+    configureStyles(*sim, BenchmarkId::Chain, options);
+    Rng rng(options.seed);
+    createVelocities(*sim, 1.0, rng);
+    return sim;
+}
+
+std::unique_ptr<Simulation>
+buildEAM(int cells, const SuiteOptions &options)
+{
+    require(cells >= 4, "EAM solid needs >= 4 cells per axis");
+    auto sim = std::make_unique<Simulation>();
+    buildFcc(*sim, cells, cells, cells, 3.615);
+    sim->atoms.typeParams[1].mass = 63.546;
+    configureStyles(*sim, BenchmarkId::EAM, options);
+    Rng rng(options.seed);
+    createVelocities(*sim, 800.0, rng);
+    return sim;
+}
+
+std::unique_ptr<Simulation>
+buildChute(int nx, int ny, int layers, const SuiteOptions &options)
+{
+    require(nx >= 4 && ny >= 4 && layers >= 2, "chute bed too small");
+    auto sim = std::make_unique<Simulation>();
+    const double height = layers * 0.9 + 20.0;
+    sim->box = Box({0, 0, 0},
+                   {static_cast<double>(nx), static_cast<double>(ny),
+                    height});
+    sim->box.setPeriodic(true, true, false);
+    sim->atoms.setNumTypes(1);
+    sim->atoms.typeParams[1].mass = 1.0;
+    sim->atoms.typeParams[1].radius = 0.5;
+
+    // Jittered close-ish packing that settles quickly under gravity.
+    Rng rng(options.seed);
+    std::int64_t tag = 1;
+    // Slightly pre-compressed columns (0.98 in-plane, 0.85 vertical) so
+    // the bed is already in contact and relaxes under gravity instead of
+    // raining down; the jitter breaks the lattice symmetry.
+    for (int layer = 0; layer < layers; ++layer) {
+        const double z = 0.55 + layer * 0.85;
+        for (int iy = 0; iy < ny; ++iy) {
+            for (int ix = 0; ix < nx; ++ix) {
+                const Vec3 pos{
+                    std::fmod((ix + 0.5) * 0.98 + rng.uniform(-0.02, 0.02) +
+                                  nx,
+                              static_cast<double>(nx)),
+                    std::fmod((iy + 0.5) * 0.98 + rng.uniform(-0.02, 0.02) +
+                                  ny,
+                              static_cast<double>(ny)),
+                    z + rng.uniform(-0.01, 0.01)};
+                sim->atoms.addAtom(tag++, 1, pos);
+            }
+        }
+    }
+    configureStyles(*sim, BenchmarkId::Chute, options);
+    return sim;
+}
+
+std::unique_ptr<Simulation>
+buildRhodoProxy(int moleculesPerAxis, const SuiteOptions &options)
+{
+    require(moleculesPerAxis >= 4, "rhodo proxy needs >= 4 molecules/axis");
+    auto sim = std::make_unique<Simulation>();
+    const int m = moleculesPerAxis;
+    const double edge = m * kSolventSpacing;
+    sim->box = Box({0, 0, 0}, {edge, edge, edge});
+    sim->atoms.setNumTypes(3);
+    sim->atoms.typeParams[1].mass = 15.9994; // O
+    sim->atoms.typeParams[2].mass = 1.008;   // H
+    sim->atoms.typeParams[3].mass = 12.011;  // solute bead
+
+    const double hx = kBondOH * std::sin(kAngleHOH / 2.0);
+    const double hy = kBondOH * std::cos(kAngleHOH / 2.0);
+    const double hh = 2.0 * hx;
+
+    Rng rng(options.seed);
+    std::int64_t tag = 1;
+    std::int64_t lastSoluteTag = 0;
+    std::int64_t soluteRun = 0;
+    for (int iz = 0; iz < m; ++iz) {
+        for (int iy = 0; iy < m; ++iy) {
+            for (int ix = 0; ix < m; ++ix) {
+                const Vec3 center{(ix + 0.5) * kSolventSpacing,
+                                  (iy + 0.5) * kSolventSpacing,
+                                  (iz + 0.5) * kSolventSpacing};
+                // One lattice row in ~11 hosts the solute chain: beads
+                // bonded along x, neutral, with angle terms. This is the
+                // "protein" share of the proxy workload (Bond task).
+                if (iy % 11 == 3 && iz % 11 == 5) {
+                    const std::size_t bead =
+                        sim->atoms.addAtom(tag, 3, center);
+                    sim->atoms.molecule[bead] = -1;
+                    if (lastSoluteTag > 0 && soluteRun >= 1)
+                        sim->topology.bonds.push_back(
+                            {lastSoluteTag, tag, 1});
+                    if (lastSoluteTag > 1 && soluteRun >= 2)
+                        sim->topology.angles.push_back(
+                            {tag - 2, lastSoluteTag, tag, 1});
+                    lastSoluteTag = tag;
+                    ++soluteRun;
+                    ++tag;
+                    continue;
+                }
+                if (ix == m - 1) {
+                    // Row ends: break the solute chain at wrap-around.
+                    lastSoluteTag = 0;
+                    soluteRun = 0;
+                }
+
+                const std::int64_t oTag = tag;
+                const std::size_t o = sim->atoms.addAtom(tag++, 1, center);
+                const std::size_t h1 = sim->atoms.addAtom(
+                    tag++, 2, center + Vec3{hx, hy, 0.0});
+                const std::size_t h2 = sim->atoms.addAtom(
+                    tag++, 2, center + Vec3{-hx, hy, 0.0});
+                sim->atoms.q[o] = -0.834;
+                sim->atoms.q[h1] = 0.417;
+                sim->atoms.q[h2] = 0.417;
+                sim->atoms.molecule[o] = oTag;
+                sim->atoms.molecule[h1] = oTag;
+                sim->atoms.molecule[h2] = oTag;
+
+                ShakeCluster cluster;
+                cluster.tags = {oTag, oTag + 1, oTag + 2};
+                cluster.constraints = {
+                    {0, 1, kBondOH}, {0, 2, kBondOH}, {1, 2, hh}};
+                sim->topology.shakeClusters.push_back(cluster);
+            }
+            lastSoluteTag = 0;
+            soluteRun = 0;
+        }
+    }
+
+    // Solute beads carry no charge, so the system stays neutral.
+    configureStyles(*sim, BenchmarkId::Rhodo, options);
+    createVelocities(*sim, 308.0, rng);
+    return sim;
+}
+
+std::unique_ptr<Simulation>
+buildNative(BenchmarkId id, long targetAtoms, const SuiteOptions &options)
+{
+    require(targetAtoms > 0, "target atom count must be positive");
+    switch (id) {
+      case BenchmarkId::LJ: {
+        const int cells = std::max(
+            4, static_cast<int>(std::lround(std::cbrt(targetAtoms / 4.0))));
+        return buildLJ(cells, options);
+      }
+      case BenchmarkId::Chain: {
+        const int chains =
+            std::max(1, static_cast<int>(targetAtoms / 100));
+        return buildChain(chains, options);
+      }
+      case BenchmarkId::EAM: {
+        const int cells = std::max(
+            4, static_cast<int>(std::lround(std::cbrt(targetAtoms / 4.0))));
+        return buildEAM(cells, options);
+      }
+      case BenchmarkId::Chute: {
+        const int layers = 8;
+        const int base = std::max(
+            4, static_cast<int>(std::lround(
+                   std::sqrt(targetAtoms / static_cast<double>(layers)))));
+        return buildChute(base, base, layers, options);
+      }
+      case BenchmarkId::Rhodo: {
+        const int m = std::max(
+            4, static_cast<int>(std::lround(std::cbrt(targetAtoms / 3.0))));
+        return buildRhodoProxy(m, options);
+      }
+      default:
+        panic("invalid BenchmarkId");
+    }
+}
+
+TaxonomyRow
+measureTaxonomy(BenchmarkId id, long targetAtoms)
+{
+    auto sim = buildNative(id, targetAtoms);
+    sim->thermoEvery = 0;
+    sim->setup();
+
+    const WorkloadSpec spec = WorkloadSpec::get(id);
+    // Count neighbors within the *bare* cutoff (Table 2 convention),
+    // not the stored cutoff + skin.
+    const NeighborList &list = sim->neighbor.list();
+    const double cutSq = spec.cutoff * spec.cutoff;
+    long pairs = 0;
+    for (std::size_t i = 0; i < sim->atoms.nlocal(); ++i) {
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const std::uint32_t j = list.neighbors[k];
+            if ((sim->atoms.x[i] - sim->atoms.x[j]).normSq() < cutSq)
+                ++pairs;
+        }
+    }
+    const double perPair = list.full ? 1.0 : 2.0;
+
+    TaxonomyRow row;
+    row.id = id;
+    row.forceField = spec.forceField;
+    const char *unit = (id == BenchmarkId::EAM || id == BenchmarkId::Rhodo)
+                           ? " A"
+                           : " sigma";
+    row.cutoff = (id == BenchmarkId::Rhodo ? "8.0-10.0" :
+                                             formatSig(spec.cutoff, 3)) +
+                 std::string(unit);
+    row.neighborSkin = formatSig(spec.skin, 2) + std::string(unit);
+    row.measuredNeighborsPerAtom =
+        perPair * static_cast<double>(pairs) /
+        static_cast<double>(sim->atoms.nlocal());
+    row.paperNeighborsPerAtom = spec.neighborsPerAtom;
+    row.pairModify =
+        id == BenchmarkId::Rhodo ? "mix arithmetic" : "-";
+    row.kspaceStyle = spec.usesKspace ? "pppm" : "-";
+    row.integration = spec.nptIntegration ? "NPT" : "NVE";
+    row.atoms = static_cast<long>(sim->atoms.nlocal());
+    return row;
+}
+
+} // namespace mdbench

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The benchmark suite: native (really-executing) builders for the five
+ * MD experiments of the paper's Section 3, with the Table 2 parameters.
+ *
+ * Builders return fully configured Simulations (box, atoms, styles,
+ * fixes, velocities) ready for setup() + run(). Sizes are expressed in
+ * lattice cells / molecules so systems stay commensurate; use
+ * buildNative(id, targetAtoms) for an approximate atom-count interface.
+ */
+
+#ifndef MDBENCH_CORE_SUITE_H
+#define MDBENCH_CORE_SUITE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "md/simulation.h"
+#include "perf/workload.h"
+
+namespace mdbench {
+
+/** Options common to all native builders. */
+struct SuiteOptions
+{
+    std::uint64_t seed = 12345;
+    double kspaceAccuracy = 1e-4; ///< Rhodo only (PPPM threshold)
+    bool useEwaldInsteadOfPppm = false; ///< Rhodo: exact reference solver
+};
+
+/** LJ melt: fcc rho* = 0.8442, cutoff 2.5, T* = 1.44, NVE. */
+std::unique_ptr<Simulation> buildLJ(int cells,
+                                    const SuiteOptions &options = {});
+
+/**
+ * Chain: Kremer-Grest bead-spring melt of 100-mers (FENE + WCA),
+ * Langevin thermostat at T* = 1.0, NVE integration.
+ * @param chains Number of 100-bead chains.
+ */
+std::unique_ptr<Simulation> buildChain(int chains,
+                                       const SuiteOptions &options = {});
+
+/** EAM: copper fcc solid (a = 3.615 A), synthetic Cu tables, NVE. */
+std::unique_ptr<Simulation> buildEAM(int cells,
+                                     const SuiteOptions &options = {});
+
+/**
+ * Chute: granular flow, gran/hooke/history, gravity tilted 26 degrees,
+ * bottom wall, non-periodic z, full neighbor lists (no Newton-3).
+ * @param nx,ny Base grid of grains; @param layers bed depth in grains.
+ */
+std::unique_ptr<Simulation> buildChute(int nx, int ny, int layers,
+                                       const SuiteOptions &options = {});
+
+/**
+ * Rhodo proxy: rigid 3-site solvent (SHAKE) + a charged/neutral solute
+ * chain fraction, CHARMM LJ 8-10 A switching + coul/long via PPPM at
+ * the configured error threshold, NPT integration, real units.
+ * @param moleculesPerAxis Solvent molecules per box axis.
+ */
+std::unique_ptr<Simulation>
+buildRhodoProxy(int moleculesPerAxis, const SuiteOptions &options = {});
+
+/**
+ * Size-driven builder: picks the discrete builder parameter so the atom
+ * count is close to @p targetAtoms.
+ */
+std::unique_ptr<Simulation> buildNative(BenchmarkId id, long targetAtoms,
+                                        const SuiteOptions &options = {});
+
+/** One row of the paper's Table 2, with *measured* neighbors/atom. */
+struct TaxonomyRow
+{
+    BenchmarkId id;
+    std::string forceField;
+    std::string cutoff;
+    std::string neighborSkin;
+    double measuredNeighborsPerAtom = 0.0; ///< within the bare cutoff
+    double paperNeighborsPerAtom = 0.0;
+    std::string pairModify;
+    std::string kspaceStyle;
+    std::string integration;
+    long atoms = 0;
+};
+
+/**
+ * Build a small native instance of @p id and measure its taxonomy
+ * (Table 2 reproduction).
+ */
+TaxonomyRow measureTaxonomy(BenchmarkId id, long targetAtoms = 4000);
+
+} // namespace mdbench
+
+#endif // MDBENCH_CORE_SUITE_H

@@ -1,0 +1,162 @@
+#include "forcefield/bond_styles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+/** Resolve a bond/angle tag or panic: topology must be mappable. */
+std::size_t
+resolve(const Simulation &sim, std::int64_t tag)
+{
+    const std::int64_t idx = sim.topology.indexOf(tag);
+    ensure(idx >= 0, "bonded atom tag not present on this domain");
+    return static_cast<std::size_t>(idx);
+}
+
+} // namespace
+
+BondFENE::BondFENE(int nBondTypes)
+    : coeffs_(static_cast<std::size_t>(nBondTypes) + 1)
+{
+    require(nBondTypes >= 1, "need at least one bond type");
+}
+
+void
+BondFENE::setCoeff(int type, const Coeff &coeff)
+{
+    require(type >= 1 && type < static_cast<int>(coeffs_.size()),
+            "fene bond type out of range");
+    coeffs_[type] = coeff;
+}
+
+void
+BondFENE::compute(Simulation &sim)
+{
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    for (const Bond &bond : sim.topology.bonds) {
+        const std::size_t a = resolve(sim, bond.tagA);
+        const std::size_t b = resolve(sim, bond.tagB);
+        const Coeff &c = coeffs_[bond.type];
+        const Vec3 delta = sim.box.minimumImage(atoms.x[a] - atoms.x[b]);
+        const double rsq = delta.normSq();
+        const double r0sq = c.r0 * c.r0;
+        const double rlogarg = 1.0 - rsq / r0sq;
+        require(rlogarg > 0.02, "fene bond overstretched (r close to R0)");
+
+        // Attractive FENE part.
+        double fbond = -c.k / rlogarg;
+        energy_ += -0.5 * c.k * r0sq * std::log(rlogarg);
+
+        // Embedded WCA repulsion below 2^(1/6) sigma.
+        const double wcaCutSq = std::pow(2.0, 1.0 / 3.0) * c.sigma * c.sigma;
+        if (rsq < wcaCutSq) {
+            const double sr2 = c.sigma * c.sigma / rsq;
+            const double sr6 = sr2 * sr2 * sr2;
+            fbond += 24.0 * c.epsilon * sr6 * (2.0 * sr6 - 1.0) / rsq;
+            energy_ += 4.0 * c.epsilon * sr6 * (sr6 - 1.0) + c.epsilon;
+        }
+
+        const Vec3 fvec = delta * fbond;
+        atoms.f[a] += fvec;
+        atoms.f[b] -= fvec;
+        virial_ += fbond * rsq;
+    }
+}
+
+BondHarmonic::BondHarmonic(int nBondTypes)
+    : coeffs_(static_cast<std::size_t>(nBondTypes) + 1)
+{
+    require(nBondTypes >= 1, "need at least one bond type");
+}
+
+void
+BondHarmonic::setCoeff(int type, const Coeff &coeff)
+{
+    require(type >= 1 && type < static_cast<int>(coeffs_.size()),
+            "harmonic bond type out of range");
+    coeffs_[type] = coeff;
+}
+
+void
+BondHarmonic::compute(Simulation &sim)
+{
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    for (const Bond &bond : sim.topology.bonds) {
+        const std::size_t a = resolve(sim, bond.tagA);
+        const std::size_t b = resolve(sim, bond.tagB);
+        const Coeff &c = coeffs_[bond.type];
+        const Vec3 delta = sim.box.minimumImage(atoms.x[a] - atoms.x[b]);
+        const double r = delta.norm();
+        const double dr = r - c.r0;
+        const double fbond = r > 0.0 ? -2.0 * c.k * dr / r : 0.0;
+        const Vec3 fvec = delta * fbond;
+        atoms.f[a] += fvec;
+        atoms.f[b] -= fvec;
+        energy_ += c.k * dr * dr;
+        virial_ += fbond * r * r;
+    }
+}
+
+AngleHarmonic::AngleHarmonic(int nAngleTypes)
+    : coeffs_(static_cast<std::size_t>(nAngleTypes) + 1)
+{
+    require(nAngleTypes >= 1, "need at least one angle type");
+}
+
+void
+AngleHarmonic::setCoeff(int type, const Coeff &coeff)
+{
+    require(type >= 1 && type < static_cast<int>(coeffs_.size()),
+            "harmonic angle type out of range");
+    coeffs_[type] = coeff;
+}
+
+void
+AngleHarmonic::compute(Simulation &sim)
+{
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    for (const Angle &angle : sim.topology.angles) {
+        const std::size_t a = resolve(sim, angle.tagA);
+        const std::size_t b = resolve(sim, angle.tagB); // vertex
+        const std::size_t c = resolve(sim, angle.tagC);
+        const Coeff &coeff = coeffs_[angle.type];
+
+        const Vec3 d1 = sim.box.minimumImage(atoms.x[a] - atoms.x[b]);
+        const Vec3 d2 = sim.box.minimumImage(atoms.x[c] - atoms.x[b]);
+        const double r1 = d1.norm();
+        const double r2 = d2.norm();
+        double cosTheta = d1.dot(d2) / (r1 * r2);
+        cosTheta = std::clamp(cosTheta, -1.0, 1.0);
+        double sinTheta = std::sqrt(1.0 - cosTheta * cosTheta);
+        if (sinTheta < 1e-8)
+            sinTheta = 1e-8;
+        const double theta = std::acos(cosTheta);
+        const double dTheta = theta - coeff.theta0;
+
+        // dE/dtheta = 2 k dTheta; convert to Cartesian forces.
+        const double factor = -2.0 * coeff.k * dTheta / sinTheta;
+        const double c11 = factor * cosTheta / (r1 * r1);
+        const double c12 = -factor / (r1 * r2);
+        const double c22 = factor * cosTheta / (r2 * r2);
+
+        const Vec3 f1 = d1 * c11 + d2 * c12;
+        const Vec3 f3 = d2 * c22 + d1 * c12;
+        atoms.f[a] += f1;
+        atoms.f[c] += f3;
+        atoms.f[b] -= f1 + f3;
+
+        energy_ += coeff.k * dTheta * dTheta;
+        virial_ += d1.dot(f1) + d2.dot(f3);
+    }
+}
+
+} // namespace mdbench

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bonded two-body potentials: FENE (Chain workload) and harmonic
+ * (Rhodopsin-proxy solute), plus the harmonic angle style.
+ */
+
+#ifndef MDBENCH_FORCEFIELD_BOND_STYLES_H
+#define MDBENCH_FORCEFIELD_BOND_STYLES_H
+
+#include <vector>
+
+#include "md/styles.h"
+
+namespace mdbench {
+
+/**
+ * Finite Extensible Nonlinear Elastic bond with the embedded WCA
+ * repulsion of the Kremer-Grest model (LAMMPS `bond_style fene`).
+ */
+class BondFENE : public BondStyle
+{
+  public:
+    /** Per-bond-type coefficients. */
+    struct Coeff
+    {
+        double k = 30.0;      ///< attractive spring strength
+        double r0 = 1.5;      ///< maximum extension
+        double epsilon = 1.0; ///< WCA epsilon
+        double sigma = 1.0;   ///< WCA sigma
+    };
+
+    explicit BondFENE(int nBondTypes = 1);
+
+    /** Set coefficients for bond type @p type (1-based). */
+    void setCoeff(int type, const Coeff &coeff);
+
+    std::string name() const override { return "fene"; }
+    void compute(Simulation &sim) override;
+
+  private:
+    std::vector<Coeff> coeffs_;
+};
+
+/** Harmonic bond E = k (r - r0)^2 (LAMMPS `bond_style harmonic`). */
+class BondHarmonic : public BondStyle
+{
+  public:
+    struct Coeff
+    {
+        double k = 100.0;
+        double r0 = 1.0;
+    };
+
+    explicit BondHarmonic(int nBondTypes = 1);
+
+    void setCoeff(int type, const Coeff &coeff);
+
+    std::string name() const override { return "harmonic"; }
+    void compute(Simulation &sim) override;
+
+  private:
+    std::vector<Coeff> coeffs_;
+};
+
+/** Harmonic angle E = k (theta - theta0)^2 (LAMMPS `angle_style harmonic`). */
+class AngleHarmonic : public AngleStyle
+{
+  public:
+    struct Coeff
+    {
+        double k = 50.0;
+        double theta0 = 109.47 * 3.14159265358979323846 / 180.0; ///< radians
+    };
+
+    explicit AngleHarmonic(int nAngleTypes = 1);
+
+    void setCoeff(int type, const Coeff &coeff);
+
+    std::string name() const override { return "harmonic"; }
+    void compute(Simulation &sim) override;
+
+  private:
+    std::vector<Coeff> coeffs_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_FORCEFIELD_BOND_STYLES_H

@@ -1,0 +1,147 @@
+#include "forcefield/pair_eam.h"
+
+#include <cmath>
+
+#include "md/neighbor.h"
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+EamTables
+EamTables::makeSyntheticCopper(double cutoff, int points)
+{
+    require(points >= 16, "EAM table needs a reasonable resolution");
+
+    // Copper-like constants: Morse pair term fitted to Cu dimer data and
+    // an exponentially decaying density; both smoothly truncated so value
+    // and slope vanish at the cutoff.
+    const double morseD = 0.3429;   // eV
+    const double morseA = 1.3588;   // 1/A
+    const double r0 = 2.866;        // A, Cu dimer distance
+    const double rhoAmp = 1.0;
+    const double rhoBeta = 3.9;
+
+    auto morse = [&](double r) {
+        const double e = std::exp(-morseA * (r - r0));
+        return morseD * ((1.0 - e) * (1.0 - e) - 1.0);
+    };
+    auto morseDeriv = [&](double r) {
+        const double e = std::exp(-morseA * (r - r0));
+        return 2.0 * morseD * morseA * e * (1.0 - e);
+    };
+    auto density = [&](double r) {
+        return rhoAmp * std::exp(-rhoBeta * (r / r0 - 1.0));
+    };
+    auto densityDeriv = [&](double r) {
+        return -rhoBeta / r0 * density(r);
+    };
+
+    const double rMin = 1.0; // below this, clamp (never sampled in a solid)
+    const double dr = (cutoff - rMin) / (points - 1);
+    std::vector<double> phiSamples(points);
+    std::vector<double> rhoSamples(points);
+    const double phiC = morse(cutoff);
+    const double phiD = morseDeriv(cutoff);
+    const double rhoC = density(cutoff);
+    const double rhoD = densityDeriv(cutoff);
+    for (int i = 0; i < points; ++i) {
+        const double r = rMin + i * dr;
+        phiSamples[i] = morse(r) - phiC - phiD * (r - cutoff);
+        rhoSamples[i] = density(r) - rhoC - rhoD * (r - cutoff);
+    }
+
+    // Equilibrium host density: 12 fcc nearest neighbors at a/sqrt(2)
+    // with a = 3.615 A.
+    const double nn = 3.615 / std::sqrt(2.0);
+    const double rhoE = 12.0 * (density(nn) - rhoC - rhoD * (nn - cutoff));
+    const double embedF0 = 2.3; // eV-scale embedding strength
+    const double rhoMax = 3.0 * rhoE;
+    const double drho = rhoMax / (points - 1);
+    std::vector<double> embedSamples(points);
+    for (int i = 0; i < points; ++i) {
+        const double rho = i * drho;
+        embedSamples[i] = -embedF0 * std::sqrt(rho / rhoE);
+    }
+
+    EamTables tables;
+    tables.phi = CubicSpline(rMin, dr, std::move(phiSamples));
+    tables.rho = CubicSpline(rMin, dr, std::move(rhoSamples));
+    tables.embed = CubicSpline(0.0, drho, std::move(embedSamples));
+    tables.cutoff = cutoff;
+    return tables;
+}
+
+PairEAM::PairEAM(EamTables tables) : tables_(std::move(tables))
+{
+    require(tables_.cutoff > 0.0, "EAM cutoff must be positive");
+}
+
+void
+PairEAM::compute(Simulation &sim, const NeighborList &list)
+{
+    ensure(!list.full, "eam requires a half neighbor list");
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    const std::size_t nall = atoms.nall();
+    const double cutSq = tables_.cutoff * tables_.cutoff;
+
+    // Pass 1: host electron densities.
+    rhoBar_.assign(nall, 0.0);
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 xi = atoms.x[i];
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const std::uint32_t j = list.neighbors[k];
+            const double r2 = (xi - atoms.x[j]).normSq();
+            if (r2 >= cutSq)
+                continue;
+            const double contribution = tables_.rho.value(std::sqrt(r2));
+            rhoBar_[i] += contribution;
+            rhoBar_[j] += contribution;
+        }
+    }
+    sim.comm->reverseScalar(sim, rhoBar_);
+
+    // Embedding energies and derivatives for owned atoms, then share the
+    // derivatives with ghosts for the force pass.
+    fp_.assign(nall, 0.0);
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        double value;
+        double deriv;
+        tables_.embed.eval(rhoBar_[i], value, deriv);
+        energy_ += value;
+        fp_[i] = deriv;
+    }
+    sim.comm->forwardScalar(sim, fp_);
+
+    // Pass 2: forces from pair term + density-mediated embedding term.
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 xi = atoms.x[i];
+        Vec3 fi{};
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const std::uint32_t j = list.neighbors[k];
+            const Vec3 delta = xi - atoms.x[j];
+            const double r2 = delta.normSq();
+            if (r2 >= cutSq)
+                continue;
+            const double r = std::sqrt(r2);
+            double phiV;
+            double phiD;
+            tables_.phi.eval(r, phiV, phiD);
+            const double rhoD = tables_.rho.derivative(r);
+            // -dE/dr along the pair axis.
+            const double fScalar = -((fp_[i] + fp_[j]) * rhoD + phiD);
+            const Vec3 fvec = delta * (fScalar / r);
+            fi += fvec;
+            atoms.f[j] -= fvec;
+            energy_ += phiV;
+            virial_ += fScalar * r;
+        }
+        atoms.f[i] += fi;
+    }
+}
+
+} // namespace mdbench

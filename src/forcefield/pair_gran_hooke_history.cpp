@@ -1,0 +1,104 @@
+#include "forcefield/pair_gran_hooke_history.h"
+
+#include <cmath>
+
+#include "md/neighbor.h"
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+PairGranHookeHistory::PairGranHookeHistory(double kn, double kt,
+                                           double gamman, double gammat,
+                                           double xmu, double maxDiameter)
+    : kn_(kn), kt_(kt), gamman_(gamman), gammat_(gammat), xmu_(xmu),
+      maxDiameter_(maxDiameter)
+{
+    require(kn > 0.0, "granular normal stiffness must be positive");
+    require(maxDiameter > 0.0, "granular diameter must be positive");
+}
+
+std::uint64_t
+PairGranHookeHistory::contactKey(std::int64_t tagI, std::int64_t tagJ)
+{
+    return (static_cast<std::uint64_t>(tagI) << 32) |
+           static_cast<std::uint64_t>(tagJ);
+}
+
+void
+PairGranHookeHistory::compute(Simulation &sim, const NeighborList &list)
+{
+    ensure(list.full, "gran/hooke/history requires a full neighbor list");
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    const double dt = sim.dt;
+
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 xi = atoms.x[i];
+        const double ri = atoms.typeParams[atoms.type[i]].radius;
+        const double mi = atoms.massOf(i);
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const std::uint32_t j = list.neighbors[k];
+            const double rj = atoms.typeParams[atoms.type[j]].radius;
+            const Vec3 delta = xi - atoms.x[j];
+            const double rsq = delta.normSq();
+            const double sumRadius = ri + rj;
+            const std::uint64_t key = contactKey(atoms.tag[i], atoms.tag[j]);
+            if (rsq >= sumRadius * sumRadius) {
+                shear_.erase(key);
+                continue;
+            }
+            const double r = std::sqrt(rsq);
+            const Vec3 n = delta / r;
+            const double overlap = sumRadius - r;
+
+            // Relative velocity of the two contact surfaces.
+            const Vec3 vrel = atoms.v[i] - atoms.v[j];
+            const double vn = vrel.dot(n);
+            const Vec3 vNormal = n * vn;
+            // Surface velocity from rotation: -(ri*wi + rj*wj) x n.
+            const Vec3 wSum = atoms.omega[i] * ri + atoms.omega[j] * rj;
+            const Vec3 vTangent = vrel - vNormal - wSum.cross(n);
+
+            const double mj = atoms.massOf(j);
+            const double meff = mi * mj / (mi + mj);
+
+            // Normal: Hookean spring + velocity damping.
+            const double fn = kn_ * overlap - gamman_ * meff * vn;
+
+            // Tangential history spring.
+            Vec3 &shear = shear_[key];
+            shear += vTangent * dt;
+            shear -= n * shear.dot(n); // keep it in the tangent plane
+            Vec3 ft = shear * (-kt_) - vTangent * (gammat_ * meff);
+
+            const double ftMag = ft.norm();
+            const double cap = xmu_ * std::fabs(fn);
+            if (ftMag > cap && ftMag > 0.0) {
+                const double ratio = cap / ftMag;
+                shear = (ft * ratio + vTangent * (gammat_ * meff)) *
+                        (-1.0 / kt_);
+                ft *= ratio;
+            }
+
+            const Vec3 force = n * fn + ft;
+            atoms.f[i] += force;
+            atoms.torque[i] += (n * (-ri)).cross(ft);
+
+            // Each contact is visited from both sides: halve the shared
+            // accumulators. The "energy" reported is the elastic energy
+            // stored in the normal springs.
+            energy_ += 0.25 * kn_ * overlap * overlap;
+            virial_ += 0.5 * delta.dot(force);
+        }
+    }
+
+    // Contacts whose partner migrated out of the neighbor list leave
+    // stale history behind; cap memory by pruning occasionally.
+    if (shear_.size() > 64 * (nlocal + 1))
+        shear_.clear();
+}
+
+} // namespace mdbench

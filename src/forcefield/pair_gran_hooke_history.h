@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Frictional granular contact potential with shear history
+ * (LAMMPS `pair_style gran/hooke/history`), the force field of the
+ * Chute workload.
+ *
+ * As the paper notes, this style does not exploit Newton's third law:
+ * it runs on a *full* neighbor list and each side of a contact computes
+ * its own force and its own copy of the tangential-displacement history.
+ */
+
+#ifndef MDBENCH_FORCEFIELD_PAIR_GRAN_HOOKE_HISTORY_H
+#define MDBENCH_FORCEFIELD_PAIR_GRAN_HOOKE_HISTORY_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "md/styles.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/**
+ * Hookean normal spring + damped tangential history spring with a
+ * Coulomb friction cap.
+ */
+class PairGranHookeHistory : public PairStyle
+{
+  public:
+    /**
+     * @param kn     Normal spring stiffness.
+     * @param kt     Tangential spring stiffness (LAMMPS default 2/7 kn).
+     * @param gamman Normal viscous damping.
+     * @param gammat Tangential viscous damping (default gamman / 2).
+     * @param xmu    Coulomb friction coefficient.
+     * @param maxDiameter Largest particle diameter (sets the cutoff).
+     */
+    PairGranHookeHistory(double kn, double kt, double gamman, double gammat,
+                         double xmu, double maxDiameter);
+
+    std::string name() const override { return "gran/hooke/history"; }
+    double cutoff() const override { return maxDiameter_; }
+    bool needsFullList() const override { return true; }
+    bool needsGhostVelocities() const override { return true; }
+    void compute(Simulation &sim, const NeighborList &list) override;
+
+    /** Number of tracked contact histories (statistics). */
+    std::size_t historyCount() const { return shear_.size(); }
+
+  private:
+    /** Directed key (tag of owner side, tag of other side). */
+    static std::uint64_t contactKey(std::int64_t tagI, std::int64_t tagJ);
+
+    double kn_;
+    double kt_;
+    double gamman_;
+    double gammat_;
+    double xmu_;
+    double maxDiameter_;
+    /** Tangential displacement per directed contact, persisted across
+     *  neighbor rebuilds as the paper's "frictional history" requires. */
+    std::unordered_map<std::uint64_t, Vec3> shear_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_FORCEFIELD_PAIR_GRAN_HOOKE_HISTORY_H

@@ -1,0 +1,148 @@
+#include "forcefield/pair_lj_charmm_coul_long.h"
+
+#include <cmath>
+
+#include "md/neighbor.h"
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+constexpr double kSqrtPiInv2 = 1.1283791670955126; // 2 / sqrt(pi)
+} // namespace
+
+PairLJCharmmCoulLong::PairLJCharmmCoulLong(int ntypes, double ljInner,
+                                           double ljOuter, double coulCut)
+    : ntypes_(ntypes), ljInner_(ljInner), ljOuter_(ljOuter),
+      coulCut_(coulCut),
+      epsilon_(static_cast<std::size_t>(ntypes) + 1, 0.0),
+      sigma_(static_cast<std::size_t>(ntypes) + 1, 0.0),
+      coeffs_(static_cast<std::size_t>(ntypes + 1) * (ntypes + 1))
+{
+    require(ntypes >= 1, "need at least one type");
+    require(ljInner > 0.0 && ljOuter > ljInner,
+            "charmm switching range must satisfy 0 < inner < outer");
+    require(coulCut > 0.0, "coulomb cutoff must be positive");
+}
+
+double
+PairLJCharmmCoulLong::cutoff() const
+{
+    return std::max(ljOuter_, coulCut_);
+}
+
+void
+PairLJCharmmCoulLong::setCoeff(int type, double epsilon, double sigma)
+{
+    require(type >= 1 && type <= ntypes_, "type out of range");
+    epsilon_[type] = epsilon;
+    sigma_[type] = sigma;
+    coeffsBuilt_ = false;
+}
+
+void
+PairLJCharmmCoulLong::buildCoeffs()
+{
+    for (int a = 1; a <= ntypes_; ++a) {
+        for (int b = 1; b <= ntypes_; ++b) {
+            // Arithmetic (Lorentz-Berthelot) mixing.
+            const double eps = std::sqrt(epsilon_[a] * epsilon_[b]);
+            const double sigma = 0.5 * (sigma_[a] + sigma_[b]);
+            const double s6 = std::pow(sigma, 6);
+            const double s12 = s6 * s6;
+            Coeff c;
+            c.lj1 = 48.0 * eps * s12;
+            c.lj2 = 24.0 * eps * s6;
+            c.lj3 = 4.0 * eps * s12;
+            c.lj4 = 4.0 * eps * s6;
+            coeffs_[static_cast<std::size_t>(a) * (ntypes_ + 1) + b] = c;
+        }
+    }
+    coeffsBuilt_ = true;
+}
+
+const PairLJCharmmCoulLong::Coeff &
+PairLJCharmmCoulLong::coeff(int typeA, int typeB) const
+{
+    return coeffs_[static_cast<std::size_t>(typeA) * (ntypes_ + 1) + typeB];
+}
+
+void
+PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
+{
+    ensure(!list.full, "lj/charmm/coul/long requires a half list");
+    if (!coeffsBuilt_)
+        buildCoeffs();
+    resetAccumulators();
+    ecoul_ = 0.0;
+    evdwl_ = 0.0;
+
+    AtomStore &atoms = sim.atoms;
+    const double qqr2e = sim.units.qqr2e;
+    const double g = sim.kspace ? sim.kspace->splittingParameter() : 0.0;
+    const double cutLJSq = ljOuter_ * ljOuter_;
+    const double cutLJInnerSq = ljInner_ * ljInner_;
+    const double cutCoulSq = coulCut_ * coulCut_;
+    const double cutAllSq = std::max(cutLJSq, cutCoulSq);
+    const double denomLJ =
+        std::pow(cutLJSq - cutLJInnerSq, 3);
+
+    const std::size_t nlocal = atoms.nlocal();
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 xi = atoms.x[i];
+        const int ti = atoms.type[i];
+        const double qi = atoms.q[i];
+        Vec3 fi{};
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const std::uint32_t j = list.neighbors[k];
+            const Vec3 delta = xi - atoms.x[j];
+            const double rsq = delta.normSq();
+            if (rsq >= cutAllSq)
+                continue;
+            const double r2inv = 1.0 / rsq;
+
+            double forcecoul = 0.0;
+            if (rsq < cutCoulSq && qi != 0.0 && atoms.q[j] != 0.0) {
+                const double r = std::sqrt(rsq);
+                const double grij = g * r;
+                const double expm2 = std::exp(-grij * grij);
+                const double erfcVal = std::erfc(grij);
+                const double prefactor = qqr2e * qi * atoms.q[j] / r;
+                forcecoul =
+                    prefactor * (erfcVal + kSqrtPiInv2 * grij * expm2);
+                ecoul_ += prefactor * erfcVal;
+            }
+
+            double forcelj = 0.0;
+            if (rsq < cutLJSq) {
+                const Coeff &c = coeff(ti, atoms.type[j]);
+                const double r6inv = r2inv * r2inv * r2inv;
+                forcelj = r6inv * (c.lj1 * r6inv - c.lj2);
+                double philj = r6inv * (c.lj3 * r6inv - c.lj4);
+                if (rsq > cutLJInnerSq) {
+                    const double rsw = cutLJSq - rsq;
+                    const double switch1 =
+                        rsw * rsw * (cutLJSq + 2.0 * rsq -
+                                     3.0 * cutLJInnerSq) / denomLJ;
+                    const double switch2 = 12.0 * rsq * rsw *
+                                           (rsq - cutLJInnerSq) / denomLJ;
+                    forcelj = forcelj * switch1 + philj * switch2;
+                    philj *= switch1;
+                }
+                evdwl_ += philj;
+            }
+
+            const double fpair = (forcecoul + forcelj) * r2inv;
+            const Vec3 fvec = delta * fpair;
+            fi += fvec;
+            atoms.f[j] -= fvec;
+            virial_ += fpair * rsq;
+        }
+        atoms.f[i] += fi;
+    }
+    energy_ = ecoul_ + evdwl_;
+}
+
+} // namespace mdbench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CHARMM Lennard-Jones with switching + long-range-split Coulomb
+ * (LAMMPS `pair_style lj/charmm/coul/long`), the short-range force field
+ * of the Rhodopsin workload.
+ *
+ * The LJ term switches smoothly to zero between an inner and outer cutoff
+ * (the paper's 8.0-10.0 A); the Coulomb term computes the short-range
+ * erfc(g r)/r part of the Ewald/PPPM splitting, with g supplied by the
+ * attached k-space solver.
+ */
+
+#ifndef MDBENCH_FORCEFIELD_PAIR_LJ_CHARMM_COUL_LONG_H
+#define MDBENCH_FORCEFIELD_PAIR_LJ_CHARMM_COUL_LONG_H
+
+#include <vector>
+
+#include "md/styles.h"
+
+namespace mdbench {
+
+/**
+ * lj/charmm/coul/long pair style with arithmetic mixing
+ * (`pair_modify mix arithmetic`, as Table 2 of the paper lists).
+ */
+class PairLJCharmmCoulLong : public PairStyle
+{
+  public:
+    /**
+     * @param ntypes   Number of atom types.
+     * @param ljInner  Inner LJ cutoff (switching starts here).
+     * @param ljOuter  Outer LJ cutoff (LJ is zero beyond).
+     * @param coulCut  Coulomb real-space cutoff.
+     */
+    PairLJCharmmCoulLong(int ntypes, double ljInner, double ljOuter,
+                         double coulCut);
+
+    /** Set per-type LJ coefficients (diagonal; off-diagonals are mixed). */
+    void setCoeff(int type, double epsilon, double sigma);
+
+    std::string name() const override { return "lj/charmm/coul/long"; }
+    double cutoff() const override;
+    void compute(Simulation &sim, const NeighborList &list) override;
+
+    /** Coulomb part of the last compute's energy. */
+    double coulombEnergy() const { return ecoul_; }
+
+    /** LJ part of the last compute's energy. */
+    double ljEnergy() const { return evdwl_; }
+
+  private:
+    struct Coeff
+    {
+        double lj1 = 0.0;
+        double lj2 = 0.0;
+        double lj3 = 0.0;
+        double lj4 = 0.0;
+    };
+
+    const Coeff &coeff(int typeA, int typeB) const;
+
+    int ntypes_;
+    double ljInner_;
+    double ljOuter_;
+    double coulCut_;
+    std::vector<double> epsilon_; ///< per-type (1-based)
+    std::vector<double> sigma_;
+    std::vector<Coeff> coeffs_;
+    bool coeffsBuilt_ = false;
+    double ecoul_ = 0.0;
+    double evdwl_ = 0.0;
+
+    void buildCoeffs();
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_FORCEFIELD_PAIR_LJ_CHARMM_COUL_LONG_H

@@ -1,0 +1,122 @@
+#include "forcefield/pair_lj_cut.h"
+
+#include <cmath>
+
+#include "md/neighbor.h"
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+PairLJCut::PairLJCut(int ntypes, double cut, bool shift)
+    : ntypes_(ntypes), cutoff_(cut), shift_(shift),
+      coeffs_(static_cast<std::size_t>(ntypes + 1) * (ntypes + 1))
+{
+    require(ntypes >= 1, "lj/cut needs at least one type");
+    require(cut > 0.0, "lj/cut cutoff must be positive");
+}
+
+PairLJCut::Coeff &
+PairLJCut::coeff(int typeA, int typeB)
+{
+    return coeffs_[static_cast<std::size_t>(typeA) * (ntypes_ + 1) + typeB];
+}
+
+const PairLJCut::Coeff &
+PairLJCut::coeff(int typeA, int typeB) const
+{
+    return coeffs_[static_cast<std::size_t>(typeA) * (ntypes_ + 1) + typeB];
+}
+
+void
+PairLJCut::precompute(Coeff &c) const
+{
+    const double s6 = std::pow(c.sigma, 6);
+    const double s12 = s6 * s6;
+    c.lj1 = 48.0 * c.epsilon * s12;
+    c.lj2 = 24.0 * c.epsilon * s6;
+    c.lj3 = 4.0 * c.epsilon * s12;
+    c.lj4 = 4.0 * c.epsilon * s6;
+    if (shift_) {
+        const double rc6 = std::pow(cutoff_, 6);
+        c.eshift = c.lj3 / (rc6 * rc6) - c.lj4 / rc6;
+    } else {
+        c.eshift = 0.0;
+    }
+    c.set = true;
+}
+
+void
+PairLJCut::setCoeff(int typeA, int typeB, double epsilon, double sigma)
+{
+    require(typeA >= 1 && typeA <= ntypes_ && typeB >= 1 && typeB <= ntypes_,
+            "lj/cut type out of range");
+    Coeff c;
+    c.epsilon = epsilon;
+    c.sigma = sigma;
+    precompute(c);
+    coeff(typeA, typeB) = c;
+    coeff(typeB, typeA) = c;
+}
+
+void
+PairLJCut::mix(MixRule rule)
+{
+    for (int a = 1; a <= ntypes_; ++a) {
+        for (int b = a + 1; b <= ntypes_; ++b) {
+            if (coeff(a, b).set)
+                continue;
+            const Coeff &ca = coeff(a, a);
+            const Coeff &cb = coeff(b, b);
+            require(ca.set && cb.set,
+                    "cannot mix: diagonal coefficients missing");
+            const double eps = std::sqrt(ca.epsilon * cb.epsilon);
+            const double sigma = rule == MixRule::Arithmetic
+                                     ? 0.5 * (ca.sigma + cb.sigma)
+                                     : std::sqrt(ca.sigma * cb.sigma);
+            setCoeff(a, b, eps, sigma);
+        }
+    }
+}
+
+void
+PairLJCut::compute(Simulation &sim, const NeighborList &list)
+{
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    const double cutSq = cutoff_ * cutoff_;
+    const std::size_t nlocal = atoms.nlocal();
+    // Full lists visit each pair twice; halve shared accumulators and
+    // skip the j-side force update.
+    const bool half = !list.full;
+    const double pairScale = half ? 1.0 : 0.5;
+
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 xi = atoms.x[i];
+        const int ti = atoms.type[i];
+        Vec3 fi{};
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const std::uint32_t j = list.neighbors[k];
+            const Vec3 delta = xi - atoms.x[j];
+            const double r2 = delta.normSq();
+            if (r2 >= cutSq)
+                continue;
+            const Coeff &c = coeff(ti, atoms.type[j]);
+            const double r2inv = 1.0 / r2;
+            const double r6inv = r2inv * r2inv * r2inv;
+            const double forcelj =
+                r6inv * (c.lj1 * r6inv - c.lj2) * r2inv;
+            const Vec3 fpair = delta * forcelj;
+            fi += fpair;
+            if (half)
+                atoms.f[j] -= fpair;
+            energy_ += pairScale *
+                       (r6inv * (c.lj3 * r6inv - c.lj4) - c.eshift);
+            virial_ += pairScale * forcelj * r2;
+        }
+        atoms.f[i] += fi;
+    }
+}
+
+} // namespace mdbench

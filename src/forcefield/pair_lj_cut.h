@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Lennard-Jones pair potential with cutoff (LAMMPS `pair_style lj/cut`),
+ * the force field of the LJ melt and (in WCA form) Chain workloads.
+ */
+
+#ifndef MDBENCH_FORCEFIELD_PAIR_LJ_CUT_H
+#define MDBENCH_FORCEFIELD_PAIR_LJ_CUT_H
+
+#include <vector>
+
+#include "md/styles.h"
+
+namespace mdbench {
+
+/** Coefficient mixing rules (LAMMPS `pair_modify mix`). */
+enum class MixRule { Arithmetic, Geometric };
+
+/**
+ * 12-6 Lennard-Jones with a radial cutoff and optional energy shift.
+ */
+class PairLJCut : public PairStyle
+{
+  public:
+    /**
+     * @param ntypes Number of atom types.
+     * @param cutoff Global cutoff distance.
+     * @param shift  Shift energies so E(cutoff) = 0 (WCA when the cutoff
+     *               is at the potential minimum).
+     */
+    PairLJCut(int ntypes, double cutoff, bool shift = false);
+
+    /** Set epsilon/sigma for a type pair (1-based; symmetric). */
+    void setCoeff(int typeA, int typeB, double epsilon, double sigma);
+
+    /** Fill unset off-diagonal coefficients with @p rule mixing. */
+    void mix(MixRule rule);
+
+    std::string name() const override { return "lj/cut"; }
+    double cutoff() const override { return cutoff_; }
+    void compute(Simulation &sim, const NeighborList &list) override;
+
+  private:
+    struct Coeff
+    {
+        double lj1 = 0.0;    ///< 48 eps sigma^12
+        double lj2 = 0.0;    ///< 24 eps sigma^6
+        double lj3 = 0.0;    ///< 4 eps sigma^12
+        double lj4 = 0.0;    ///< 4 eps sigma^6
+        double eshift = 0.0; ///< energy at the cutoff (subtracted if shift)
+        double epsilon = 0.0;
+        double sigma = 0.0;
+        bool set = false;
+    };
+
+    Coeff &coeff(int typeA, int typeB);
+    const Coeff &coeff(int typeA, int typeB) const;
+    void precompute(Coeff &c) const;
+
+    int ntypes_;
+    double cutoff_;
+    bool shift_;
+    std::vector<Coeff> coeffs_; ///< (ntypes+1)^2 row-major table
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_FORCEFIELD_PAIR_LJ_CUT_H

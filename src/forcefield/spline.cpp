@@ -1,0 +1,82 @@
+#include "forcefield/spline.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+CubicSpline::CubicSpline(double x0, double dx, std::vector<double> y)
+    : x0_(x0), dx_(dx), y_(std::move(y))
+{
+    require(dx > 0.0, "spline grid spacing must be positive");
+    require(y_.size() >= 3, "spline needs at least three samples");
+
+    // Solve the tridiagonal natural-spline system for second derivatives.
+    const std::size_t n = y_.size();
+    m_.assign(n, 0.0);
+    std::vector<double> diag(n, 0.0);
+    std::vector<double> rhs(n, 0.0);
+    diag[0] = 1.0;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        diag[i] = 4.0;
+        rhs[i] = 6.0 * (y_[i + 1] - 2.0 * y_[i] + y_[i - 1]) / (dx_ * dx_);
+    }
+    diag[n - 1] = 1.0;
+
+    // Thomas algorithm (sub/super diagonals are 1 except at the ends).
+    for (std::size_t i = 2; i + 1 < n; ++i) {
+        const double w = 1.0 / diag[i - 1];
+        diag[i] -= w;
+        rhs[i] -= w * rhs[i - 1];
+    }
+    for (std::size_t i = n - 1; i-- > 1;)
+        m_[i] = (rhs[i] - (i + 2 < n ? m_[i + 1] : 0.0)) / diag[i];
+}
+
+void
+CubicSpline::locate(double x, std::size_t &index, double &t) const
+{
+    const std::size_t n = y_.size();
+    double s = (x - x0_) / dx_;
+    s = std::clamp(s, 0.0, static_cast<double>(n - 1));
+    index = std::min(static_cast<std::size_t>(s), n - 2);
+    t = s - static_cast<double>(index);
+}
+
+double
+CubicSpline::value(double x) const
+{
+    double v;
+    double d;
+    eval(x, v, d);
+    return v;
+}
+
+double
+CubicSpline::derivative(double x) const
+{
+    double v;
+    double d;
+    eval(x, v, d);
+    return d;
+}
+
+void
+CubicSpline::eval(double x, double &value, double &derivative) const
+{
+    std::size_t i;
+    double t;
+    locate(x, i, t);
+    const double a = 1.0 - t;
+    const double h2 = dx_ * dx_;
+    value = a * y_[i] + t * y_[i + 1] +
+            ((a * a * a - a) * m_[i] + (t * t * t - t) * m_[i + 1]) * h2 /
+                6.0;
+    derivative = (y_[i + 1] - y_[i]) / dx_ +
+                 ((3.0 * t * t - 1.0) * m_[i + 1] -
+                  (3.0 * a * a - 1.0) * m_[i]) *
+                     dx_ / 6.0;
+}
+
+} // namespace mdbench

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Natural cubic spline over a uniform grid, used by the tabulated EAM
+ * potential (LAMMPS funcfl-style interpolation).
+ */
+
+#ifndef MDBENCH_FORCEFIELD_SPLINE_H
+#define MDBENCH_FORCEFIELD_SPLINE_H
+
+#include <vector>
+
+namespace mdbench {
+
+/**
+ * Interpolates a function sampled at x_i = x0 + i * dx, providing value
+ * and first derivative. Evaluation clamps to the tabulated range.
+ */
+class CubicSpline
+{
+  public:
+    CubicSpline() = default;
+
+    /** Build from samples @p y at spacing @p dx starting at @p x0. */
+    CubicSpline(double x0, double dx, std::vector<double> y);
+
+    /** Interpolated value at @p x. */
+    double value(double x) const;
+
+    /** Interpolated first derivative at @p x. */
+    double derivative(double x) const;
+
+    /** Value and derivative in one lookup. */
+    void eval(double x, double &value, double &derivative) const;
+
+    /** Upper end of the tabulated range. */
+    double xMax() const { return x0_ + dx_ * (y_.empty() ? 0 : y_.size() - 1); }
+
+  private:
+    void locate(double x, std::size_t &index, double &t) const;
+
+    double x0_ = 0.0;
+    double dx_ = 1.0;
+    std::vector<double> y_;
+    std::vector<double> m_; ///< second derivatives at the knots
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_FORCEFIELD_SPLINE_H

@@ -1,0 +1,287 @@
+#include "gpusim/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perf/calibration.h"
+#include "perf/power.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+double
+precisionFactorGpu(Precision precision, const WorkloadSpec &spec)
+{
+    switch (precision) {
+      case Precision::Single: return calib::kGpuPrecisionSingle;
+      case Precision::Mixed:  return 1.0;
+      case Precision::Double:
+        // The charmm/coul kernel is bandwidth-bound on V100 and nearly
+        // insensitive to FP64 throughput (paper Fig. 16, rhodo).
+        return spec.usesKspace ? 1.06 : calib::kGpuPrecisionDouble;
+      default: panic("invalid Precision");
+    }
+}
+
+} // namespace
+
+const char *
+gpuActivityName(GpuActivity activity)
+{
+    switch (activity) {
+      case GpuActivity::MemcpyDtoH:        return "[CUDA memcpy DtoH]";
+      case GpuActivity::MemcpyHtoD:        return "[CUDA memcpy HtoD]";
+      case GpuActivity::Memset:            return "[CUDA memset]";
+      case GpuActivity::CalcNeighListCell: return "calc neigh list cell";
+      case GpuActivity::KLjFast:           return "k lj fast";
+      case GpuActivity::KernelInfo:        return "kernel info";
+      case GpuActivity::KernelSpecial:     return "kernel special";
+      case GpuActivity::KernelZero:        return "kernel zero";
+      case GpuActivity::Transpose:         return "transpose";
+      case GpuActivity::KEamFast:          return "k eam fast";
+      case GpuActivity::KEnergyFast:       return "k energy fast";
+      case GpuActivity::Interp:            return "interp";
+      case GpuActivity::KCharmmLong:       return "k charmm long";
+      case GpuActivity::MakeRho:           return "make rho";
+      case GpuActivity::ParticleMap:       return "particle map";
+      default: panic("invalid GpuActivity");
+    }
+}
+
+double
+GpuModelResult::activityFraction(GpuActivity activity) const
+{
+    double total = 0.0;
+    for (double s : deviceSeconds)
+        total += s;
+    return total > 0.0
+               ? deviceSeconds[static_cast<std::size_t>(activity)] / total
+               : 0.0;
+}
+
+GpuModel::GpuModel(PlatformInstance platform)
+    : platform_(std::move(platform))
+{
+    require(platform_.gpu.has_value(), "GpuModel needs a GPU platform");
+}
+
+GpuModelResult
+GpuModel::evaluate(const WorkloadInstance &workload, int ngpus) const
+{
+    require(ngpus >= 1 && ngpus <= platform_.gpuCount,
+            "device count out of range");
+    const WorkloadSpec &spec = workload.spec;
+    require(spec.id != BenchmarkId::Chute,
+            "gran/hooke/history is unsupported by the reference GPU "
+            "package (paper Section 6)");
+
+    const GpuSpec &gpu = *platform_.gpu;
+    const double natoms = static_cast<double>(workload.natoms);
+    const double perDevice = natoms / ngpus;
+    const double precision = precisionFactorGpu(workload.precision, spec);
+
+    // Occupancy (latency hiding needs resident work) and warp efficiency
+    // (short neighbor lists leave warp lanes idle).
+    const double occupancy =
+        calib::kGpuMinEfficiency +
+        (1.0 - calib::kGpuMinEfficiency) *
+            (perDevice / (perDevice + calib::kGpuSaturationAtoms));
+    const double warpEfficiency =
+        spec.neighborsPerAtom /
+        (spec.neighborsPerAtom + calib::kGpuListHalfSat);
+    const double deviceRate = calib::kGpuInteractionsPerSmCycle *
+                              gpu.freqGHz * 1e9 * gpu.sms * occupancy *
+                              warpEfficiency; // units/s per device
+
+    GpuModelResult result;
+    auto device = [&result](GpuActivity activity) -> double & {
+        return result.deviceSeconds[static_cast<std::size_t>(activity)];
+    };
+
+    // ---- pair + neighbor kernels -------------------------------------------
+    const double pairInteractions =
+        workload.pairInteractionsPerStep() / ngpus;
+    const double pairSeconds = pairInteractions * spec.pairCostUnits *
+                               spec.gpuPairFactor * precision / deviceRate;
+    switch (spec.id) {
+      case BenchmarkId::EAM:
+        // Split across the two EAM kernels the paper names (Fig. 8).
+        device(GpuActivity::KEamFast) = 0.62 * pairSeconds;
+        device(GpuActivity::KEnergyFast) = 0.38 * pairSeconds;
+        break;
+      case BenchmarkId::Rhodo:
+        device(GpuActivity::KCharmmLong) = pairSeconds;
+        break;
+      default:
+        device(GpuActivity::KLjFast) = pairSeconds;
+        break;
+    }
+
+    const double candidateRatio =
+        std::pow((spec.cutoff + spec.skin) / spec.cutoff, 3);
+    // The PPPM neighbor kernel degrades past the paper's 2M-atom
+    // "breaking point" (Fig. 8 discussion).
+    const double neighBreak =
+        spec.usesKspace && natoms > calib::kGpuNeighBreakAtoms
+            ? std::pow(natoms / calib::kGpuNeighBreakAtoms,
+                       calib::kGpuNeighBreakExponent)
+            : 1.0;
+    device(GpuActivity::CalcNeighListCell) =
+        perDevice * spec.neighborsPerAtom * candidateRatio *
+        calib::kNeighPerCandidate * neighBreak /
+        (deviceRate * spec.rebuildInterval);
+
+    // Small bookkeeping kernels (packing, zeroing, special-bond maps).
+    const double atomKernelRate = deviceRate / warpEfficiency;
+    device(GpuActivity::KernelZero) = perDevice * 0.08 / atomKernelRate;
+    device(GpuActivity::KernelInfo) = perDevice * 0.05 / atomKernelRate;
+    device(GpuActivity::KernelSpecial) =
+        spec.hasBonds ? perDevice * 0.35 / atomKernelRate : 0.0;
+    device(GpuActivity::Transpose) = perDevice * 0.18 / atomKernelRate;
+    device(GpuActivity::Memset) = perDevice * 0.02 / atomKernelRate;
+
+    // ---- PPPM on the GPU package ---------------------------------------------
+    // particle_map / make_rho / interp run on the device; the 3-D FFTs
+    // run on the host, so charge/field meshes cross PCIe every step —
+    // the memcpy growth of Section 7.
+    double gridBytes = 0.0;
+    if (spec.usesKspace) {
+        const double gridPoints =
+            static_cast<double>(workload.kspaceGridPoints()) / ngpus;
+        device(GpuActivity::ParticleMap) =
+            perDevice * 2.5 / atomKernelRate;
+        device(GpuActivity::MakeRho) =
+            perDevice * 0.45 * calib::kKspacePerAtom / atomKernelRate;
+        device(GpuActivity::Interp) =
+            perDevice * 0.55 * calib::kKspacePerAtom / atomKernelRate;
+        gridBytes = gridPoints * calib::kGpuKspaceBytesPerPoint;
+    }
+
+    // ---- host-side work ---------------------------------------------------------
+    // Up to 48 MPI processes drive the devices (Section 6.2); bonded
+    // terms, fixes (incl. SHAKE), integration, and the PPPM FFTs stay
+    // on the weaker host CPU.
+    const int hostRanks = std::min(48, 6 * ngpus);
+    const int ranksPerDevice = std::max(1, hostRanks / ngpus);
+    const double hostGHz =
+        platform_.cpu.baseGHz * calib::kAllCoreTurboOverBase;
+    const double hostCoreRate =
+        calib::kCpuInteractionsPerCycle * hostGHz * 1e9;
+    const double hostRate = hostCoreRate * hostRanks;
+    double hostUnits =
+        natoms * (spec.bondsPerAtom * calib::kBondCost +
+                  spec.anglesPerAtom * calib::kAngleCost +
+                  calib::kModifyPerAtom + spec.extraFixCostPerAtom +
+                  calib::kOtherPerAtom);
+    if (spec.usesShake)
+        hostUnits +=
+            natoms * calib::kShakePerAtom * calib::kGpuHostShakeFactor;
+    if (spec.nptIntegration)
+        hostUnits += natoms * calib::kNptPerAtom;
+    double hostFftSeconds = 0.0;
+    if (spec.usesKspace) {
+        const double gridPoints =
+            static_cast<double>(workload.kspaceGridPoints());
+        hostFftSeconds =
+            gridPoints * std::log2(gridPoints) *
+            calib::kKspacePerGridPoint /
+            (hostCoreRate *
+             std::pow(hostRanks, calib::kFftScalingExponent));
+    }
+    const double hostSeconds = hostUnits / hostRate + hostFftSeconds;
+
+    // ---- PCIe transfers --------------------------------------------------------
+    const double pcie = gpu.pcieGBs * 1e9;
+    const double atomBytes = perDevice * 32.0   // positions up
+                             + perDevice * 24.0 // forces down
+                             + perDevice * 80.0 / spec.rebuildInterval;
+    const double totalBytes = atomBytes + gridBytes;
+    const double copyLatency = calib::kGpuCopiesPerStep * ranksPerDevice *
+                               calib::kGpuCopyLatency;
+    const double transferSeconds = copyLatency + totalBytes / pcie;
+    const double upShare = (perDevice * 32.0 + 0.5 * gridBytes) /
+                           std::max(totalBytes, 1.0);
+    device(GpuActivity::MemcpyHtoD) = transferSeconds * upShare;
+    device(GpuActivity::MemcpyDtoH) = transferSeconds * (1.0 - upShare);
+
+    // ---- per-step totals ---------------------------------------------------------
+    double kernelSeconds = 0.0;
+    int kernelLaunches = 0;
+    for (std::size_t a = 0; a < kNumGpuActivities; ++a) {
+        const auto activity = static_cast<GpuActivity>(a);
+        if (activity != GpuActivity::MemcpyDtoH &&
+            activity != GpuActivity::MemcpyHtoD) {
+            kernelSeconds += result.deviceSeconds[a];
+            if (result.deviceSeconds[a] > 0.0)
+                ++kernelLaunches;
+        }
+    }
+    const double overheadSeconds =
+        kernelLaunches * calib::kGpuLaunchOverhead * ranksPerDevice +
+        calib::kGpuStepOverhead * ranksPerDevice;
+
+    // The reference package serializes host work, transfers, and kernels
+    // to a large degree — the data-movement bottleneck of Section 6.2.
+    const double stepSeconds = kernelSeconds + transferSeconds +
+                               hostSeconds + overheadSeconds;
+
+    result.stepSeconds = stepSeconds;
+    result.timestepsPerSecond = 1.0 / stepSeconds;
+    result.nsPerDay = result.timestepsPerSecond * 2e-6 * 86400.0;
+    result.deviceUtilization = kernelSeconds / stepSeconds;
+
+    // ---- Fig. 7 host-view task breakdown ------------------------------------------
+    const double hostPerUnit = 1.0 / hostRate;
+    result.taskBreakdown.add(Task::Pair,
+                             pairSeconds + transferSeconds * 0.55);
+    result.taskBreakdown.add(
+        Task::Neigh, device(GpuActivity::CalcNeighListCell) +
+                         transferSeconds * 0.10);
+    result.taskBreakdown.add(
+        Task::Bond, natoms *
+                        (spec.bondsPerAtom * calib::kBondCost +
+                         spec.anglesPerAtom * calib::kAngleCost) *
+                        hostPerUnit);
+    result.taskBreakdown.add(
+        Task::Kspace, device(GpuActivity::ParticleMap) +
+                          device(GpuActivity::MakeRho) +
+                          device(GpuActivity::Interp) + hostFftSeconds +
+                          transferSeconds * (gridBytes > 0.0 ? 0.25 : 0.0));
+    double modifyHostUnits =
+        natoms * (calib::kModifyPerAtom + spec.extraFixCostPerAtom);
+    if (spec.usesShake)
+        modifyHostUnits +=
+            natoms * calib::kShakePerAtom * calib::kGpuHostShakeFactor;
+    if (spec.nptIntegration)
+        modifyHostUnits += natoms * calib::kNptPerAtom;
+    result.taskBreakdown.add(Task::Modify, modifyHostUnits * hostPerUnit);
+    result.taskBreakdown.add(Task::Output, stepSeconds * 0.002);
+    result.taskBreakdown.add(
+        Task::Comm,
+        overheadSeconds +
+            transferSeconds * (gridBytes > 0.0 ? 0.10 : 0.35));
+    result.taskBreakdown.add(
+        Task::Other, natoms * calib::kOtherPerAtom * hostPerUnit);
+
+    // ---- power -----------------------------------------------------------------
+    const double deviceWatts =
+        ngpus * gpuDeviceWatts(gpu, result.deviceUtilization);
+    const double hostWatts = cpuNodeWatts(platform_, hostRanks, 0.5);
+    result.powerWatts = deviceWatts + hostWatts;
+    result.energyEfficiency =
+        result.timestepsPerSecond / result.powerWatts;
+    return result;
+}
+
+double
+GpuModel::parallelEfficiency(const WorkloadInstance &workload,
+                             int ngpus) const
+{
+    const double tsN = evaluate(workload, ngpus).timestepsPerSecond;
+    const double ts1 = evaluate(workload, 1).timestepsPerSecond;
+    return tsN / (ts1 * ngpus) * 100.0;
+}
+
+} // namespace mdbench

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Simulated execution of the LAMMPS GPU package on the paper's
+ * 8x V100 "GPU instance" (Section 6).
+ *
+ * The model builds a per-step device timeline from the same kernel set
+ * the paper profiles in Figure 8 (k_lj_fast, k_eam_fast/k_energy_fast,
+ * k_charmm_long, calc_neigh_list_cell, make_rho/particle_map/interp,
+ * plus CUDA memcpy H2D/D2H), a PCIe transfer model, host-side work on
+ * the weaker 8167M CPU (fixes, SHAKE, bonded terms, the PPPM FFTs), and
+ * an occupancy curve that collapses when each device holds too few
+ * atoms — the mechanisms behind the paper's multi-GPU scaling findings.
+ */
+
+#ifndef MDBENCH_GPUSIM_GPU_MODEL_H
+#define MDBENCH_GPUSIM_GPU_MODEL_H
+
+#include <array>
+#include <string>
+
+#include "perf/platform.h"
+#include "perf/workload.h"
+#include "util/timer.h"
+
+namespace mdbench {
+
+/** Device-activity categories of the paper's Figure 8. */
+enum class GpuActivity : std::size_t {
+    MemcpyDtoH = 0,
+    MemcpyHtoD,
+    Memset,
+    CalcNeighListCell,
+    KLjFast,
+    KernelInfo,
+    KernelSpecial,
+    KernelZero,
+    Transpose,
+    KEamFast,
+    KEnergyFast,
+    Interp,
+    KCharmmLong,
+    MakeRho,
+    ParticleMap,
+    NumActivities
+};
+
+constexpr std::size_t kNumGpuActivities =
+    static_cast<std::size_t>(GpuActivity::NumActivities);
+
+/** Figure 8 legend label, e.g. "[CUDA memcpy HtoD]" or "k lj fast". */
+const char *gpuActivityName(GpuActivity activity);
+
+/** Result of modeling one GPU-package configuration. */
+struct GpuModelResult
+{
+    double stepSeconds = 0.0;
+    double timestepsPerSecond = 0.0;
+    double powerWatts = 0.0;          ///< devices + host
+    double energyEfficiency = 0.0;    ///< TS/s/W (Fig. 9 middle)
+    double nsPerDay = 0.0;            ///< 2 fs timesteps
+    double deviceUtilization = 0.0;   ///< kernel-busy fraction (Sec. 10)
+
+    /** Host-view task breakdown (Fig. 7). */
+    TaskTimer taskBreakdown;
+
+    /** Per-activity device seconds per step (Fig. 8). */
+    std::array<double, kNumGpuActivities> deviceSeconds{};
+
+    /** Fraction of total device-active time in @p activity. */
+    double activityFraction(GpuActivity activity) const;
+
+    double
+    deviceSecondsOf(GpuActivity activity) const
+    {
+        return deviceSeconds[static_cast<std::size_t>(activity)];
+    }
+};
+
+/**
+ * GPU-package cost model.
+ */
+class GpuModel
+{
+  public:
+    explicit GpuModel(
+        PlatformInstance platform = PlatformInstance::gpuInstance());
+
+    /**
+     * Evaluate one configuration.
+     * @param workload Instantiated workload (no Chute — unsupported by
+     *                 the reference GPU package, as the paper notes).
+     * @param ngpus    Devices used (1..platform.gpuCount).
+     */
+    GpuModelResult evaluate(const WorkloadInstance &workload,
+                            int ngpus) const;
+
+    /** Parallel efficiency in percent vs one device. */
+    double parallelEfficiency(const WorkloadInstance &workload,
+                              int ngpus) const;
+
+    const PlatformInstance &platform() const { return platform_; }
+
+  private:
+    PlatformInstance platform_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_GPUSIM_GPU_MODEL_H

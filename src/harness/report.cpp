@@ -1,0 +1,151 @@
+#include "harness/report.h"
+
+#include <cmath>
+
+#include "util/string_utils.h"
+
+namespace mdbench {
+
+void
+printFigureHeader(std::ostream &os, const std::string &figureId,
+                  const std::string &caption)
+{
+    os << "\n=== " << figureId << " — " << caption << " ===\n";
+}
+
+namespace {
+
+std::string
+pct(double fraction)
+{
+    return strprintf("%5.1f", fraction * 100.0);
+}
+
+std::string
+resourceCell(const ExperimentRecord &record)
+{
+    return std::to_string(record.spec.resources);
+}
+
+} // namespace
+
+Table
+makeBreakdownTable(const std::vector<ExperimentRecord> &records,
+                   const std::string &resourceHeader)
+{
+    std::vector<std::string> headers = {"benchmark", "size[k]",
+                                        resourceHeader};
+    for (std::size_t t = 0; t < kNumTasks; ++t)
+        headers.push_back(std::string(taskName(static_cast<Task>(t))) +
+                          "%");
+    Table table(std::move(headers));
+    for (const auto &record : records) {
+        std::vector<std::string> row = {
+            benchmarkName(record.spec.benchmark),
+            std::to_string(record.spec.natoms / 1000),
+            resourceCell(record)};
+        for (std::size_t t = 0; t < kNumTasks; ++t)
+            row.push_back(
+                pct(record.taskBreakdown.fraction(static_cast<Task>(t))));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+Table
+makeMpiFunctionTable(const std::vector<ExperimentRecord> &records)
+{
+    std::vector<std::string> headers = {"benchmark", "size[k]", "procs"};
+    for (std::size_t f = 0; f < kNumMpiFunctions; ++f)
+        headers.push_back(
+            std::string(mpiFunctionName(static_cast<MpiFunction>(f))) +
+            "%");
+    Table table(std::move(headers));
+    for (const auto &record : records) {
+        std::vector<std::string> row = {
+            benchmarkName(record.spec.benchmark),
+            std::to_string(record.spec.natoms / 1000),
+            resourceCell(record)};
+        for (std::size_t f = 0; f < kNumMpiFunctions; ++f)
+            row.push_back(pct(record.mpiFunctionFraction(
+                static_cast<MpiFunction>(f))));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+Table
+makeMpiOverheadTable(const std::vector<ExperimentRecord> &records)
+{
+    Table table({"benchmark", "size[k]", "procs", "MPI time %",
+                 "MPI imbalance %"});
+    for (const auto &record : records) {
+        table.addRow({benchmarkName(record.spec.benchmark),
+                      std::to_string(record.spec.natoms / 1000),
+                      resourceCell(record),
+                      strprintf("%6.2f", record.mpiTimePercent),
+                      strprintf("%6.2f", record.mpiImbalancePercent)});
+    }
+    return table;
+}
+
+Table
+makeScalingTable(const std::vector<ExperimentRecord> &records,
+                 const std::string &resourceHeader, bool gpu)
+{
+    std::vector<std::string> headers = {
+        "benchmark", "size[k]", resourceHeader,
+        "perf [TS/s]", "parallel eff [%]", "energy eff [TS/s/W]"};
+    if (gpu)
+        headers.push_back("device util [%]");
+    Table table(std::move(headers));
+    for (const auto &record : records) {
+        std::vector<std::string> row = {
+            benchmarkName(record.spec.benchmark),
+            std::to_string(record.spec.natoms / 1000),
+            resourceCell(record),
+            strprintf("%10.2f", record.timestepsPerSecond),
+            strprintf("%6.2f", record.parallelEfficiencyPct),
+            strprintf("%8.4f", record.energyEfficiency)};
+        if (gpu)
+            row.push_back(strprintf("%5.1f",
+                                    record.deviceUtilization * 100.0));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+void
+AnchorReport::add(const std::string &what, double paperValue,
+                  double measuredValue)
+{
+    anchors_.push_back({what, paperValue, measuredValue});
+}
+
+double
+AnchorReport::print(std::ostream &os) const
+{
+    Table table({"anchor", "paper", "reproduced", "ratio"});
+    double worst = 0.0;
+    for (const auto &anchor : anchors_) {
+        const double ratio = anchor.measured / anchor.paper;
+        worst = std::max(worst, std::fabs(std::log(ratio)));
+        table.addRow({anchor.what, formatSig(anchor.paper, 4),
+                      formatSig(anchor.measured, 4),
+                      strprintf("%.2fx", ratio)});
+    }
+    os << "\n-- paper anchors --\n";
+    table.printAscii(os);
+    return worst;
+}
+
+void
+emitTable(std::ostream &os, const Table &table, const std::string &csvTag)
+{
+    table.printAscii(os);
+    os << "\n[csv:" << csvTag << "]\n";
+    table.printCsv(os);
+    os << "[/csv]\n";
+}
+
+} // namespace mdbench

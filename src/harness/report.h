@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paper-style figure/table emitters (the Aggregator + Formatted Output
+ * stages of Figure 2): every bench binary renders its figure through
+ * these helpers so the output is uniform and machine-readable.
+ */
+
+#ifndef MDBENCH_HARNESS_REPORT_H
+#define MDBENCH_HARNESS_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/table.h"
+
+namespace mdbench {
+
+/** Print a figure banner: id, caption, and reproduction mode. */
+void printFigureHeader(std::ostream &os, const std::string &figureId,
+                       const std::string &caption);
+
+/**
+ * Fig. 3 / Fig. 7 style: one row per (benchmark, size, resources) with
+ * percentage columns per Table 1 task.
+ */
+Table makeBreakdownTable(const std::vector<ExperimentRecord> &records,
+                         const std::string &resourceHeader);
+
+/**
+ * Fig. 5 / Fig. 12 style: percentage columns per MPI function.
+ */
+Table makeMpiFunctionTable(const std::vector<ExperimentRecord> &records);
+
+/**
+ * Fig. 4 / Fig. 14 style: total MPI % and imbalance % columns.
+ */
+Table makeMpiOverheadTable(const std::vector<ExperimentRecord> &records);
+
+/**
+ * Fig. 6 / Fig. 9 / Fig. 10 ... style: TS/s, efficiency columns.
+ */
+Table makeScalingTable(const std::vector<ExperimentRecord> &records,
+                       const std::string &resourceHeader, bool gpu = false);
+
+/**
+ * Anchor comparison: paper value vs reproduced value with the ratio,
+ * recorded in EXPERIMENTS.md.
+ */
+class AnchorReport
+{
+  public:
+    void add(const std::string &what, double paperValue,
+             double measuredValue);
+
+    /** Print as a table; returns the worst |log-ratio| seen. */
+    double print(std::ostream &os) const;
+
+  private:
+    struct Anchor
+    {
+        std::string what;
+        double paper;
+        double measured;
+    };
+    std::vector<Anchor> anchors_;
+};
+
+/** Render @p table as ASCII and, below it, as a CSV block. */
+void emitTable(std::ostream &os, const Table &table,
+               const std::string &csvTag);
+
+} // namespace mdbench
+
+#endif // MDBENCH_HARNESS_REPORT_H

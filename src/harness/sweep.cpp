@@ -1,0 +1,62 @@
+#include "harness/sweep.h"
+
+namespace mdbench {
+
+namespace {
+
+std::vector<ExperimentSpec>
+makeSweep(ExperimentMode mode, const std::vector<BenchmarkId> &benchmarks,
+          const std::vector<long> &sizesK,
+          const std::vector<int> &resources, const SweepOptions &options)
+{
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(benchmarks.size() * sizesK.size() * resources.size());
+    for (BenchmarkId benchmark : benchmarks) {
+        for (long sizeK : sizesK) {
+            for (int count : resources) {
+                ExperimentSpec spec;
+                spec.mode = mode;
+                spec.benchmark = benchmark;
+                spec.natoms = sizeK * 1000;
+                spec.resources = count;
+                spec.kspaceAccuracy = options.kspaceAccuracy;
+                spec.precision = options.precision;
+                spec.steps = options.steps;
+                specs.push_back(spec);
+            }
+        }
+    }
+    return specs;
+}
+
+} // namespace
+
+std::vector<ExperimentSpec>
+cpuSweep(const std::vector<BenchmarkId> &benchmarks,
+         const std::vector<long> &sizesK, const std::vector<int> &ranks,
+         const SweepOptions &options)
+{
+    return makeSweep(ExperimentMode::ModelCpu, benchmarks, sizesK, ranks,
+                     options);
+}
+
+std::vector<ExperimentSpec>
+gpuSweep(const std::vector<BenchmarkId> &benchmarks,
+         const std::vector<long> &sizesK, const std::vector<int> &gpus,
+         const SweepOptions &options)
+{
+    return makeSweep(ExperimentMode::ModelGpu, benchmarks, sizesK, gpus,
+                     options);
+}
+
+std::vector<ExperimentRecord>
+runModelSweep(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<ExperimentRecord> records;
+    records.reserve(specs.size());
+    for (const ExperimentSpec &spec : specs)
+        records.push_back(runModelExperiment(spec));
+    return records;
+}
+
+} // namespace mdbench

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Parameter-space sweep generators (the "Settings" stage of Figure 2):
+ * cartesian products over benchmarks, sizes, and resource counts in the
+ * row-major order the paper's figure grids use.
+ */
+
+#ifndef MDBENCH_HARNESS_SWEEP_H
+#define MDBENCH_HARNESS_SWEEP_H
+
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace mdbench {
+
+/** Sweep options shared by the figure benches. */
+struct SweepOptions
+{
+    double kspaceAccuracy = 1e-4;
+    Precision precision = Precision::Mixed;
+    long steps = 10000;
+};
+
+/**
+ * CPU-instance sweep: benchmark-major, then size, then rank count
+ * (matching the paper's per-row, left-to-right figure layout).
+ */
+std::vector<ExperimentSpec>
+cpuSweep(const std::vector<BenchmarkId> &benchmarks,
+         const std::vector<long> &sizesK, const std::vector<int> &ranks,
+         const SweepOptions &options = {});
+
+/** GPU-instance sweep (same ordering, resources = devices). */
+std::vector<ExperimentSpec>
+gpuSweep(const std::vector<BenchmarkId> &benchmarks,
+         const std::vector<long> &sizesK, const std::vector<int> &gpus,
+         const SweepOptions &options = {});
+
+/** Run model-mode specs and collect the records. */
+std::vector<ExperimentRecord>
+runModelSweep(const std::vector<ExperimentSpec> &specs);
+
+} // namespace mdbench
+
+#endif // MDBENCH_HARNESS_SWEEP_H

@@ -1,0 +1,106 @@
+#include "kspace/ewald.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace mdbench {
+
+Ewald::Ewald(double accuracy) : accuracy_(accuracy)
+{
+    require(accuracy > 0.0, "ewald accuracy must be positive");
+}
+
+void
+Ewald::setup(Simulation &sim)
+{
+    KspaceProblem problem;
+    problem.boxLength = sim.box.lengths();
+    problem.natoms = static_cast<long>(sim.atoms.nlocal());
+    problem.qqr2e = sim.units.qqr2e;
+    problem.cutoff = sim.pair ? sim.pair->cutoff() : sim.neighbor.cutoff;
+    problem.accuracy = accuracy_;
+    double qsum = 0.0;
+    problem.qSqSum = 0.0;
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i) {
+        qsum += sim.atoms.q[i];
+        problem.qSqSum += sim.atoms.q[i] * sim.atoms.q[i];
+    }
+    if (std::fabs(qsum) > 1e-8 * std::sqrt(problem.qSqSum))
+        warn("ewald: system is not charge neutral");
+
+    plan_ = planKspace(problem);
+    gEwald_ = plan_.gEwald;
+
+    // Enumerate the half space of k vectors (k and -k contribute equal
+    // conjugate terms, folded in with a factor 2 below).
+    kvecs_.clear();
+    prefactor_.clear();
+    const Vec3 len = sim.box.lengths();
+    const double gsqInv4 = 1.0 / (4.0 * gEwald_ * gEwald_);
+    for (int mx = 0; mx <= plan_.kmax[0]; ++mx) {
+        const int loY = mx == 0 ? 0 : -plan_.kmax[1];
+        for (int my = loY; my <= plan_.kmax[1]; ++my) {
+            const int loZ = (mx == 0 && my == 0) ? 1 : -plan_.kmax[2];
+            for (int mz = loZ; mz <= plan_.kmax[2]; ++mz) {
+                const Vec3 k{2.0 * M_PI * mx / len.x,
+                             2.0 * M_PI * my / len.y,
+                             2.0 * M_PI * mz / len.z};
+                const double ksq = k.normSq();
+                kvecs_.push_back(k);
+                prefactor_.push_back(4.0 * M_PI * std::exp(-ksq * gsqInv4) /
+                                     ksq);
+            }
+        }
+    }
+}
+
+void
+Ewald::compute(Simulation &sim)
+{
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    const double qqr2e = sim.units.qqr2e;
+    const double volume = sim.box.volume();
+
+    double qsqsum = 0.0;
+    for (std::size_t i = 0; i < nlocal; ++i)
+        qsqsum += atoms.q[i] * atoms.q[i];
+
+    // Structure factors per k, then forces per atom.
+    std::vector<double> cosK(nlocal);
+    std::vector<double> sinK(nlocal);
+    for (std::size_t kk = 0; kk < kvecs_.size(); ++kk) {
+        const Vec3 &k = kvecs_[kk];
+        double sReal = 0.0;
+        double sImag = 0.0;
+        for (std::size_t i = 0; i < nlocal; ++i) {
+            const double phase = k.dot(atoms.x[i]);
+            cosK[i] = std::cos(phase);
+            sinK[i] = std::sin(phase);
+            sReal += atoms.q[i] * cosK[i];
+            sImag += atoms.q[i] * sinK[i];
+        }
+        // Factor 2 folds the -k half space.
+        const double pre = 2.0 * prefactor_[kk] * qqr2e / (2.0 * volume);
+        energy_ += pre * (sReal * sReal + sImag * sImag);
+        const double fpre = 2.0 * prefactor_[kk] * qqr2e / volume;
+        for (std::size_t i = 0; i < nlocal; ++i) {
+            const double coef =
+                fpre * atoms.q[i] * (sinK[i] * sReal - cosK[i] * sImag);
+            atoms.f[i] += k * coef;
+        }
+    }
+
+    // Self-energy correction.
+    energy_ -= qqr2e * gEwald_ / std::sqrt(M_PI) * qsqsum;
+
+    // The scalar Coulomb virial equals the Coulomb energy (1/r
+    // homogeneity); this approximation is documented in DESIGN.md.
+    virial_ = energy_;
+}
+
+} // namespace mdbench

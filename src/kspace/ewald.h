@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Classical Ewald summation (LAMMPS `kspace_style ewald`): the exact
+ * O(N k^3) reference solver used to validate PPPM and for small systems.
+ */
+
+#ifndef MDBENCH_KSPACE_EWALD_H
+#define MDBENCH_KSPACE_EWALD_H
+
+#include <vector>
+
+#include "kspace/plan.h"
+#include "md/styles.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/**
+ * Direct reciprocal-space Ewald sum.
+ */
+class Ewald : public KspaceStyle
+{
+  public:
+    /** @param accuracy Relative force error threshold. */
+    explicit Ewald(double accuracy);
+
+    std::string name() const override { return "ewald"; }
+    void setup(Simulation &sim) override;
+    void compute(Simulation &sim) override;
+    double splittingParameter() const override { return gEwald_; }
+    double accuracy() const override { return accuracy_; }
+
+    /** k-space extent chosen by setup(). */
+    const int *kmax() const { return plan_.kmax; }
+
+  private:
+    double accuracy_;
+    double gEwald_ = 0.0;
+    KspacePlan plan_;
+    std::vector<Vec3> kvecs_;       ///< k vectors of the half space
+    std::vector<double> prefactor_; ///< 4 pi exp(-k^2/4g^2)/k^2 per k
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_KSPACE_EWALD_H

@@ -1,0 +1,151 @@
+#include "kspace/fft3d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+/** Smallest prime-ish factor used by the mixed-radix decomposition. */
+int
+smallestFactor(int n)
+{
+    for (int r : {2, 3, 5})
+        if (n % r == 0)
+            return r;
+    for (int r = 7; r * r <= n; r += 2)
+        if (n % r == 0)
+            return r;
+    return n;
+}
+
+/**
+ * Recursive mixed-radix decimation-in-time FFT.
+ * data has @p n elements at unit stride; scratch has n elements too.
+ */
+void
+fftRecursive(Complex *data, Complex *scratch, int n, int sign)
+{
+    if (n == 1)
+        return;
+    const int radix = smallestFactor(n);
+    const int m = n / radix;
+
+    // Split into radix interleaved subsequences and transform each.
+    for (int q = 0; q < radix; ++q)
+        for (int i = 0; i < m; ++i)
+            scratch[q * m + i] = data[q + i * radix];
+    for (int q = 0; q < radix; ++q)
+        fftRecursive(scratch + q * m, data, m, sign);
+
+    // Combine: X[k + s m] = sum_q w^(q (k + s m)) Xq[k].
+    const double unit = sign * 2.0 * M_PI / n;
+    for (int k = 0; k < m; ++k) {
+        for (int s = 0; s < radix; ++s) {
+            const int out = k + s * m;
+            Complex acc = scratch[k];
+            for (int q = 1; q < radix; ++q) {
+                const double angle = unit * q * out;
+                acc += scratch[q * m + k] *
+                       Complex(std::cos(angle), std::sin(angle));
+            }
+            data[out] = acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+fft1d(Complex *data, int n, int sign)
+{
+    require(n >= 1, "fft length must be positive");
+    ensure(sign == 1 || sign == -1, "fft sign must be +-1");
+    std::vector<Complex> scratch(static_cast<std::size_t>(n));
+    fftRecursive(data, scratch.data(), n, sign);
+}
+
+bool
+isSmooth235(int n)
+{
+    if (n < 1)
+        return false;
+    for (int r : {2, 3, 5})
+        while (n % r == 0)
+            n /= r;
+    return n == 1;
+}
+
+int
+nextSmooth235(int n)
+{
+    int candidate = n < 1 ? 1 : n;
+    while (!isSmooth235(candidate))
+        ++candidate;
+    return candidate;
+}
+
+Fft3d::Fft3d(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz)
+{
+    require(nx >= 1 && ny >= 1 && nz >= 1, "fft grid dims must be positive");
+}
+
+void
+Fft3d::transform(std::vector<Complex> &data, int sign) const
+{
+    ensure(data.size() == size(), "fft3d data size mismatch");
+    std::vector<Complex> scratch(
+        static_cast<std::size_t>(std::max({nx_, ny_, nz_})));
+
+    // X axis: contiguous rows.
+    for (int z = 0; z < nz_; ++z)
+        for (int y = 0; y < ny_; ++y)
+            fft1d(&data[(static_cast<std::size_t>(z) * ny_ + y) * nx_], nx_,
+                  sign);
+
+    // Y axis: gather strided columns.
+    for (int z = 0; z < nz_; ++z) {
+        for (int x = 0; x < nx_; ++x) {
+            for (int y = 0; y < ny_; ++y)
+                scratch[y] = data[(static_cast<std::size_t>(z) * ny_ + y) *
+                                      nx_ + x];
+            fft1d(scratch.data(), ny_, sign);
+            for (int y = 0; y < ny_; ++y)
+                data[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x] =
+                    scratch[y];
+        }
+    }
+
+    // Z axis.
+    for (int y = 0; y < ny_; ++y) {
+        for (int x = 0; x < nx_; ++x) {
+            for (int z = 0; z < nz_; ++z)
+                scratch[z] = data[(static_cast<std::size_t>(z) * ny_ + y) *
+                                      nx_ + x];
+            fft1d(scratch.data(), nz_, sign);
+            for (int z = 0; z < nz_; ++z)
+                data[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x] =
+                    scratch[z];
+        }
+    }
+}
+
+void
+Fft3d::forward(std::vector<Complex> &data) const
+{
+    transform(data, -1);
+}
+
+void
+Fft3d::inverse(std::vector<Complex> &data) const
+{
+    transform(data, 1);
+    const double norm = 1.0 / static_cast<double>(size());
+    for (Complex &value : data)
+        value *= norm;
+}
+
+} // namespace mdbench

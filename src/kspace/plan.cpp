@@ -1,0 +1,144 @@
+#include "kspace/plan.h"
+
+#include <cmath>
+
+#include "kspace/fft3d.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+/**
+ * Deserno-Holm expansion coefficients for the ik-differentiation error
+ * estimate, per assignment order (same table as LAMMPS pppm.cpp).
+ */
+const double *
+aconsRow(int order)
+{
+    static const double a1[] = {2.0 / 3.0};
+    static const double a2[] = {1.0 / 50.0, 5.0 / 294.0};
+    static const double a3[] = {1.0 / 588.0, 7.0 / 1440.0, 21.0 / 3872.0};
+    static const double a4[] = {1.0 / 4320.0, 3.0 / 1936.0,
+                                7601.0 / 2271360.0, 143.0 / 28800.0};
+    static const double a5[] = {1.0 / 23232.0, 7601.0 / 13628160.0,
+                                143.0 / 69120.0, 517231.0 / 106536960.0,
+                                106640677.0 / 11737571328.0};
+    static const double a6[] = {691.0 / 68140800.0, 13.0 / 57600.0,
+                                47021.0 / 35512320.0,
+                                9694607.0 / 2095994880.0,
+                                733191589.0 / 59609088000.0,
+                                326190917.0 / 11700633600.0};
+    static const double a7[] = {1.0 / 345600.0, 3617.0 / 35512320.0,
+                                745739.0 / 838397952.0,
+                                56399353.0 / 12773376000.0,
+                                25091609.0 / 1560084480.0,
+                                1755948832039.0 / 36229939200000.0,
+                                4887769399.0 / 37838389248.0};
+    switch (order) {
+      case 1: return a1;
+      case 2: return a2;
+      case 3: return a3;
+      case 4: return a4;
+      case 5: return a5;
+      case 6: return a6;
+      case 7: return a7;
+      default: fatal("PPPM assignment order must be in [1, 7]");
+    }
+}
+
+/** Ewald k-space RMS error for kmax modes along an axis of length prd. */
+double
+ewaldRms(int km, double prd, const KspaceProblem &p, double g)
+{
+    if (km <= 0)
+        return 1e300;
+    const double q2 = p.qSqSum * p.qqr2e / p.natoms;
+    return 2.0 * q2 * g / prd *
+           std::sqrt(1.0 / (M_PI * km * p.natoms)) *
+           std::exp(-M_PI * M_PI * km * km / (g * g * prd * prd));
+}
+
+} // namespace
+
+double
+estimateIkError(double h, double prd, const KspaceProblem &p, double g)
+{
+    const double *acons = aconsRow(p.order);
+    double sum = 0.0;
+    for (int m = 0; m < p.order; ++m)
+        sum += acons[m] * std::pow(h * g, 2.0 * m);
+    const double q2 = p.qSqSum * p.qqr2e / p.natoms;
+    return q2 * std::pow(h * g, p.order) *
+           std::sqrt(g * prd * std::sqrt(2.0 * M_PI) * sum / p.natoms) /
+           (prd * prd);
+}
+
+double
+estimateRealError(const KspaceProblem &p, double g)
+{
+    const double q2 = p.qSqSum * p.qqr2e / p.natoms;
+    const double volume = p.boxLength.x * p.boxLength.y * p.boxLength.z;
+    return 2.0 * q2 * std::exp(-g * g * p.cutoff * p.cutoff) /
+           std::sqrt(static_cast<double>(p.natoms) * p.cutoff * volume);
+}
+
+KspacePlan
+planKspace(const KspaceProblem &problem)
+{
+    require(problem.natoms > 0, "kspace planning needs atoms");
+    require(problem.qSqSum > 0.0, "kspace planning needs nonzero charges");
+    require(problem.accuracy > 0.0, "accuracy threshold must be positive");
+    require(problem.cutoff > 0.0, "cutoff must be positive");
+
+    KspacePlan plan;
+
+    // LAMMPS's splitting-parameter heuristic.
+    plan.gEwald = (1.35 - 0.15 * std::log(problem.accuracy)) /
+                  problem.cutoff;
+
+    // Absolute error target: relative threshold times the force between
+    // two elementary charges one distance-unit apart.
+    const double target = problem.accuracy * problem.qqr2e;
+
+    const double lengths[3] = {problem.boxLength.x, problem.boxLength.y,
+                               problem.boxLength.z};
+
+    // Ewald extent: grow kmax per axis until the RMS estimate fits.
+    for (int axis = 0; axis < 3; ++axis) {
+        int km = 1;
+        while (ewaldRms(km, lengths[axis], problem, plan.gEwald) > target &&
+               km < 256) {
+            ++km;
+        }
+        plan.kmax[axis] = km;
+    }
+
+    // PPPM mesh: start from the h ~ 1/g mesh LAMMPS produces at the
+    // default 1e-4 threshold, densified toward tighter thresholds with
+    // the empirically observed exponent (the paper's Section 7 slowdown
+    // factors on both instances pin the mesh growth near
+    // points-per-axis ~ accuracy^-0.17), then refine further if the
+    // ik-differentiation error estimate still exceeds the target.
+    const double gRef = (1.35 - 0.15 * std::log(1e-4)) / problem.cutoff;
+    const double densify = std::pow(1e-4 / problem.accuracy, 0.17);
+    double worst = 0.0;
+    for (int axis = 0; axis < 3; ++axis) {
+        int n = nextSmooth235(std::max(
+            2, static_cast<int>(lengths[axis] * gRef * densify)));
+        while (estimateIkError(lengths[axis] / n, lengths[axis], problem,
+                               plan.gEwald) > target &&
+               n < 16384) {
+            n = nextSmooth235(n + 1);
+        }
+        plan.grid[axis] = n;
+        worst = std::max(worst, estimateIkError(lengths[axis] / n,
+                                                lengths[axis], problem,
+                                                plan.gEwald));
+    }
+    plan.kspaceError = worst;
+    plan.realError = estimateRealError(problem, plan.gEwald);
+    return plan;
+}
+
+} // namespace mdbench

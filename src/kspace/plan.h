@@ -1,0 +1,63 @@
+/**
+ * @file
+ * K-space parameter planning: Ewald splitting parameter, Ewald k-space
+ * extent, and PPPM grid size as functions of the *relative force error
+ * threshold* — the experiment parameter the paper sweeps in Section 7.
+ *
+ * The estimators follow the standard Hockney-Eastwood / Deserno-Holm
+ * formulas that LAMMPS itself uses, so the grid growth with tighter
+ * thresholds (and hence the extra FFT work and communication) matches
+ * the mechanism behind the paper's Figures 10-14.
+ */
+
+#ifndef MDBENCH_KSPACE_PLAN_H
+#define MDBENCH_KSPACE_PLAN_H
+
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/** Inputs to k-space planning that do not require an atom store. */
+struct KspaceProblem
+{
+    Vec3 boxLength{1, 1, 1}; ///< edge lengths
+    long natoms = 0;         ///< number of charges
+    double qSqSum = 0.0;     ///< sum of squared charges
+    double qqr2e = 1.0;      ///< Coulomb constant of the unit system
+    double cutoff = 10.0;    ///< real-space cutoff
+    double accuracy = 1e-4;  ///< relative force error threshold
+    int order = 5;           ///< charge assignment order (PPPM)
+};
+
+/** Planned k-space parameters. */
+struct KspacePlan
+{
+    double gEwald = 0.0;      ///< Ewald splitting parameter
+    int kmax[3] = {0, 0, 0};  ///< Ewald k-space extent per axis
+    int grid[3] = {0, 0, 0};  ///< PPPM mesh points per axis (2/3/5-smooth)
+    double realError = 0.0;   ///< estimated real-space RMS force error
+    double kspaceError = 0.0; ///< estimated k-space RMS force error (PPPM)
+
+    /** Total PPPM grid points. */
+    long gridPoints() const
+    {
+        return static_cast<long>(grid[0]) * grid[1] * grid[2];
+    }
+};
+
+/** Plan parameters for the given problem (both Ewald and PPPM outputs). */
+KspacePlan planKspace(const KspaceProblem &problem);
+
+/**
+ * Estimated PPPM ik-differentiation RMS force error for grid spacing
+ * @p h along an axis of length @p prd (Deserno-Holm).
+ */
+double estimateIkError(double h, double prd, const KspaceProblem &problem,
+                       double gEwald);
+
+/** Estimated real-space RMS force error for the planned splitting. */
+double estimateRealError(const KspaceProblem &problem, double gEwald);
+
+} // namespace mdbench
+
+#endif // MDBENCH_KSPACE_PLAN_H

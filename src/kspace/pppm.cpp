@@ -1,0 +1,277 @@
+#include "kspace/pppm.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace mdbench {
+
+namespace {
+
+/**
+ * Integer samples M_p(k), k = 0..p, of the cardinal B-spline.
+ *
+ * Computed by the integer-lattice Cox-de Boor recursion (the pointwise
+ * recursion degenerates at the knots, where every recursive path lands
+ * exactly on a breakpoint of M_1).
+ */
+std::vector<double>
+bsplineIntegerSamples(int p)
+{
+    std::vector<double> m(static_cast<std::size_t>(p) + 1, 0.0);
+    m[0] = 1.0; // M_1 on [0,1): value 1 at the left knot
+    for (int n = 2; n <= p; ++n) {
+        std::vector<double> next(m.size(), 0.0);
+        for (int k = 1; k <= n; ++k) {
+            const double lower = k <= p ? m[k] : 0.0;
+            next[k] = (k * lower + (n - k) * m[k - 1]) / (n - 1);
+        }
+        m = std::move(next);
+    }
+    return m;
+}
+
+} // namespace
+
+Pppm::Pppm(double accuracy, int order) : accuracy_(accuracy), order_(order)
+{
+    require(accuracy > 0.0, "pppm accuracy must be positive");
+    require(order >= 1 && order <= 7, "pppm order must be in [1, 7]");
+}
+
+Pppm::AxisWeights
+Pppm::weightsFor(double u) const
+{
+    AxisWeights out;
+    const int p = order_;
+    const int jstart = static_cast<int>(std::floor(u - 0.5 * p)) + 1;
+    const double f = u - jstart + 0.5 * p - (p - 1);
+
+    // Iterative Cox-de Boor: after round n, w[m] = M_n(f + m).
+    double w[8] = {1.0};
+    for (int n = 2; n <= p; ++n) {
+        w[n - 1] = 0.0;
+        for (int m = n - 1; m >= 0; --m) {
+            const double left = (f + m) * w[m];
+            const double right = (m > 0) ? (n - f - m) * w[m - 1] : 0.0;
+            w[m] = (left + right) / (n - 1);
+        }
+    }
+    // Weight w[m] belongs to node jstart + (p - 1 - m).
+    out.firstNode = jstart;
+    for (int m = 0; m < p; ++m)
+        out.w[p - 1 - m] = w[m];
+    return out;
+}
+
+void
+Pppm::buildInfluence(const Vec3 &boxLength)
+{
+    const int nx = plan_.grid[0];
+    const int ny = plan_.grid[1];
+    const int nz = plan_.grid[2];
+    const double lengths[3] = {boxLength.x, boxLength.y, boxLength.z};
+
+    // Per-axis Euler-spline deconvolution factors |W(m)|^2.
+    const std::vector<double> samples = bsplineIntegerSamples(order_);
+    std::vector<double> denom[3];
+    for (int axis = 0; axis < 3; ++axis) {
+        const int n = plan_.grid[axis];
+        denom[axis].resize(n);
+        for (int m = 0; m < n; ++m) {
+            if (order_ == 1) {
+                denom[axis][m] = 1.0;
+                continue;
+            }
+            double real = 0.0;
+            double imag = 0.0;
+            for (int k = 1; k <= order_ - 1; ++k) {
+                const double weight = samples[k];
+                const double angle = 2.0 * M_PI * m * k / n;
+                real += weight * std::cos(angle);
+                imag += weight * std::sin(angle);
+            }
+            denom[axis][m] = real * real + imag * imag;
+        }
+    }
+
+    influence_.assign(size_t(nx) * ny * nz, 0.0);
+    kvec_.assign(size_t(nx) * ny * nz, Vec3{});
+    const double gsqInv4 = 1.0 / (4.0 * gEwald_ * gEwald_);
+    for (int mz = 0; mz < nz; ++mz) {
+        const int sz = mz <= nz / 2 ? mz : mz - nz;
+        for (int my = 0; my < ny; ++my) {
+            const int sy = my <= ny / 2 ? my : my - ny;
+            for (int mx = 0; mx < nx; ++mx) {
+                const int sx = mx <= nx / 2 ? mx : mx - nx;
+                const std::size_t idx =
+                    (static_cast<std::size_t>(mz) * ny + my) * nx + mx;
+                if (sx == 0 && sy == 0 && sz == 0)
+                    continue;
+                const Vec3 k{2.0 * M_PI * sx / lengths[0],
+                             2.0 * M_PI * sy / lengths[1],
+                             2.0 * M_PI * sz / lengths[2]};
+                const double ksq = k.normSq();
+                const double d =
+                    denom[0][mx] * denom[1][my] * denom[2][mz];
+                if (d < 1e-12)
+                    continue; // Nyquist-degenerate mode
+                kvec_[idx] = k;
+                influence_[idx] =
+                    4.0 * M_PI * std::exp(-ksq * gsqInv4) / (ksq * d);
+            }
+        }
+    }
+    setupBoxLength_ = boxLength;
+}
+
+void
+Pppm::setup(Simulation &sim)
+{
+    KspaceProblem problem;
+    problem.boxLength = sim.box.lengths();
+    problem.natoms = static_cast<long>(sim.atoms.nlocal());
+    problem.qqr2e = sim.units.qqr2e;
+    problem.cutoff = sim.pair ? sim.pair->cutoff() : sim.neighbor.cutoff;
+    problem.accuracy = accuracy_;
+    problem.order = order_;
+    double qsum = 0.0;
+    problem.qSqSum = 0.0;
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i) {
+        qsum += sim.atoms.q[i];
+        problem.qSqSum += sim.atoms.q[i] * sim.atoms.q[i];
+    }
+    if (std::fabs(qsum) > 1e-8 * std::sqrt(problem.qSqSum))
+        warn("pppm: system is not charge neutral");
+
+    plan_ = planKspace(problem);
+    gEwald_ = plan_.gEwald;
+    fft_ = std::make_unique<Fft3d>(plan_.grid[0], plan_.grid[1],
+                                   plan_.grid[2]);
+    rho_.assign(fft_->size(), Complex{});
+    for (auto &grid : field_)
+        grid.assign(fft_->size(), Complex{});
+    buildInfluence(sim.box.lengths());
+    inform("pppm: grid " + std::to_string(plan_.grid[0]) + "x" +
+           std::to_string(plan_.grid[1]) + "x" +
+           std::to_string(plan_.grid[2]) +
+           " g_ewald " + std::to_string(gEwald_));
+}
+
+void
+Pppm::compute(Simulation &sim)
+{
+    ensure(fft_ != nullptr, "pppm compute before setup");
+    resetAccumulators();
+    stats_ = Stats{};
+
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    const Vec3 len = sim.box.lengths();
+
+    // NPT dilates the box; refresh the influence function when it moved.
+    const Vec3 drift = len - setupBoxLength_;
+    if (std::fabs(drift.x) > 1e-3 * len.x ||
+        std::fabs(drift.y) > 1e-3 * len.y ||
+        std::fabs(drift.z) > 1e-3 * len.z) {
+        buildInfluence(len);
+    }
+
+    const int nx = plan_.grid[0];
+    const int ny = plan_.grid[1];
+    const int nz = plan_.grid[2];
+    const double invH[3] = {nx / len.x, ny / len.y, nz / len.z};
+
+    // Map atoms to mesh coordinates and cache stencil weights
+    // (the particle_map / make_rho steps of the GPU package).
+    std::vector<AxisWeights> wx(nlocal);
+    std::vector<AxisWeights> wy(nlocal);
+    std::vector<AxisWeights> wz(nlocal);
+    std::fill(rho_.begin(), rho_.end(), Complex{});
+    double qsqsum = 0.0;
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 pos = sim.box.wrap(atoms.x[i]);
+        wx[i] = weightsFor((pos.x - sim.box.lo().x) * invH[0]);
+        wy[i] = weightsFor((pos.y - sim.box.lo().y) * invH[1]);
+        wz[i] = weightsFor((pos.z - sim.box.lo().z) * invH[2]);
+        const double q = atoms.q[i];
+        qsqsum += q * q;
+        for (int c = 0; c < order_; ++c) {
+            const int gz = ((wz[i].firstNode + c) % nz + nz) % nz;
+            const double qz = q * wz[i].w[c];
+            for (int b = 0; b < order_; ++b) {
+                const int gy = ((wy[i].firstNode + b) % ny + ny) % ny;
+                const double qyz = qz * wy[i].w[b];
+                for (int a = 0; a < order_; ++a) {
+                    const int gx = ((wx[i].firstNode + a) % nx + nx) % nx;
+                    rho_[(static_cast<std::size_t>(gz) * ny + gy) * nx +
+                         gx] += qyz * wx[i].w[a];
+                }
+            }
+        }
+    }
+
+    fft_->forward(rho_);
+    ++stats_.fftCount;
+
+    const double qqr2e = sim.units.qqr2e;
+    const double volume = sim.box.volume();
+
+    // Energy and ik-differentiated field spectra.
+    const double fieldScale =
+        static_cast<double>(fft_->size()) / volume; // unnormalized inverse
+    for (std::size_t m = 0; m < influence_.size(); ++m) {
+        const Complex rhoK = rho_[m];
+        const double g = influence_[m];
+        if (g == 0.0) {
+            field_[0][m] = field_[1][m] = field_[2][m] = Complex{};
+            continue;
+        }
+        energy_ += 0.5 * qqr2e / volume * g * std::norm(rhoK);
+        const Complex phi = rhoK * (g * fieldScale);
+        const Complex minusI(0.0, -1.0);
+        field_[0][m] = minusI * kvec_[m].x * phi;
+        field_[1][m] = minusI * kvec_[m].y * phi;
+        field_[2][m] = minusI * kvec_[m].z * phi;
+    }
+
+    for (auto &grid : field_) {
+        fft_->inverse(grid);
+        ++stats_.fftCount;
+    }
+
+    // Interpolate fields back to the particles (the interp step).
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const double q = atoms.q[i];
+        if (q == 0.0)
+            continue;
+        Vec3 e{};
+        for (int c = 0; c < order_; ++c) {
+            const int gz = ((wz[i].firstNode + c) % nz + nz) % nz;
+            for (int b = 0; b < order_; ++b) {
+                const int gy = ((wy[i].firstNode + b) % ny + ny) % ny;
+                const double wyz = wz[i].w[c] * wy[i].w[b];
+                for (int a = 0; a < order_; ++a) {
+                    const int gx = ((wx[i].firstNode + a) % nx + nx) % nx;
+                    const double weight = wyz * wx[i].w[a];
+                    const std::size_t cell =
+                        (static_cast<std::size_t>(gz) * ny + gy) * nx + gx;
+                    e.x += weight * field_[0][cell].real();
+                    e.y += weight * field_[1][cell].real();
+                    e.z += weight * field_[2][cell].real();
+                }
+            }
+        }
+        atoms.f[i] += e * (q * qqr2e);
+    }
+
+    // Self-energy correction; virial via the 1/r homogeneity argument
+    // (documented in DESIGN.md).
+    energy_ -= qqr2e * gEwald_ / std::sqrt(M_PI) * qsqsum;
+    virial_ = energy_;
+    stats_.gridPoints = static_cast<long>(fft_->size());
+}
+
+} // namespace mdbench

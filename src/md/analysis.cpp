@@ -1,0 +1,89 @@
+#include "md/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/neighbor.h"
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+double
+Rdf::peakPosition() const
+{
+    if (g.empty())
+        return 0.0;
+    const auto it = std::max_element(g.begin(), g.end());
+    return r(static_cast<std::size_t>(it - g.begin()));
+}
+
+Rdf
+computeRdf(const Simulation &sim, double rMax, int bins)
+{
+    require(bins >= 2, "rdf needs at least two bins");
+    require(rMax > 0.0, "rdf range must be positive");
+    require(sim.isSetup(), "computeRdf needs a set-up simulation");
+    const NeighborList &list = sim.neighbor.list();
+    require(rMax <= list.buildCutoff + 1e-12,
+            "rdf range exceeds the neighbor-list cutoff");
+
+    Rdf rdf;
+    rdf.binWidth = rMax / bins;
+    rdf.g.assign(static_cast<std::size_t>(bins), 0.0);
+
+    const AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    // Each stored pair contributes to both atoms' shells.
+    const double perPair = list.full ? 1.0 : 2.0;
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const auto [begin, end] = list.range(i);
+        for (std::uint32_t k = begin; k < end; ++k) {
+            const double r =
+                (atoms.x[i] - atoms.x[list.neighbors[k]]).norm();
+            if (r >= rMax)
+                continue;
+            rdf.g[static_cast<std::size_t>(r / rdf.binWidth)] += perPair;
+        }
+    }
+
+    // Normalize by the ideal-gas shell population.
+    const double density =
+        static_cast<double>(nlocal) / sim.box.volume();
+    for (int b = 0; b < bins; ++b) {
+        const double rLo = b * rdf.binWidth;
+        const double rHi = rLo + rdf.binWidth;
+        const double shell =
+            4.0 / 3.0 * M_PI * (rHi * rHi * rHi - rLo * rLo * rLo);
+        rdf.g[b] /= static_cast<double>(nlocal) * density * shell;
+    }
+    return rdf;
+}
+
+MsdTracker::MsdTracker(const Simulation &sim)
+{
+    const std::size_t n = sim.atoms.nlocal();
+    lastWrapped_.resize(n);
+    displacement_.assign(n, Vec3{});
+    for (std::size_t i = 0; i < n; ++i)
+        lastWrapped_[i] = sim.box.wrap(sim.atoms.x[i]);
+}
+
+double
+MsdTracker::sample(const Simulation &sim)
+{
+    ensure(sim.atoms.nlocal() == lastWrapped_.size(),
+           "MsdTracker: atom count changed");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < lastWrapped_.size(); ++i) {
+        const Vec3 wrapped = sim.box.wrap(sim.atoms.x[i]);
+        displacement_[i] +=
+            sim.box.minimumImage(wrapped - lastWrapped_[i]);
+        lastWrapped_[i] = wrapped;
+        sum += displacement_[i].normSq();
+    }
+    msd_ = sum / static_cast<double>(lastWrapped_.size());
+    return msd_;
+}
+
+} // namespace mdbench

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Post-processing analyses over simulation snapshots: radial
+ * distribution function, mean-squared displacement, and temperature
+ * profiles — the "Compute system properties of interest" step (VIII)
+ * of the paper's Figure 1, exposed as a library for the examples.
+ */
+
+#ifndef MDBENCH_MD_ANALYSIS_H
+#define MDBENCH_MD_ANALYSIS_H
+
+#include <vector>
+
+#include "md/vec3.h"
+
+namespace mdbench {
+
+class Simulation;
+
+/** Radial distribution function g(r) histogram. */
+struct Rdf
+{
+    double binWidth = 0.0;
+    std::vector<double> g; ///< g(r) per bin, normalized to 1 at infinity
+
+    /** Center of bin @p i. */
+    double r(std::size_t i) const { return (i + 0.5) * binWidth; }
+
+    /** r of the highest-g bin (the first-shell peak for solids). */
+    double peakPosition() const;
+};
+
+/**
+ * Compute g(r) over the owned atoms out to @p rMax with @p bins bins.
+ * Uses the current neighbor list, so rMax must not exceed the list
+ * cutoff (cutoff + skin).
+ */
+Rdf computeRdf(const Simulation &sim, double rMax, int bins = 100);
+
+/**
+ * Tracks mean-squared displacement against a reference snapshot
+ * (LAMMPS `compute msd`). Displacements are accumulated from wrapped
+ * positions via minimum-image hops, so box wrapping does not corrupt
+ * the measurement as long as sample() is called at least once per
+ * half-box of motion.
+ */
+class MsdTracker
+{
+  public:
+    /** Capture the reference positions (owned atoms of @p sim). */
+    explicit MsdTracker(const Simulation &sim);
+
+    /** Accumulate motion since the last sample; returns current MSD. */
+    double sample(const Simulation &sim);
+
+    /** MSD at the last sample() call. */
+    double value() const { return msd_; }
+
+  private:
+    std::vector<Vec3> lastWrapped_;
+    std::vector<Vec3> displacement_;
+    double msd_ = 0.0;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_ANALYSIS_H

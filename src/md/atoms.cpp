@@ -1,0 +1,138 @@
+#include "md/atoms.h"
+
+#include "util/error.h"
+
+namespace mdbench {
+
+void
+AtomStore::reserve(std::size_t n)
+{
+    x.reserve(n);
+    v.reserve(n);
+    f.reserve(n);
+    omega.reserve(n);
+    torque.reserve(n);
+    q.reserve(n);
+    type.reserve(n);
+    tag.reserve(n);
+    molecule.reserve(n);
+    ghostOf.reserve(n);
+}
+
+std::size_t
+AtomStore::addAtom(std::int64_t atom_tag, int atom_type, const Vec3 &pos)
+{
+    ensure(nghost() == 0, "cannot add owned atoms while ghosts exist");
+    x.push_back(pos);
+    v.push_back({});
+    f.push_back({});
+    omega.push_back({});
+    torque.push_back({});
+    q.push_back(0.0);
+    type.push_back(atom_type);
+    tag.push_back(atom_tag);
+    molecule.push_back(0);
+    ghostOf.push_back(-1);
+    return nlocal_++;
+}
+
+void
+AtomStore::clearGhosts()
+{
+    x.resize(nlocal_);
+    v.resize(nlocal_);
+    f.resize(nlocal_);
+    omega.resize(nlocal_);
+    torque.resize(nlocal_);
+    q.resize(nlocal_);
+    type.resize(nlocal_);
+    tag.resize(nlocal_);
+    molecule.resize(nlocal_);
+    ghostOf.resize(nlocal_);
+}
+
+std::size_t
+AtomStore::addGhost(std::size_t src, const Vec3 &shift)
+{
+    ensure(src < nall(), "ghost source out of range");
+    x.push_back(x[src] + shift);
+    v.push_back(v[src]);
+    f.push_back({});
+    omega.push_back(omega[src]);
+    torque.push_back({});
+    q.push_back(q[src]);
+    type.push_back(type[src]);
+    tag.push_back(tag[src]);
+    molecule.push_back(molecule[src]);
+    // Chase ghost-of-ghost chains back to the owner.
+    const std::int32_t owner =
+        ghostOf[src] >= 0 ? ghostOf[src] : static_cast<std::int32_t>(src);
+    ghostOf.push_back(owner);
+    return x.size() - 1;
+}
+
+std::size_t
+AtomStore::addGhostFrom(const AtomStore &src, std::size_t i,
+                        const Vec3 &shift)
+{
+    ensure(i < src.nall(), "ghost source out of range");
+    x.push_back(src.x[i] + shift);
+    v.push_back(src.v[i]);
+    f.push_back({});
+    omega.push_back(src.omega[i]);
+    torque.push_back({});
+    q.push_back(src.q[i]);
+    type.push_back(src.type[i]);
+    tag.push_back(src.tag[i]);
+    molecule.push_back(src.molecule[i]);
+    ghostOf.push_back(-1);
+    return x.size() - 1;
+}
+
+void
+AtomStore::removeAtom(std::size_t i)
+{
+    ensure(nghost() == 0, "cannot remove owned atoms while ghosts exist");
+    ensure(i < nlocal_, "removeAtom index out of range");
+    const std::size_t last = nlocal_ - 1;
+    x[i] = x[last];
+    v[i] = v[last];
+    f[i] = f[last];
+    omega[i] = omega[last];
+    torque[i] = torque[last];
+    q[i] = q[last];
+    type[i] = type[last];
+    tag[i] = tag[last];
+    molecule[i] = molecule[last];
+    ghostOf[i] = ghostOf[last];
+    x.pop_back();
+    v.pop_back();
+    f.pop_back();
+    omega.pop_back();
+    torque.pop_back();
+    q.pop_back();
+    type.pop_back();
+    tag.pop_back();
+    molecule.pop_back();
+    ghostOf.pop_back();
+    --nlocal_;
+}
+
+void
+AtomStore::zeroForces()
+{
+    for (auto &fi : f)
+        fi = {};
+    for (auto &ti : torque)
+        ti = {};
+}
+
+void
+AtomStore::setNumTypes(int n)
+{
+    require(n >= 1, "need at least one atom type");
+    if (typeParams.size() < static_cast<std::size_t>(n) + 1)
+        typeParams.resize(static_cast<std::size_t>(n) + 1);
+}
+
+} // namespace mdbench

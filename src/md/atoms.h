@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Structure-of-arrays atom storage.
+ *
+ * Owned (local) atoms occupy indices [0, nlocal); ghost copies (periodic
+ * images in serial runs, halo atoms in decomposed runs) occupy
+ * [nlocal, nlocal + nghost). Per-atom arrays always have
+ * nlocal + nghost entries.
+ */
+
+#ifndef MDBENCH_MD_ATOMS_H
+#define MDBENCH_MD_ATOMS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/** Per-type static properties. */
+struct AtomTypeParams
+{
+    double mass = 1.0;
+    double radius = 0.5; ///< particle radius (granular styles)
+};
+
+/**
+ * SoA container for per-atom state.
+ */
+class AtomStore
+{
+  public:
+    /** Reserve capacity for @p n owned atoms. */
+    void reserve(std::size_t n);
+
+    /**
+     * Append an owned atom. Must not be called while ghosts exist.
+     *
+     * @param tag   Globally unique 1-based atom id (stable across ranks).
+     * @param type  1-based atom type.
+     * @param pos   Initial position.
+     * @return local index of the new atom.
+     */
+    std::size_t addAtom(std::int64_t tag, int type, const Vec3 &pos);
+
+    /** Number of owned atoms. */
+    std::size_t nlocal() const { return nlocal_; }
+
+    /** Number of ghost atoms. */
+    std::size_t nghost() const { return x.size() - nlocal_; }
+
+    /** Owned + ghost count. */
+    std::size_t nall() const { return x.size(); }
+
+    /** Drop all ghost atoms (keeps owned atoms intact). */
+    void clearGhosts();
+
+    /**
+     * Append a ghost copy of atom @p src displaced by @p shift.
+     * Copies tag/type/charge/molecule; velocity is copied as well (granular
+     * styles need ghost velocities).
+     * @return index of the ghost.
+     */
+    std::size_t addGhost(std::size_t src, const Vec3 &shift);
+
+    /**
+     * Append a ghost copied from another store (cross-rank halo).
+     * ghostOf is set to -1: the owner lives in a different store and is
+     * tracked by the communication layer instead.
+     * @return index of the ghost.
+     */
+    std::size_t addGhostFrom(const AtomStore &src, std::size_t i,
+                             const Vec3 &shift);
+
+    /** Remove owned atom @p i by swapping the last owned atom into it. */
+    void removeAtom(std::size_t i);
+
+    /** Zero the force accumulators of all owned and ghost atoms. */
+    void zeroForces();
+
+    // Per-atom state, indexable by [0, nall()).
+    std::vector<Vec3> x;               ///< positions
+    std::vector<Vec3> v;               ///< velocities
+    std::vector<Vec3> f;               ///< force accumulators
+    std::vector<Vec3> omega;           ///< angular velocities (granular)
+    std::vector<Vec3> torque;          ///< torque accumulators (granular)
+    std::vector<double> q;             ///< charges
+    std::vector<int> type;             ///< 1-based type ids
+    std::vector<std::int64_t> tag;     ///< global ids (1-based)
+    std::vector<std::int64_t> molecule; ///< molecule ids (0 = none)
+    std::vector<std::int32_t> ghostOf; ///< owner index for ghosts, -1 for owned
+
+    /** Per-type parameters; index 0 unused (types are 1-based). */
+    std::vector<AtomTypeParams> typeParams;
+
+    /** Mass of atom @p i via its type. */
+    double massOf(std::size_t i) const { return typeParams[type[i]].mass; }
+
+    /** Define types 1..n with unit mass (idempotent growth). */
+    void setNumTypes(int n);
+
+  private:
+    std::size_t nlocal_ = 0;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_ATOMS_H

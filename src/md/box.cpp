@@ -1,0 +1,72 @@
+#include "md/box.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+Box::Box(const Vec3 &lo, const Vec3 &hi) : lo_(lo), hi_(hi)
+{
+    require(hi.x > lo.x && hi.y > lo.y && hi.z > lo.z,
+            "box upper corner must exceed lower corner");
+}
+
+void
+Box::setPeriodic(bool px, bool py, bool pz)
+{
+    periodic_ = {px, py, pz};
+}
+
+double
+Box::volume() const
+{
+    const Vec3 len = lengths();
+    return len.x * len.y * len.z;
+}
+
+Vec3
+Box::wrap(const Vec3 &pos) const
+{
+    Vec3 out = pos;
+    const Vec3 len = lengths();
+    if (periodic_[0])
+        out.x -= len.x * std::floor((out.x - lo_.x) / len.x);
+    if (periodic_[1])
+        out.y -= len.y * std::floor((out.y - lo_.y) / len.y);
+    if (periodic_[2])
+        out.z -= len.z * std::floor((out.z - lo_.z) / len.z);
+    return out;
+}
+
+Vec3
+Box::minimumImage(const Vec3 &delta) const
+{
+    Vec3 out = delta;
+    const Vec3 len = lengths();
+    if (periodic_[0])
+        out.x -= len.x * std::round(out.x / len.x);
+    if (periodic_[1])
+        out.y -= len.y * std::round(out.y / len.y);
+    if (periodic_[2])
+        out.z -= len.z * std::round(out.z / len.z);
+    return out;
+}
+
+void
+Box::dilate(double factor)
+{
+    require(factor > 0.0, "box dilation factor must be positive");
+    const Vec3 center = (lo_ + hi_) * 0.5;
+    lo_ = center + (lo_ - center) * factor;
+    hi_ = center + (hi_ - center) * factor;
+}
+
+bool
+Box::contains(const Vec3 &pos) const
+{
+    return pos.x >= lo_.x && pos.x < hi_.x && pos.y >= lo_.y &&
+           pos.y < hi_.y && pos.z >= lo_.z && pos.z < hi_.z;
+}
+
+} // namespace mdbench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Orthogonal simulation box with per-axis periodic boundary conditions.
+ */
+
+#ifndef MDBENCH_MD_BOX_H
+#define MDBENCH_MD_BOX_H
+
+#include <array>
+
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/**
+ * An axis-aligned simulation box.
+ *
+ * Each axis is independently periodic or fixed (fixed axes are used by the
+ * Chute experiment, which has a wall at the bottom of the z axis).
+ */
+class Box
+{
+  public:
+    Box() = default;
+
+    /** Construct from lower and upper corners, fully periodic. */
+    Box(const Vec3 &lo, const Vec3 &hi);
+
+    /** Set periodicity per axis. */
+    void setPeriodic(bool px, bool py, bool pz);
+
+    const Vec3 &lo() const { return lo_; }
+    const Vec3 &hi() const { return hi_; }
+
+    /** Edge lengths. */
+    Vec3 lengths() const { return hi_ - lo_; }
+
+    /** Box volume. */
+    double volume() const;
+
+    /** Whether axis @p axis (0..2) is periodic. */
+    bool periodic(int axis) const { return periodic_[axis]; }
+
+    /**
+     * Wrap @p pos into the primary cell along periodic axes.
+     * Non-periodic axes are left untouched.
+     */
+    Vec3 wrap(const Vec3 &pos) const;
+
+    /**
+     * Minimum-image displacement @p a - @p b.
+     * Assumes each box edge exceeds twice the interaction range.
+     */
+    Vec3 minimumImage(const Vec3 &delta) const;
+
+    /** Rescale the box isotropically about its center by @p factor. */
+    void dilate(double factor);
+
+    /** True if @p pos lies inside the box (half-open on the high side). */
+    bool contains(const Vec3 &pos) const;
+
+  private:
+    Vec3 lo_{0, 0, 0};
+    Vec3 hi_{1, 1, 1};
+    std::array<bool, 3> periodic_{true, true, true};
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_BOX_H

@@ -1,0 +1,125 @@
+#include "md/comm.h"
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+void
+SerialComm::exchange(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    atoms.clearGhosts();
+    ghosts_.clear();
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+        atoms.x[i] = sim.box.wrap(atoms.x[i]);
+}
+
+void
+SerialComm::borders(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const Box &box = sim.box;
+    const double cut = sim.commCutoff();
+    ghostCutoff_ = cut;
+    const Vec3 len = box.lengths();
+    require((!box.periodic(0) || len.x > 2.0 * cut) &&
+                (!box.periodic(1) || len.y > 2.0 * cut) &&
+                (!box.periodic(2) || len.z > 2.0 * cut),
+            "box too small for the communication cutoff (needs > 2x)");
+
+    atoms.clearGhosts();
+    ghosts_.clear();
+
+    const std::size_t nlocal = atoms.nlocal();
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 &pos = atoms.x[i];
+        // Determine which periodic images of atom i fall within the ghost
+        // shell of the primary box: image code -1 shifts by +L (the atom
+        // near the low face appears beyond the high face) and vice versa.
+        std::int8_t codes[3][3];
+        int counts[3];
+        const double loDist[3] = {pos.x - box.lo().x, pos.y - box.lo().y,
+                                  pos.z - box.lo().z};
+        const double hiDist[3] = {box.hi().x - pos.x, box.hi().y - pos.y,
+                                  box.hi().z - pos.z};
+        for (int axis = 0; axis < 3; ++axis) {
+            counts[axis] = 0;
+            codes[axis][counts[axis]++] = 0;
+            if (box.periodic(axis)) {
+                if (loDist[axis] < cut)
+                    codes[axis][counts[axis]++] = 1;  // shift +L
+                if (hiDist[axis] < cut)
+                    codes[axis][counts[axis]++] = -1; // shift -L
+            }
+        }
+        for (int a = 0; a < counts[0]; ++a) {
+            for (int b = 0; b < counts[1]; ++b) {
+                for (int c = 0; c < counts[2]; ++c) {
+                    if (!codes[0][a] && !codes[1][b] && !codes[2][c])
+                        continue;
+                    const Vec3 shift{codes[0][a] * len.x,
+                                     codes[1][b] * len.y,
+                                     codes[2][c] * len.z};
+                    atoms.addGhost(i, shift);
+                    ghosts_.push_back({static_cast<std::uint32_t>(i),
+                                       {codes[0][a], codes[1][b],
+                                        codes[2][c]}});
+                }
+            }
+        }
+    }
+}
+
+void
+SerialComm::forwardPositions(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const Vec3 len = sim.box.lengths();
+    const std::size_t nlocal = atoms.nlocal();
+    ensure(atoms.nghost() == ghosts_.size(), "ghost bookkeeping out of sync");
+    for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+        const GhostRecord &rec = ghosts_[g];
+        const Vec3 shift{rec.image[0] * len.x, rec.image[1] * len.y,
+                         rec.image[2] * len.z};
+        atoms.x[nlocal + g] = atoms.x[rec.owner] + shift;
+        atoms.v[nlocal + g] = atoms.v[rec.owner];
+    }
+}
+
+void
+SerialComm::reverseForces(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+        atoms.f[ghosts_[g].owner] += atoms.f[nlocal + g];
+        atoms.torque[ghosts_[g].owner] += atoms.torque[nlocal + g];
+        atoms.f[nlocal + g] = {};
+        atoms.torque[nlocal + g] = {};
+    }
+}
+
+void
+SerialComm::forwardScalar(Simulation &sim, std::vector<double> &values)
+{
+    const std::size_t nlocal = sim.atoms.nlocal();
+    ensure(values.size() >= nlocal + ghosts_.size(),
+           "scalar array smaller than atom count");
+    for (std::size_t g = 0; g < ghosts_.size(); ++g)
+        values[nlocal + g] = values[ghosts_[g].owner];
+}
+
+void
+SerialComm::reverseScalar(Simulation &sim, std::vector<double> &values)
+{
+    const std::size_t nlocal = sim.atoms.nlocal();
+    ensure(values.size() >= nlocal + ghosts_.size(),
+           "scalar array smaller than atom count");
+    for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+        values[ghosts_[g].owner] += values[nlocal + g];
+        values[nlocal + g] = 0.0;
+    }
+}
+
+} // namespace mdbench

@@ -1,0 +1,42 @@
+#include "md/dump.h"
+
+#include <fstream>
+
+#include "md/simulation.h"
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace mdbench {
+
+void
+writeXyzFrame(std::ostream &os, const Simulation &sim)
+{
+    const AtomStore &atoms = sim.atoms;
+    const Vec3 len = sim.box.lengths();
+    os << atoms.nlocal() << '\n';
+    os << strprintf("Lattice=\"%g 0 0 0 %g 0 0 0 %g\" "
+                    "Properties=species:S:1:pos:R:3 step=%ld\n",
+                    len.x, len.y, len.z, sim.step);
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const Vec3 pos = sim.box.wrap(atoms.x[i]);
+        os << strprintf("T%d %.8g %.8g %.8g\n", atoms.type[i], pos.x,
+                        pos.y, pos.z);
+    }
+}
+
+XyzDump::XyzDump(std::string path) : path_(std::move(path))
+{
+    std::ofstream file(path_, std::ios::trunc);
+    require(file.good(), "cannot open dump file: " + path_);
+}
+
+long
+XyzDump::write(const Simulation &sim)
+{
+    std::ofstream file(path_, std::ios::app);
+    require(file.good(), "cannot append to dump file: " + path_);
+    writeXyzFrame(file, sim);
+    return ++frames_;
+}
+
+} // namespace mdbench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trajectory output (the "Output" task of Table 1): an extended-XYZ
+ * writer usable with common visualization tools (OVITO, VMD, ASE).
+ */
+
+#ifndef MDBENCH_MD_DUMP_H
+#define MDBENCH_MD_DUMP_H
+
+#include <ostream>
+#include <string>
+
+namespace mdbench {
+
+class Simulation;
+
+/**
+ * Write one extended-XYZ frame of the owned atoms of @p sim.
+ *
+ * The comment line carries the step number and the orthogonal box as a
+ * `Lattice="..."` attribute; atom lines are `T<type> x y z`.
+ */
+void writeXyzFrame(std::ostream &os, const Simulation &sim);
+
+/**
+ * Appending frame writer bound to a file path.
+ */
+class XyzDump
+{
+  public:
+    /** Truncates @p path on construction. */
+    explicit XyzDump(std::string path);
+
+    /** Append the current frame of @p sim; returns frames written. */
+    long write(const Simulation &sim);
+
+    long frames() const { return frames_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    long frames_ = 0;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_DUMP_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fix base class: operations applied to atoms at fixed points of the
+ * timestep (paper Table 1, "Modify" task).
+ *
+ * The hook order within one timestep is:
+ *   preIntegrate -> initialIntegrate -> [forces] -> postForce
+ *   -> finalIntegrate -> endOfStep
+ */
+
+#ifndef MDBENCH_MD_FIX_H
+#define MDBENCH_MD_FIX_H
+
+#include <string>
+
+namespace mdbench {
+
+class Simulation;
+
+/**
+ * Base class for all fixes (integrators, thermostats, constraints, walls).
+ */
+class Fix
+{
+  public:
+    virtual ~Fix() = default;
+
+    /** Short identifier, e.g. "nve" or "shake". */
+    virtual std::string name() const = 0;
+
+    /** Called once before the first timestep of a run. */
+    virtual void setup(Simulation &) {}
+
+    /** Called before any integration of the step (state capture). */
+    virtual void preIntegrate(Simulation &) {}
+
+    /** First Verlet half-kick + drift. */
+    virtual void initialIntegrate(Simulation &) {}
+
+    /** Extra forces after the force computation (thermostats, gravity). */
+    virtual void postForce(Simulation &) {}
+
+    /** Second Verlet half-kick. */
+    virtual void finalIntegrate(Simulation &) {}
+
+    /** Housekeeping at the very end of the step. */
+    virtual void endOfStep(Simulation &) {}
+
+    /** Degrees of freedom removed by this fix (e.g. SHAKE constraints). */
+    virtual long removedDof(const Simulation &) const { return 0; }
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_H

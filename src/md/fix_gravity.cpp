@@ -1,0 +1,35 @@
+#include "md/fix_gravity.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+FixGravity::FixGravity(double magnitude, const Vec3 &direction)
+{
+    const double norm = direction.norm();
+    require(norm > 0.0, "gravity direction must be nonzero");
+    g_ = direction * (magnitude / norm);
+}
+
+FixGravity
+FixGravity::chute(double magnitude, double degrees)
+{
+    // LAMMPS `fix gravity chute` tilts gravity toward +x by the chute
+    // angle measured from the vertical.
+    const double rad = degrees * M_PI / 180.0;
+    return FixGravity(magnitude, {std::sin(rad), 0.0, -std::cos(rad)});
+}
+
+void
+FixGravity::postForce(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const double invFtm2v = 1.0 / sim.units.ftm2v;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+        atoms.f[i] += g_ * (atoms.massOf(i) * invFtm2v);
+}
+
+} // namespace mdbench

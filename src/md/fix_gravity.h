@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Constant gravitational acceleration (LAMMPS `fix gravity`), used by the
+ * Chute workload with the acceleration vector tilted at the chute angle.
+ */
+
+#ifndef MDBENCH_MD_FIX_GRAVITY_H
+#define MDBENCH_MD_FIX_GRAVITY_H
+
+#include "md/fix.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/** Applies F = m g along a fixed direction every step. */
+class FixGravity : public Fix
+{
+  public:
+    /**
+     * @param magnitude Gravitational acceleration (velocity/time units).
+     * @param direction Unit-ish direction vector (normalized internally).
+     */
+    FixGravity(double magnitude, const Vec3 &direction);
+
+    /** Chute-style gravity: magnitude 1, tilted by @p degrees around y. */
+    static FixGravity chute(double magnitude, double degrees);
+
+    std::string name() const override { return "gravity"; }
+    void postForce(Simulation &sim) override;
+
+    /** The applied acceleration vector. */
+    const Vec3 &acceleration() const { return g_; }
+
+  private:
+    Vec3 g_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_GRAVITY_H

@@ -1,0 +1,38 @@
+#include "md/fix_langevin.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+FixLangevin::FixLangevin(double target, double damp, std::uint64_t seed)
+    : target_(target), damp_(damp), rng_(seed)
+{
+    require(target > 0.0, "langevin target temperature must be positive");
+    require(damp > 0.0, "langevin damping time must be positive");
+}
+
+void
+FixLangevin::postForce(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const Units &units = sim.units;
+    const double dt = sim.dt;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double m = atoms.massOf(i);
+        // Friction force chosen so that dv/dt = -v / damp.
+        const double gamma = m / (units.ftm2v * damp_);
+        // Fluctuation: per-step velocity kick with variance
+        // 2 kB T dt ftm2v / (m damp), expressed as a force.
+        const double sigmaDv = std::sqrt(
+            2.0 * units.boltz * target_ * dt * units.ftm2v / (m * damp_));
+        const double fr = sigmaDv * m / (units.ftm2v * dt);
+        atoms.f[i] += Vec3{-gamma * atoms.v[i].x + fr * rng_.gaussian(),
+                           -gamma * atoms.v[i].y + fr * rng_.gaussian(),
+                           -gamma * atoms.v[i].z + fr * rng_.gaussian()};
+    }
+}
+
+} // namespace mdbench

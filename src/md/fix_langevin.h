@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Langevin thermostat (LAMMPS `fix langevin`), used by the Chain workload.
+ */
+
+#ifndef MDBENCH_MD_FIX_LANGEVIN_H
+#define MDBENCH_MD_FIX_LANGEVIN_H
+
+#include "md/fix.h"
+#include "util/rng.h"
+
+namespace mdbench {
+
+/**
+ * Adds friction -(m / damp) v and the matching fluctuation force so the
+ * system samples the canonical ensemble at the target temperature.
+ */
+class FixLangevin : public Fix
+{
+  public:
+    /**
+     * @param target Target temperature.
+     * @param damp   Relaxation time of the friction (time units).
+     * @param seed   RNG seed for the stochastic kicks.
+     */
+    FixLangevin(double target, double damp, std::uint64_t seed);
+
+    std::string name() const override { return "langevin"; }
+    void postForce(Simulation &sim) override;
+
+  private:
+    double target_;
+    double damp_;
+    Rng rng_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_LANGEVIN_H

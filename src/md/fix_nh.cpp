@@ -1,0 +1,109 @@
+#include "md/fix_nh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+FixNVT::FixNVT(double target, double tdamp) : tTarget_(target), tdamp_(tdamp)
+{
+    require(target > 0.0, "nvt target temperature must be positive");
+    require(tdamp > 0.0, "nvt damping time must be positive");
+}
+
+void
+FixNVT::thermostatHalfStep(Simulation &sim)
+{
+    const double tCurrent = sim.temperature();
+    const double halfDt = 0.5 * sim.dt;
+    // Nose-Hoover: d(etaDot)/dt = (T/T0 - 1) / tdamp^2.
+    etaDot_ += halfDt * (tCurrent / tTarget_ - 1.0) / (tdamp_ * tdamp_);
+    const double scale = std::exp(-halfDt * etaDot_);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.v[i] *= scale;
+}
+
+void
+FixNVT::initialIntegrate(Simulation &sim)
+{
+    thermostatHalfStep(sim);
+    AtomStore &atoms = sim.atoms;
+    const double dt = sim.dt;
+    const double half = 0.5 * dt * sim.units.ftm2v;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double dtfm = half / atoms.massOf(i);
+        atoms.v[i] += atoms.f[i] * dtfm;
+        atoms.x[i] += atoms.v[i] * dt;
+    }
+}
+
+void
+FixNVT::finalIntegrate(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const double half = 0.5 * sim.dt * sim.units.ftm2v;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double dtfm = half / atoms.massOf(i);
+        atoms.v[i] += atoms.f[i] * dtfm;
+    }
+    thermostatHalfStep(sim);
+}
+
+FixNPT::FixNPT(double tTarget, double tdamp, double pTarget, double pdamp)
+    : FixNVT(tTarget, tdamp), pTarget_(pTarget), pdamp_(pdamp)
+{
+    require(pdamp > 0.0, "npt pressure damping time must be positive");
+}
+
+void
+FixNPT::barostatHalfStep(Simulation &sim)
+{
+    const double pCurrent = sim.pressure();
+    const double halfDt = 0.5 * sim.dt;
+    // Strain-rate relaxation toward the pressure setpoint. The reference
+    // pressure scale k T N / V keeps the rate dimensionless across unit
+    // systems.
+    const double nkt = sim.units.boltz * tTarget_ *
+                       static_cast<double>(sim.atoms.nlocal()) *
+                       sim.units.nktv2p / sim.box.volume();
+    const double scale = nkt > 0.0 ? nkt : 1.0;
+    omegaDot_ += halfDt * (pCurrent - pTarget_) / (scale * pdamp_ * pdamp_);
+    // Keep the barostat from running away on rough pressure estimates.
+    const double cap = 0.1 / pdamp_;
+    omegaDot_ = std::clamp(omegaDot_, -cap, cap);
+}
+
+void
+FixNPT::dilate(Simulation &sim)
+{
+    const double factor = std::exp(sim.dt * omegaDot_);
+    // Box::dilate scales about the box center, so positions must too.
+    const Vec3 center = (sim.box.lo() + sim.box.hi()) * 0.5;
+    sim.box.dilate(factor);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.x[i] = center + (sim.atoms.x[i] - center) * factor;
+    // Counter-scaling of velocities preserves the phase-space measure.
+    const double vScale = std::exp(-sim.dt * omegaDot_);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.v[i] *= vScale;
+}
+
+void
+FixNPT::initialIntegrate(Simulation &sim)
+{
+    barostatHalfStep(sim);
+    dilate(sim);
+    FixNVT::initialIntegrate(sim);
+}
+
+void
+FixNPT::finalIntegrate(Simulation &sim)
+{
+    FixNVT::finalIntegrate(sim);
+    barostatHalfStep(sim);
+}
+
+} // namespace mdbench

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Nose-Hoover style thermostat and isotropic barostat
+ * (LAMMPS `fix nvt` / `fix npt`), used by the Rhodopsin workload.
+ *
+ * The implementation is a single-chain Nose-Hoover thermostat combined
+ * with an isotropic Berendsen-like barostat integrated with the same
+ * exponential scalings as MTK but without the full chain; this keeps the
+ * dynamics stable and relaxing to the setpoints, which is what the
+ * characterization workload requires.
+ */
+
+#ifndef MDBENCH_MD_FIX_NH_H
+#define MDBENCH_MD_FIX_NH_H
+
+#include "md/fix.h"
+
+namespace mdbench {
+
+/** Nose-Hoover NVT thermostat. */
+class FixNVT : public Fix
+{
+  public:
+    /**
+     * @param target Target temperature.
+     * @param tdamp  Thermostat relaxation time.
+     */
+    FixNVT(double target, double tdamp);
+
+    std::string name() const override { return "nvt"; }
+    void initialIntegrate(Simulation &sim) override;
+    void finalIntegrate(Simulation &sim) override;
+
+    /** Current thermostat velocity (for tests). */
+    double etaDot() const { return etaDot_; }
+
+  protected:
+    /** Advance the thermostat a half step and scale velocities. */
+    void thermostatHalfStep(Simulation &sim);
+
+    double tTarget_;
+    double tdamp_;
+    double etaDot_ = 0.0;
+};
+
+/** Nose-Hoover thermostat plus isotropic pressure control. */
+class FixNPT : public FixNVT
+{
+  public:
+    /**
+     * @param tTarget Target temperature.
+     * @param tdamp   Thermostat relaxation time.
+     * @param pTarget Target pressure.
+     * @param pdamp   Barostat relaxation time.
+     */
+    FixNPT(double tTarget, double tdamp, double pTarget, double pdamp);
+
+    std::string name() const override { return "npt"; }
+    void initialIntegrate(Simulation &sim) override;
+    void finalIntegrate(Simulation &sim) override;
+
+    /** Current barostat strain rate (for tests). */
+    double omegaDot() const { return omegaDot_; }
+
+  private:
+    void barostatHalfStep(Simulation &sim);
+    void dilate(Simulation &sim);
+
+    double pTarget_;
+    double pdamp_;
+    double omegaDot_ = 0.0;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_NH_H

@@ -1,0 +1,59 @@
+#include "md/fix_nve.h"
+
+#include "md/simulation.h"
+
+namespace mdbench {
+
+void
+FixNVE::initialIntegrate(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const double dt = sim.dt;
+    const double half = 0.5 * dt * sim.units.ftm2v;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double dtfm = half / atoms.massOf(i);
+        atoms.v[i] += atoms.f[i] * dtfm;
+        atoms.x[i] += atoms.v[i] * dt;
+    }
+}
+
+void
+FixNVE::finalIntegrate(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const double half = 0.5 * sim.dt * sim.units.ftm2v;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double dtfm = half / atoms.massOf(i);
+        atoms.v[i] += atoms.f[i] * dtfm;
+    }
+}
+
+void
+FixNVESphere::integrateRotation(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const double half = 0.5 * sim.dt * sim.units.ftm2v;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const auto &params = atoms.typeParams[atoms.type[i]];
+        // Solid-sphere moment of inertia I = (2/5) m r^2.
+        const double inertia =
+            0.4 * params.mass * params.radius * params.radius;
+        atoms.omega[i] += atoms.torque[i] * (half / inertia);
+    }
+}
+
+void
+FixNVESphere::initialIntegrate(Simulation &sim)
+{
+    FixNVE::initialIntegrate(sim);
+    integrateRotation(sim);
+}
+
+void
+FixNVESphere::finalIntegrate(Simulation &sim)
+{
+    FixNVE::finalIntegrate(sim);
+    integrateRotation(sim);
+}
+
+} // namespace mdbench

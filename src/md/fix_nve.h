@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Velocity-Verlet integrators: plain NVE and the spherical-particle
+ * variant used by the granular Chute workload.
+ */
+
+#ifndef MDBENCH_MD_FIX_NVE_H
+#define MDBENCH_MD_FIX_NVE_H
+
+#include "md/fix.h"
+
+namespace mdbench {
+
+/**
+ * Plain constant-NVE velocity-Verlet time integration (LAMMPS `fix nve`),
+ * the integrator of every benchmark except Rhodopsin.
+ */
+class FixNVE : public Fix
+{
+  public:
+    std::string name() const override { return "nve"; }
+    void initialIntegrate(Simulation &sim) override;
+    void finalIntegrate(Simulation &sim) override;
+};
+
+/**
+ * NVE integration for finite-size spheres: additionally integrates
+ * angular velocity from torque (LAMMPS `fix nve/sphere`).
+ */
+class FixNVESphere : public FixNVE
+{
+  public:
+    std::string name() const override { return "nve/sphere"; }
+    void initialIntegrate(Simulation &sim) override;
+    void finalIntegrate(Simulation &sim) override;
+
+  private:
+    void integrateRotation(Simulation &sim);
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_NVE_H

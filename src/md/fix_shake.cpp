@@ -1,0 +1,151 @@
+#include "md/fix_shake.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+FixShake::FixShake(double tolerance, int maxIterations)
+    : tolerance_(tolerance), maxIterations_(maxIterations)
+{
+    require(tolerance > 0.0, "shake tolerance must be positive");
+}
+
+void
+FixShake::setup(Simulation &sim)
+{
+    // Enforce the constraints on the initial configuration as well, so a
+    // slightly off-manifold builder output does not inject energy.
+    savedPos_ = sim.atoms.x;
+    solvePositions(sim);
+    solveVelocities(sim);
+}
+
+void
+FixShake::preIntegrate(Simulation &sim)
+{
+    savedPos_ = sim.atoms.x;
+}
+
+void
+FixShake::initialIntegrate(Simulation &sim)
+{
+    solvePositions(sim);
+}
+
+void
+FixShake::finalIntegrate(Simulation &sim)
+{
+    solveVelocities(sim);
+}
+
+long
+FixShake::removedDof(const Simulation &sim) const
+{
+    long n = 0;
+    for (const auto &cluster : sim.topology.shakeClusters)
+        n += static_cast<long>(cluster.constraints.size());
+    return n;
+}
+
+void
+FixShake::solvePositions(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const Topology &topo = sim.topology;
+    const double invDt = 1.0 / sim.dt;
+    maxResidual_ = 0.0;
+
+    for (const auto &cluster : topo.shakeClusters) {
+        // Resolve tags once per cluster.
+        std::vector<std::size_t> idx(cluster.tags.size());
+        bool owned = true;
+        for (std::size_t k = 0; k < cluster.tags.size(); ++k) {
+            const std::int64_t local = topo.indexOf(cluster.tags[k]);
+            ensure(local >= 0, "shake cluster atom not found");
+            idx[k] = static_cast<std::size_t>(local);
+            owned = owned && idx[k] < atoms.nlocal();
+        }
+        ensure(owned, "shake clusters must not span rank boundaries");
+
+        for (int iter = 0; iter < maxIterations_; ++iter) {
+            bool converged = true;
+            for (const auto &con : cluster.constraints) {
+                const std::size_t a = idx[con.i];
+                const std::size_t b = idx[con.j];
+                const double dsq = con.distance * con.distance;
+                const Vec3 rab = sim.box.minimumImage(atoms.x[a] -
+                                                      atoms.x[b]);
+                const double diff = rab.normSq() - dsq;
+                if (std::fabs(diff) <= tolerance_ * dsq)
+                    continue;
+                converged = false;
+                const Vec3 rabOld = sim.box.minimumImage(savedPos_[a] -
+                                                         savedPos_[b]);
+                const double invMa = 1.0 / atoms.massOf(a);
+                const double invMb = 1.0 / atoms.massOf(b);
+                const double denom =
+                    2.0 * (invMa + invMb) * rab.dot(rabOld);
+                ensure(std::fabs(denom) > 1e-12,
+                       "shake constraint degenerate (perpendicular drift)");
+                const double g = diff / denom;
+                const Vec3 dA = rabOld * (-g * invMa);
+                const Vec3 dB = rabOld * (g * invMb);
+                atoms.x[a] += dA;
+                atoms.x[b] += dB;
+                atoms.v[a] += dA * invDt;
+                atoms.v[b] += dB * invDt;
+            }
+            if (converged)
+                break;
+        }
+        for (const auto &con : cluster.constraints) {
+            const Vec3 rab = sim.box.minimumImage(
+                atoms.x[idx[con.i]] - atoms.x[idx[con.j]]);
+            const double dsq = con.distance * con.distance;
+            maxResidual_ = std::max(maxResidual_,
+                                    std::fabs(rab.normSq() - dsq) / dsq);
+        }
+    }
+}
+
+void
+FixShake::solveVelocities(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const Topology &topo = sim.topology;
+
+    for (const auto &cluster : topo.shakeClusters) {
+        std::vector<std::size_t> idx(cluster.tags.size());
+        for (std::size_t k = 0; k < cluster.tags.size(); ++k) {
+            const std::int64_t local = topo.indexOf(cluster.tags[k]);
+            ensure(local >= 0, "shake cluster atom not found");
+            idx[k] = static_cast<std::size_t>(local);
+        }
+        for (int iter = 0; iter < maxIterations_; ++iter) {
+            bool converged = true;
+            for (const auto &con : cluster.constraints) {
+                const std::size_t a = idx[con.i];
+                const std::size_t b = idx[con.j];
+                const Vec3 rab = sim.box.minimumImage(atoms.x[a] -
+                                                      atoms.x[b]);
+                const Vec3 vab = atoms.v[a] - atoms.v[b];
+                const double invMa = 1.0 / atoms.massOf(a);
+                const double invMb = 1.0 / atoms.massOf(b);
+                const double k =
+                    rab.dot(vab) / (rab.normSq() * (invMa + invMb));
+                if (std::fabs(k) <= tolerance_)
+                    continue;
+                converged = false;
+                atoms.v[a] -= rab * (k * invMa);
+                atoms.v[b] += rab * (k * invMb);
+            }
+            if (converged)
+                break;
+        }
+    }
+}
+
+} // namespace mdbench

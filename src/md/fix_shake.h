@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SHAKE/RATTLE holonomic constraints (LAMMPS `fix shake`), used by the
+ * Rhodopsin workload to keep solvent molecules rigid.
+ *
+ * After the unconstrained position update, SHAKE iteratively projects the
+ * positions of each cluster back onto the constraint manifold; after the
+ * final velocity update, RATTLE removes velocity components along the
+ * constrained directions.
+ */
+
+#ifndef MDBENCH_MD_FIX_SHAKE_H
+#define MDBENCH_MD_FIX_SHAKE_H
+
+#include <vector>
+
+#include "md/fix.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/**
+ * Constrains the clusters listed in Topology::shakeClusters.
+ *
+ * This fix must be added *after* the integrator fix so that its
+ * initialIntegrate() hook sees the already-drifted positions.
+ */
+class FixShake : public Fix
+{
+  public:
+    /**
+     * @param tolerance Relative tolerance on squared distances.
+     * @param maxIterations Iteration cap per cluster per step.
+     */
+    explicit FixShake(double tolerance = 1e-8, int maxIterations = 100);
+
+    std::string name() const override { return "shake"; }
+    void setup(Simulation &sim) override;
+    void preIntegrate(Simulation &sim) override;
+    void initialIntegrate(Simulation &sim) override;
+    void finalIntegrate(Simulation &sim) override;
+    long removedDof(const Simulation &sim) const override;
+
+    /** Largest relative constraint violation after the last solve. */
+    double maxResidual() const { return maxResidual_; }
+
+  private:
+    void solvePositions(Simulation &sim);
+    void solveVelocities(Simulation &sim);
+
+    double tolerance_;
+    int maxIterations_;
+    double maxResidual_ = 0.0;
+    /** Positions before the drift, indexed like the atom store. */
+    std::vector<Vec3> savedPos_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_SHAKE_H

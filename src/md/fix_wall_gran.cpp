@@ -1,0 +1,67 @@
+#include "md/fix_wall_gran.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+FixWallGran::FixWallGran(double z0, double kn, double kt, double gamman,
+                         double gammat, double xmu)
+    : z0_(z0), kn_(kn), kt_(kt), gamman_(gamman), gammat_(gammat), xmu_(xmu)
+{
+    require(kn > 0.0, "wall normal stiffness must be positive");
+}
+
+void
+FixWallGran::postForce(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const double dt = sim.dt;
+
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double radius = atoms.typeParams[atoms.type[i]].radius;
+        const double gap = atoms.x[i].z - z0_;
+        const double overlap = radius - gap;
+        if (overlap <= 0.0) {
+            history_.erase(atoms.tag[i]);
+            continue;
+        }
+
+        // Relative velocity of the contact point on the sphere surface
+        // against the static wall: v + omega x r_c with r_c = -R z_hat.
+        const Vec3 &v = atoms.v[i];
+        const Vec3 &omega = atoms.omega[i];
+        const Vec3 contactVel{v.x - omega.y * radius, v.y + omega.x * radius,
+                              v.z};
+        const double vn = contactVel.z;
+        const Vec3 vt{contactVel.x, contactVel.y, 0.0};
+
+        // Hookean normal force with velocity damping.
+        const double m = atoms.massOf(i);
+        const double fn = kn_ * overlap - gamman_ * m * vn;
+
+        // Tangential spring on the accumulated shear displacement.
+        Vec3 &shear = history_[atoms.tag[i]];
+        shear += vt * dt;
+        Vec3 ft = shear * (-kt_) - vt * (gammat_ * m);
+
+        // Coulomb cap: |ft| <= xmu * |fn|.
+        const double ftMag = ft.norm();
+        const double cap = xmu_ * std::fabs(fn);
+        if (ftMag > cap && ftMag > 0.0) {
+            const double ratio = cap / ftMag;
+            // Rescale the stored shear so the spring matches the slipping
+            // force (standard granular history treatment).
+            shear = (ft * ratio + vt * (gammat_ * m)) / (-kt_);
+            ft *= ratio;
+        }
+
+        atoms.f[i] += Vec3{ft.x, ft.y, fn};
+        // Torque = r_c x F with r_c = -R z_hat.
+        atoms.torque[i] += Vec3{radius * ft.y, -radius * ft.x, 0.0};
+    }
+}
+
+} // namespace mdbench

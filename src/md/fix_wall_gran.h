@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Granular bottom wall (LAMMPS `fix wall/gran hooke/history zplane`):
+ * a frictional Hookean wall at the bottom of the Chute box.
+ */
+
+#ifndef MDBENCH_MD_FIX_WALL_GRAN_H
+#define MDBENCH_MD_FIX_WALL_GRAN_H
+
+#include <unordered_map>
+
+#include "md/fix.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/**
+ * Hookean wall with tangential shear history, normal to +z at z = z0.
+ */
+class FixWallGran : public Fix
+{
+  public:
+    /**
+     * @param z0    Wall position.
+     * @param kn    Normal spring stiffness.
+     * @param kt    Tangential spring stiffness.
+     * @param gamman Normal damping coefficient.
+     * @param gammat Tangential damping coefficient.
+     * @param xmu   Friction coefficient (tangential force cap).
+     */
+    FixWallGran(double z0, double kn, double kt, double gamman,
+                double gammat, double xmu);
+
+    std::string name() const override { return "wall/gran"; }
+    void postForce(Simulation &sim) override;
+
+    /** Number of atoms currently touching the wall (statistics). */
+    std::size_t contactCount() const { return history_.size(); }
+
+  private:
+    double z0_;
+    double kn_;
+    double kt_;
+    double gamman_;
+    double gammat_;
+    double xmu_;
+    /** Accumulated tangential displacement per touching atom (by tag). */
+    std::unordered_map<std::int64_t, Vec3> history_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_FIX_WALL_GRAN_H

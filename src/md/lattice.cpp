@@ -1,0 +1,66 @@
+#include "md/lattice.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+/** The four fcc basis offsets in units of the lattice constant. */
+constexpr double kFccBasis[4][3] = {
+    {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+
+} // namespace
+
+double
+fccLatticeConstant(double rho)
+{
+    require(rho > 0.0, "density must be positive");
+    return std::cbrt(4.0 / rho);
+}
+
+std::int64_t
+buildFcc(Simulation &sim, int nx, int ny, int nz, double a, int type)
+{
+    require(nx > 0 && ny > 0 && nz > 0, "cell counts must be positive");
+    sim.box = Box({0, 0, 0}, {nx * a, ny * a, nz * a});
+    sim.atoms.setNumTypes(type);
+    sim.atoms.reserve(static_cast<std::size_t>(4) * nx * ny * nz);
+
+    std::int64_t tag = 1;
+    for (int iz = 0; iz < nz; ++iz) {
+        for (int iy = 0; iy < ny; ++iy) {
+            for (int ix = 0; ix < nx; ++ix) {
+                for (const auto &basis : kFccBasis) {
+                    const Vec3 pos{(ix + basis[0]) * a, (iy + basis[1]) * a,
+                                   (iz + basis[2]) * a};
+                    sim.atoms.addAtom(tag++, type, pos);
+                }
+            }
+        }
+    }
+    return tag - 1;
+}
+
+std::int64_t
+buildSc(Simulation &sim, int nx, int ny, int nz, double a, int type)
+{
+    require(nx > 0 && ny > 0 && nz > 0, "cell counts must be positive");
+    sim.box = Box({0, 0, 0}, {nx * a, ny * a, nz * a});
+    sim.atoms.setNumTypes(type);
+    sim.atoms.reserve(static_cast<std::size_t>(nx) * ny * nz);
+
+    std::int64_t tag = 1;
+    for (int iz = 0; iz < nz; ++iz)
+        for (int iy = 0; iy < ny; ++iy)
+            for (int ix = 0; ix < nx; ++ix)
+                sim.atoms.addAtom(tag++, type,
+                                  {(ix + 0.25) * a, (iy + 0.25) * a,
+                                   (iz + 0.25) * a});
+    return tag - 1;
+}
+
+} // namespace mdbench

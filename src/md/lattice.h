@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Crystal-lattice system builders (fcc / sc / hcp-like slabs).
+ *
+ * All five benchmark systems start from deterministic lattices (the paper's
+ * sizes 32k..2048k are 4 k^3 fcc cells with k = 20/40/60/80), so builders
+ * take a cell count per axis rather than an atom count.
+ */
+
+#ifndef MDBENCH_MD_LATTICE_H
+#define MDBENCH_MD_LATTICE_H
+
+#include <cstdint>
+
+#include "md/vec3.h"
+
+namespace mdbench {
+
+class Simulation;
+
+/**
+ * Fill @p sim with an fcc lattice of nx * ny * nz unit cells, 4 atoms per
+ * cell, lattice constant @p a, all of type @p type. Defines the box as
+ * exactly the lattice span (periodic). Atom tags are assigned 1..N in
+ * deterministic order.
+ *
+ * @return number of atoms created.
+ */
+std::int64_t buildFcc(Simulation &sim, int nx, int ny, int nz, double a,
+                      int type = 1);
+
+/**
+ * Fill @p sim with a simple-cubic lattice (1 atom per cell).
+ *
+ * @return number of atoms created.
+ */
+std::int64_t buildSc(Simulation &sim, int nx, int ny, int nz, double a,
+                     int type = 1);
+
+/**
+ * Lattice constant for an fcc crystal at reduced density @p rho
+ * (4 atoms per a^3): a = (4 / rho)^(1/3).
+ */
+double fccLatticeConstant(double rho);
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_LATTICE_H

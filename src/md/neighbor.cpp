@@ -1,0 +1,171 @@
+#include "md/neighbor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+double
+NeighborList::neighborsPerAtom() const
+{
+    const std::size_t n = offsets.empty() ? 0 : offsets.size() - 1;
+    if (n == 0)
+        return 0.0;
+    // Half lists store each physical pair once, so each pair contributes
+    // a neighbor to both of its atoms.
+    const double perPair = full ? 1.0 : 2.0;
+    return perPair * static_cast<double>(neighbors.size()) /
+           static_cast<double>(n);
+}
+
+bool
+Neighbor::checkTrigger(const Simulation &sim) const
+{
+    const AtomStore &atoms = sim.atoms;
+    if (lastBuildPos_.size() != atoms.nlocal())
+        return true;
+    const double trigger = triggerDistance();
+    const double triggerSq = trigger * trigger;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        if ((atoms.x[i] - lastBuildPos_[i]).normSq() > triggerSq)
+            return true;
+    }
+    return false;
+}
+
+void
+Neighbor::build(Simulation &sim)
+{
+    const AtomStore &atoms = sim.atoms;
+    const Box &box = sim.box;
+    const std::size_t nlocal = atoms.nlocal();
+    const std::size_t nall = atoms.nall();
+
+    const double cut = cutoff + skin;
+    require(cut > 0.0, "neighbor build cutoff must be positive");
+    const double cutSq = cut * cut;
+
+    // Bin the extended domain (box plus a ghost shell of one cutoff).
+    const Vec3 lo = box.lo() - Vec3{cut, cut, cut};
+    const Vec3 hi = box.hi() + Vec3{cut, cut, cut};
+    const Vec3 len = hi - lo;
+    int nb[3];
+    double inv[3];
+    const double lens[3] = {len.x, len.y, len.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        nb[axis] = std::max(1, static_cast<int>(lens[axis] / cut));
+        inv[axis] = nb[axis] / lens[axis];
+    }
+    const std::size_t nbins = static_cast<std::size_t>(nb[0]) * nb[1] * nb[2];
+
+    auto binIndex = [&](const Vec3 &pos) {
+        int bx = static_cast<int>((pos.x - lo.x) * inv[0]);
+        int by = static_cast<int>((pos.y - lo.y) * inv[1]);
+        int bz = static_cast<int>((pos.z - lo.z) * inv[2]);
+        bx = std::clamp(bx, 0, nb[0] - 1);
+        by = std::clamp(by, 0, nb[1] - 1);
+        bz = std::clamp(bz, 0, nb[2] - 1);
+        return std::array<int, 3>{bx, by, bz};
+    };
+    auto flatten = [&](int bx, int by, int bz) {
+        return (static_cast<std::size_t>(bz) * nb[1] + by) * nb[0] + bx;
+    };
+
+    // Linked-cell lists: head per bin, next per atom.
+    std::vector<std::int32_t> head(nbins, -1);
+    std::vector<std::int32_t> next(nall, -1);
+    for (std::size_t i = 0; i < nall; ++i) {
+        const auto b = binIndex(atoms.x[i]);
+        const std::size_t flat = flatten(b[0], b[1], b[2]);
+        next[i] = head[flat];
+        head[flat] = static_cast<std::int32_t>(i);
+    }
+
+    const bool checkExclusions = !sim.topology.bonds.empty() ||
+                                 !sim.topology.angles.empty();
+
+    list_.full = full;
+    list_.buildCutoff = cut;
+    list_.offsets.assign(nlocal + 1, 0);
+    list_.neighbors.clear();
+    list_.neighbors.reserve(list_.neighbors.capacity());
+
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const Vec3 xi = atoms.x[i];
+        const auto bi = binIndex(xi);
+        for (int dz = -1; dz <= 1; ++dz) {
+            const int bz = bi[2] + dz;
+            if (bz < 0 || bz >= nb[2])
+                continue;
+            for (int dy = -1; dy <= 1; ++dy) {
+                const int by = bi[1] + dy;
+                if (by < 0 || by >= nb[1])
+                    continue;
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const int bx = bi[0] + dx;
+                    if (bx < 0 || bx >= nb[0])
+                        continue;
+                    for (std::int32_t j = head[flatten(bx, by, bz)]; j >= 0;
+                         j = next[j]) {
+                        const std::size_t ju = static_cast<std::size_t>(j);
+                        if (ju == i)
+                            continue;
+                        if (!full) {
+                            // Half-list inclusion rule (Newton on): local
+                            // pairs once by index order; pairs with ghosts
+                            // once by a coordinate tie-break, so that of the
+                            // two mirrored boundary pairs exactly one side
+                            // stores it.
+                            if (ju < nlocal) {
+                                if (ju < i)
+                                    continue;
+                            } else {
+                                const Vec3 &xj = atoms.x[ju];
+                                if (xj.z != xi.z) {
+                                    if (xj.z < xi.z)
+                                        continue;
+                                } else if (xj.y != xi.y) {
+                                    if (xj.y < xi.y)
+                                        continue;
+                                } else if (xj.x < xi.x) {
+                                    continue;
+                                }
+                            }
+                        }
+                        if ((atoms.x[ju] - xi).normSq() >= cutSq)
+                            continue;
+                        if (checkExclusions &&
+                            sim.topology.excluded(atoms.tag[i],
+                                                  atoms.tag[ju])) {
+                            continue;
+                        }
+                        list_.neighbors.push_back(
+                            static_cast<std::uint32_t>(ju));
+                    }
+                }
+            }
+        }
+        list_.offsets[i + 1] = static_cast<std::uint32_t>(
+            list_.neighbors.size());
+    }
+
+    lastBuildPos_.assign(atoms.x.begin(), atoms.x.begin() + nlocal);
+    ++buildCount_;
+    if (firstBuildStep_ < 0)
+        firstBuildStep_ = sim.step;
+    lastBuildStep_ = sim.step;
+}
+
+double
+Neighbor::averageRebuildInterval() const
+{
+    if (buildCount_ < 2)
+        return 0.0;
+    return static_cast<double>(lastBuildStep_ - firstBuildStep_) /
+           static_cast<double>(buildCount_ - 1);
+}
+
+} // namespace mdbench

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Binned neighbor-list construction with a skin distance.
+ *
+ * Implements the cutoff + skin scheme described in Section 2 of the paper:
+ * lists hold every pair within (cutoff + skin) and are rebuilt only when
+ * some atom has moved more than half the skin since the last build.
+ */
+
+#ifndef MDBENCH_MD_NEIGHBOR_H
+#define MDBENCH_MD_NEIGHBOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "md/vec3.h"
+
+namespace mdbench {
+
+class Simulation;
+
+/**
+ * CSR neighbor list over the owned atoms.
+ *
+ * Half lists contain each physical pair once (forces applied to both
+ * sides via Newton's third law); full lists contain each pair twice,
+ * once per side (used by gran/hooke/history, which the paper notes does
+ * not exploit Newton's third law).
+ */
+struct NeighborList
+{
+    std::vector<std::uint32_t> offsets;   ///< size nlocal + 1
+    std::vector<std::uint32_t> neighbors; ///< CSR payload (owned or ghost ids)
+    bool full = false;                    ///< full vs half list
+    double buildCutoff = 0.0;             ///< cutoff + skin used at build
+
+    /** Neighbors of atom @p i as a begin/end index pair. */
+    std::pair<std::uint32_t, std::uint32_t>
+    range(std::size_t i) const
+    {
+        return {offsets[i], offsets[i + 1]};
+    }
+
+    /** Total stored pairs. */
+    std::size_t pairCount() const { return neighbors.size(); }
+
+    /** Average neighbors per owned atom. */
+    double neighborsPerAtom() const;
+};
+
+/**
+ * Neighbor-list manager: binning, rebuild policy, and build statistics.
+ */
+class Neighbor
+{
+  public:
+    /** Pair-style interaction cutoff (excludes skin). */
+    double cutoff = 0.0;
+
+    /** Extra margin stored in the list (paper Table 2 "Neighbor skin"). */
+    double skin = 0.3;
+
+    /** Build a full list (each pair twice) instead of a half list. */
+    bool full = false;
+
+    /** Rebuild at most every this many steps (0 = purely distance based). */
+    int every = 1;
+
+    /** Distance the fastest atom may travel before a rebuild triggers. */
+    double triggerDistance() const { return 0.5 * skin; }
+
+    /** True when any owned atom moved more than triggerDistance(). */
+    bool checkTrigger(const Simulation &sim) const;
+
+    /** Build the list from the current owned + ghost atoms. */
+    void build(Simulation &sim);
+
+    /** The current list. */
+    const NeighborList &list() const { return list_; }
+
+    /** Number of builds since construction. */
+    long buildCount() const { return buildCount_; }
+
+    /** Steps at which builds happened (statistics for the harness). */
+    double averageRebuildInterval() const;
+
+  private:
+    NeighborList list_;
+    std::vector<Vec3> lastBuildPos_;
+    long buildCount_ = 0;
+    long lastBuildStep_ = 0;
+    long firstBuildStep_ = -1;
+
+    friend class Simulation;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_NEIGHBOR_H

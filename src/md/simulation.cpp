@@ -1,0 +1,249 @@
+#include "md/simulation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+Simulation::Simulation()
+{
+    comm = std::make_unique<SerialComm>();
+}
+
+double
+Simulation::commCutoff() const
+{
+    // Ghosts must cover every pair the neighbor list may hold; bonded
+    // interactions are assumed shorter than the pair cutoff + skin (true
+    // for all five benchmark workloads).
+    return neighbor.cutoff + neighbor.skin;
+}
+
+void
+Simulation::reneighbor()
+{
+    {
+        ScopedTask scope(timer, Task::Comm);
+        comm->exchange(*this);
+        comm->borders(*this);
+        topology.buildTagMap(atoms);
+    }
+    {
+        ScopedTask scope(timer, Task::Neigh);
+        neighbor.build(*this);
+    }
+    ++reneighborCount_;
+}
+
+void
+Simulation::zeroForceAccumulators()
+{
+    atoms.zeroForces();
+}
+
+void
+Simulation::computeLocalForces()
+{
+    if (pair) {
+        ScopedTask scope(timer, Task::Pair);
+        pair->compute(*this, neighbor.list());
+    }
+    if (bondStyle || angleStyle) {
+        ScopedTask scope(timer, Task::Bond);
+        if (bondStyle)
+            bondStyle->compute(*this);
+        if (angleStyle)
+            angleStyle->compute(*this);
+    }
+    if (kspace) {
+        ScopedTask scope(timer, Task::Kspace);
+        kspace->compute(*this);
+    }
+}
+
+void
+Simulation::reverseForceComm()
+{
+    ScopedTask scope(timer, Task::Comm);
+    comm->reverseForces(*this);
+}
+
+void
+Simulation::computeForces()
+{
+    zeroForceAccumulators();
+    computeLocalForces();
+    reverseForceComm();
+}
+
+void
+Simulation::setup()
+{
+    require(pair || bondStyle || !atoms.x.empty(),
+            "simulation has no atoms and no styles");
+    if (pair) {
+        neighbor.cutoff = std::max(neighbor.cutoff, pair->cutoff());
+        neighbor.full = pair->needsFullList();
+        pair->setup(*this);
+    }
+    require(neighbor.cutoff > 0.0, "neighbor cutoff must be positive");
+
+    if (kspace)
+        kspace->setup(*this);
+
+    // Preserve exclusions installed externally (decomposed runs inject
+    // the global set before per-rank setup).
+    if (topology.exclusionCount() == 0)
+        topology.buildExclusions();
+    reneighbor();
+    computeForces();
+    for (auto &fix : fixes) {
+        ScopedTask scope(timer, Task::Modify);
+        fix->setup(*this);
+    }
+    setupDone_ = true;
+
+    if (thermoEvery > 0) {
+        ScopedTask scope(timer, Task::Output);
+        thermoLog_.push_back(sampleThermo());
+    }
+}
+
+void
+Simulation::integrateInitial()
+{
+    ScopedTask scope(timer, Task::Modify);
+    for (auto &fix : fixes)
+        fix->preIntegrate(*this);
+    for (auto &fix : fixes)
+        fix->initialIntegrate(*this);
+}
+
+void
+Simulation::integrateFinal()
+{
+    ScopedTask scope(timer, Task::Modify);
+    for (auto &fix : fixes)
+        fix->postForce(*this);
+    for (auto &fix : fixes)
+        fix->finalIntegrate(*this);
+    for (auto &fix : fixes)
+        fix->endOfStep(*this);
+}
+
+bool
+Simulation::needsReneighbor()
+{
+    // Distance check runs at most every `neighbor.every` steps,
+    // mirroring LAMMPS's neigh_modify every/check semantics.
+    ScopedTask scope(timer, Task::Other);
+    if (neighbor.every > 0 &&
+        (step - neighbor.lastBuildStep_) >= neighbor.every) {
+        return neighbor.checkTrigger(*this);
+    }
+    return false;
+}
+
+void
+Simulation::maybeSampleThermo()
+{
+    if (thermoEvery > 0 && step % thermoEvery == 0) {
+        ScopedTask scope(timer, Task::Output);
+        thermoLog_.push_back(sampleThermo());
+    }
+}
+
+void
+Simulation::run(long nsteps)
+{
+    ensure(setupDone_, "Simulation::run before setup()");
+    for (long i = 0; i < nsteps; ++i) {
+        ++step;
+        integrateInitial();
+
+        if (needsReneighbor()) {
+            reneighbor();
+        } else {
+            ScopedTask scope(timer, Task::Comm);
+            comm->forwardPositions(*this);
+        }
+
+        // The force computation proper; postForce/finalIntegrate follow.
+        computeForces();
+        integrateFinal();
+        maybeSampleThermo();
+    }
+}
+
+double
+Simulation::kineticEnergy() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+        sum += atoms.massOf(i) * atoms.v[i].normSq();
+    return 0.5 * units.mvv2e * sum;
+}
+
+long
+Simulation::degreesOfFreedom() const
+{
+    long dof = 3 * static_cast<long>(atoms.nlocal()) - 3;
+    for (const auto &fix : fixes)
+        dof -= fix->removedDof(*this);
+    return dof > 0 ? dof : 1;
+}
+
+double
+Simulation::temperature() const
+{
+    return 2.0 * kineticEnergy() /
+           (static_cast<double>(degreesOfFreedom()) * units.boltz);
+}
+
+double
+Simulation::potentialEnergy() const
+{
+    double pe = 0.0;
+    if (pair)
+        pe += pair->energy();
+    if (bondStyle)
+        pe += bondStyle->energy();
+    if (angleStyle)
+        pe += angleStyle->energy();
+    if (kspace)
+        pe += kspace->energy();
+    return pe;
+}
+
+double
+Simulation::pressure() const
+{
+    double w = 0.0;
+    if (pair)
+        w += pair->virial();
+    if (bondStyle)
+        w += bondStyle->virial();
+    if (angleStyle)
+        w += angleStyle->virial();
+    if (kspace)
+        w += kspace->virial();
+    const double volume = box.volume();
+    return (2.0 * kineticEnergy() + w) / (3.0 * volume) * units.nktv2p;
+}
+
+ThermoRow
+Simulation::sampleThermo()
+{
+    ThermoRow row;
+    row.step = step;
+    row.kinetic = kineticEnergy();
+    row.potential = potentialEnergy();
+    row.total = row.kinetic + row.potential;
+    row.temperature = temperature();
+    row.pressure = pressure();
+    row.volume = box.volume();
+    return row;
+}
+
+} // namespace mdbench

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Base classes for interaction styles: pair, bond, angle, and k-space.
+ *
+ * Concrete styles live in src/forcefield (short-range and bonded) and
+ * src/kspace (long-range). Each style accumulates its potential energy and
+ * scalar virial during compute(); the Simulation reads them for thermo
+ * output and pressure.
+ */
+
+#ifndef MDBENCH_MD_STYLES_H
+#define MDBENCH_MD_STYLES_H
+
+#include <string>
+
+namespace mdbench {
+
+class Simulation;
+struct NeighborList;
+
+/** Common bookkeeping for all interaction styles. */
+class StyleBase
+{
+  public:
+    virtual ~StyleBase() = default;
+
+    /** Short identifier, e.g. "lj/cut" or "pppm". */
+    virtual std::string name() const = 0;
+
+    /** Potential energy accumulated by the last compute(). */
+    double energy() const { return energy_; }
+
+    /** Scalar virial (sum of r . f over interactions) of last compute(). */
+    double virial() const { return virial_; }
+
+  protected:
+    void
+    resetAccumulators()
+    {
+        energy_ = 0.0;
+        virial_ = 0.0;
+    }
+
+    double energy_ = 0.0;
+    double virial_ = 0.0;
+};
+
+/**
+ * Short-range pairwise potential.
+ */
+class PairStyle : public StyleBase
+{
+  public:
+    /** Accumulate forces from all listed pairs. */
+    virtual void compute(Simulation &sim, const NeighborList &list) = 0;
+
+    /** Interaction cutoff (the neighbor skin is added on top). */
+    virtual double cutoff() const = 0;
+
+    /** Whether this style requires a full (twice-per-pair) list. */
+    virtual bool needsFullList() const { return false; }
+
+    /** Whether ghosts must carry velocities (granular styles). */
+    virtual bool needsGhostVelocities() const { return false; }
+
+    /** Called once before the first run (after the box/atoms exist). */
+    virtual void setup(Simulation &) {}
+};
+
+/**
+ * Two-body bonded potential evaluated over Topology::bonds.
+ */
+class BondStyle : public StyleBase
+{
+  public:
+    virtual void compute(Simulation &sim) = 0;
+};
+
+/**
+ * Three-body angle potential evaluated over Topology::angles.
+ */
+class AngleStyle : public StyleBase
+{
+  public:
+    virtual void compute(Simulation &sim) = 0;
+};
+
+/**
+ * Long-range (k-space) solver for Coulomb interactions.
+ */
+class KspaceStyle : public StyleBase
+{
+  public:
+    /**
+     * Size grids / tune the splitting parameter for the current system.
+     * Called at run setup and whenever the box changes appreciably.
+     */
+    virtual void setup(Simulation &sim) = 0;
+
+    /** Accumulate long-range forces on owned atoms. */
+    virtual void compute(Simulation &sim) = 0;
+
+    /** Ewald splitting parameter g (used by coul/long real-space). */
+    virtual double splittingParameter() const = 0;
+
+    /** Requested relative accuracy in forces (paper's error threshold). */
+    virtual double accuracy() const = 0;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_STYLES_H

@@ -1,0 +1,65 @@
+#include "md/topology.h"
+
+#include "md/atoms.h"
+
+namespace mdbench {
+
+void
+Topology::buildTagMap(const AtomStore &atoms)
+{
+    tagMap_.clear();
+    tagMap_.reserve(atoms.nall());
+    // Insert ghosts first so that owned atoms overwrite them: lookups then
+    // prefer the owned copy, which is the one integrated.
+    for (std::size_t i = atoms.nlocal(); i < atoms.nall(); ++i)
+        tagMap_[atoms.tag[i]] = static_cast<std::int64_t>(i);
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+        tagMap_[atoms.tag[i]] = static_cast<std::int64_t>(i);
+}
+
+std::int64_t
+Topology::indexOf(std::int64_t tag) const
+{
+    const auto it = tagMap_.find(tag);
+    return it == tagMap_.end() ? -1 : it->second;
+}
+
+std::uint64_t
+Topology::pairKey(std::int64_t tagA, std::int64_t tagB)
+{
+    const std::uint64_t lo = static_cast<std::uint64_t>(
+        tagA < tagB ? tagA : tagB);
+    const std::uint64_t hi = static_cast<std::uint64_t>(
+        tagA < tagB ? tagB : tagA);
+    return (hi << 32) | lo;
+}
+
+void
+Topology::buildExclusions()
+{
+    exclusions_.clear();
+    exclusions_.reserve(bonds.size() + angles.size());
+    for (const Bond &bond : bonds)
+        exclusions_.insert(pairKey(bond.tagA, bond.tagB));
+    for (const Angle &angle : angles) {
+        exclusions_.insert(pairKey(angle.tagA, angle.tagB));
+        exclusions_.insert(pairKey(angle.tagB, angle.tagC));
+        exclusions_.insert(pairKey(angle.tagA, angle.tagC));
+    }
+}
+
+void
+Topology::addExclusion(std::int64_t tagA, std::int64_t tagB)
+{
+    exclusions_.insert(pairKey(tagA, tagB));
+}
+
+bool
+Topology::excluded(std::int64_t tagA, std::int64_t tagB) const
+{
+    if (exclusions_.empty())
+        return false;
+    return exclusions_.contains(pairKey(tagA, tagB));
+}
+
+} // namespace mdbench

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Molecular topology: bonds, angles, and rigid (SHAKE) clusters.
+ *
+ * Topology is stored with *global tags*, and resolved to local indices on
+ * demand through a tag map, so it survives atom migration and reordering.
+ */
+
+#ifndef MDBENCH_MD_TOPOLOGY_H
+#define MDBENCH_MD_TOPOLOGY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mdbench {
+
+class AtomStore;
+
+/** A two-body bonded interaction between atoms with global tags. */
+struct Bond
+{
+    std::int64_t tagA = 0;
+    std::int64_t tagB = 0;
+    int type = 1;
+};
+
+/** A three-body angle interaction (B is the vertex). */
+struct Angle
+{
+    std::int64_t tagA = 0;
+    std::int64_t tagB = 0;
+    std::int64_t tagC = 0;
+    int type = 1;
+};
+
+/** A rigid cluster constrained by SHAKE (e.g. a 3-site water molecule). */
+struct ShakeCluster
+{
+    /** Atom tags; tags[0] is the central atom. */
+    std::vector<std::int64_t> tags;
+    /** Constrained distances: pairs (i, j) of indices into tags + target. */
+    struct Constraint
+    {
+        int i = 0;
+        int j = 0;
+        double distance = 0.0;
+    };
+    std::vector<Constraint> constraints;
+};
+
+/**
+ * Container for bonded topology plus a tag -> local-index resolver.
+ */
+class Topology
+{
+  public:
+    std::vector<Bond> bonds;
+    std::vector<Angle> angles;
+    std::vector<ShakeCluster> shakeClusters;
+
+    /**
+     * Build the special-bonds exclusion set: 1-2 pairs (bonds) and 1-3
+     * pairs (angle ends) are removed from the pairwise neighbor lists,
+     * matching LAMMPS `special_bonds 0 0 1` semantics used by the
+     * Chain and Rhodopsin workloads.
+     */
+    void buildExclusions();
+
+    /**
+     * Add one exclusion directly (used by the decomposed driver, whose
+     * per-rank topologies hold only locally-owned bonds but must exclude
+     * globally).
+     */
+    void addExclusion(std::int64_t tagA, std::int64_t tagB);
+
+    /** Number of exclusion entries. */
+    std::size_t exclusionCount() const { return exclusions_.size(); }
+
+    /** True when the (tagA, tagB) pair is excluded from pair interactions. */
+    bool excluded(std::int64_t tagA, std::int64_t tagB) const;
+
+    /** Rebuild the tag -> index map from @p atoms (owned + ghosts). */
+    void buildTagMap(const AtomStore &atoms);
+
+    /**
+     * Resolve @p tag to a local index, preferring owned atoms.
+     * @return index, or -1 when the tag is not present.
+     */
+    std::int64_t indexOf(std::int64_t tag) const;
+
+    /** Number of map entries (owned + ghost tags). */
+    std::size_t mappedAtoms() const { return tagMap_.size(); }
+
+  private:
+    static std::uint64_t pairKey(std::int64_t tagA, std::int64_t tagB);
+
+    std::unordered_map<std::int64_t, std::int64_t> tagMap_;
+    std::unordered_set<std::uint64_t> exclusions_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_TOPOLOGY_H

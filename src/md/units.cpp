@@ -1,0 +1,29 @@
+#include "md/units.h"
+
+namespace mdbench {
+
+Units
+Units::lj()
+{
+    return {"lj", 1.0, 1.0, 1.0, 1.0, 1.0};
+}
+
+Units
+Units::metal()
+{
+    // g/mol * (A/ps)^2 = 1.0364269e-4 eV; q^2/A = 14.399645 eV for e^2.
+    const double mvv2e = 1.0364269e-4;
+    return {"metal", 8.617333262e-5, mvv2e, 1.0 / mvv2e, 14.399645,
+            1.6021765e6};
+}
+
+Units
+Units::real()
+{
+    // g/mol * (A/fs)^2 = 1e7 J/mol = 2390.0574 kcal/mol.
+    const double mvv2e = 2390.0573615334906;
+    return {"real", 1.987204259e-3, mvv2e, 1.0 / mvv2e, 332.06371,
+            68568.415};
+}
+
+} // namespace mdbench

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Unit-system conversion constants, mirroring LAMMPS `units lj/metal/real`.
+ *
+ * The engine is unit-agnostic: positions, velocities, forces, and energies
+ * are stored in the experiment's native units and only the conversion
+ * factors below enter the equations of motion and thermodynamics.
+ */
+
+#ifndef MDBENCH_MD_UNITS_H
+#define MDBENCH_MD_UNITS_H
+
+namespace mdbench {
+
+/** Conversion factors for one unit system. */
+struct Units
+{
+    const char *name;   ///< "lj", "metal", or "real"
+    double boltz;       ///< Boltzmann constant [energy/temperature]
+    double mvv2e;       ///< mass * velocity^2 -> energy
+    double ftm2v;       ///< force/mass * time -> velocity (1 / mvv2e)
+    double qqr2e;       ///< charge^2 / distance -> energy (Coulomb constant)
+    double nktv2p;      ///< N k T / V -> pressure
+
+    /** Reduced Lennard-Jones units (everything 1). */
+    static Units lj();
+
+    /** eV / Angstrom / ps / g-mol units. */
+    static Units metal();
+
+    /** kcal-mol / Angstrom / fs / g-mol units. */
+    static Units real();
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_UNITS_H

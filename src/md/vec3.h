@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal 3-component vector used throughout the MD engine.
+ */
+
+#ifndef MDBENCH_MD_VEC3_H
+#define MDBENCH_MD_VEC3_H
+
+#include <cmath>
+
+namespace mdbench {
+
+/** Plain 3-vector of doubles with the usual arithmetic. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator-=(const Vec3 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator*=(double s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    /** Dot product. */
+    double dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+
+    /** Cross product. */
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    /** Squared Euclidean norm. */
+    double normSq() const { return dot(*this); }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(normSq()); }
+};
+
+inline Vec3 operator*(double s, const Vec3 &v) { return v * s; }
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_VEC3_H

@@ -1,0 +1,54 @@
+#include "md/velocity.h"
+
+#include <cmath>
+
+#include "md/simulation.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mdbench {
+
+void
+zeroMomentum(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    Vec3 momentum{};
+    double totalMass = 0.0;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double m = atoms.massOf(i);
+        momentum += atoms.v[i] * m;
+        totalMass += m;
+    }
+    if (totalMass <= 0.0)
+        return;
+    const Vec3 vcm = momentum / totalMass;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+        atoms.v[i] -= vcm;
+}
+
+void
+scaleToTemperature(Simulation &sim, double target)
+{
+    const double current = sim.temperature();
+    require(current > 0.0, "cannot rescale zero-temperature velocities");
+    const double factor = std::sqrt(target / current);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.v[i] *= factor;
+}
+
+void
+createVelocities(Simulation &sim, double target, Rng &rng)
+{
+    AtomStore &atoms = sim.atoms;
+    const double kT = sim.units.boltz * target;
+    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+        const double sigma =
+            std::sqrt(kT / (atoms.massOf(i) * sim.units.mvv2e));
+        atoms.v[i] = {sigma * rng.gaussian(), sigma * rng.gaussian(),
+                      sigma * rng.gaussian()};
+    }
+    zeroMomentum(sim);
+    scaleToTemperature(sim, target);
+}
+
+} // namespace mdbench

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Velocity initialization: Maxwell-Boltzmann sampling, momentum zeroing,
+ * and temperature rescaling (LAMMPS `velocity create` equivalent).
+ */
+
+#ifndef MDBENCH_MD_VELOCITY_H
+#define MDBENCH_MD_VELOCITY_H
+
+#include <cstdint>
+
+namespace mdbench {
+
+class Simulation;
+class Rng;
+
+/**
+ * Assign Maxwell-Boltzmann velocities at temperature @p target to all
+ * owned atoms, zero the net momentum, and rescale so the instantaneous
+ * temperature equals @p target exactly.
+ */
+void createVelocities(Simulation &sim, double target, Rng &rng);
+
+/** Remove the center-of-mass momentum of the owned atoms. */
+void zeroMomentum(Simulation &sim);
+
+/** Rescale velocities so the instantaneous temperature equals @p target. */
+void scaleToTemperature(Simulation &sim, double target);
+
+} // namespace mdbench
+
+#endif // MDBENCH_MD_VELOCITY_H

@@ -1,0 +1,96 @@
+#include "parallel/decomp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+Decomposition::Decomposition(int nranks, const Box &box) : box_(box)
+{
+    require(nranks >= 1, "need at least one rank");
+
+    // Enumerate all factorizations px * py * pz == nranks and pick the
+    // one minimizing total subdomain surface area.
+    const Vec3 len = box.lengths();
+    double bestSurface = 1e300;
+    for (int px = 1; px <= nranks; ++px) {
+        if (nranks % px)
+            continue;
+        const int rem = nranks / px;
+        for (int py = 1; py <= rem; ++py) {
+            if (rem % py)
+                continue;
+            const int pz = rem / py;
+            const double lx = len.x / px;
+            const double ly = len.y / py;
+            const double lz = len.z / pz;
+            const double surface = lx * ly + ly * lz + lz * lx;
+            if (surface < bestSurface) {
+                bestSurface = surface;
+                grid_ = {px, py, pz};
+            }
+        }
+    }
+}
+
+std::array<int, 3>
+Decomposition::cellOf(int rank) const
+{
+    ensure(rank >= 0 && rank < nranks(), "rank out of range");
+    const int cx = rank % grid_[0];
+    const int cy = (rank / grid_[0]) % grid_[1];
+    const int cz = rank / (grid_[0] * grid_[1]);
+    return {cx, cy, cz};
+}
+
+int
+Decomposition::rankOf(int cx, int cy, int cz) const
+{
+    auto wrap = [](int c, int n) { return ((c % n) + n) % n; };
+    return wrap(cx, grid_[0]) +
+           grid_[0] * (wrap(cy, grid_[1]) +
+                       grid_[1] * wrap(cz, grid_[2]));
+}
+
+void
+Decomposition::bounds(int rank, Vec3 &lo, Vec3 &hi) const
+{
+    const auto cell = cellOf(rank);
+    const Vec3 len = box_.lengths();
+    lo = {box_.lo().x + len.x * cell[0] / grid_[0],
+          box_.lo().y + len.y * cell[1] / grid_[1],
+          box_.lo().z + len.z * cell[2] / grid_[2]};
+    hi = {box_.lo().x + len.x * (cell[0] + 1) / grid_[0],
+          box_.lo().y + len.y * (cell[1] + 1) / grid_[1],
+          box_.lo().z + len.z * (cell[2] + 1) / grid_[2]};
+}
+
+int
+Decomposition::ownerOf(const Vec3 &wrappedPos) const
+{
+    const Vec3 len = box_.lengths();
+    auto cellIndex = [&](double coord, double lo, double span, int n) {
+        int cell = static_cast<int>((coord - lo) / span * n);
+        return std::clamp(cell, 0, n - 1);
+    };
+    return rankOf(cellIndex(wrappedPos.x, box_.lo().x, len.x, grid_[0]),
+                  cellIndex(wrappedPos.y, box_.lo().y, len.y, grid_[1]),
+                  cellIndex(wrappedPos.z, box_.lo().z, len.z, grid_[2]));
+}
+
+double
+Decomposition::ghostFraction(double cutoff) const
+{
+    const Vec3 len = box_.lengths();
+    const double lx = len.x / grid_[0];
+    const double ly = len.y / grid_[1];
+    const double lz = len.z / grid_[2];
+    const double inner = lx * ly * lz;
+    const double outer = (lx + 2 * cutoff) * (ly + 2 * cutoff) *
+                         (lz + 2 * cutoff);
+    return (outer - inner) / inner;
+}
+
+} // namespace mdbench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Brick spatial decomposition of the simulation box across MPI ranks
+ * (the LAMMPS parallelization strategy described in the paper's
+ * Section 2.2).
+ */
+
+#ifndef MDBENCH_PARALLEL_DECOMP_H
+#define MDBENCH_PARALLEL_DECOMP_H
+
+#include <array>
+
+#include "md/box.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/**
+ * A px * py * pz grid of subdomains covering an orthogonal box.
+ */
+class Decomposition
+{
+  public:
+    /**
+     * Factor @p nranks into a near-cubic grid that minimizes the total
+     * subdomain surface for the given box shape.
+     */
+    Decomposition(int nranks, const Box &box);
+
+    int nranks() const { return grid_[0] * grid_[1] * grid_[2]; }
+
+    /** Ranks per axis. */
+    const std::array<int, 3> &grid() const { return grid_; }
+
+    /** Grid cell of @p rank (x fastest). */
+    std::array<int, 3> cellOf(int rank) const;
+
+    /** Rank of a (possibly out-of-range, wrapped) grid cell. */
+    int rankOf(int cx, int cy, int cz) const;
+
+    /** Subdomain bounds of @p rank. */
+    void bounds(int rank, Vec3 &lo, Vec3 &hi) const;
+
+    /** Rank owning a wrapped position. */
+    int ownerOf(const Vec3 &wrappedPos) const;
+
+    /**
+     * Surface-to-volume communication estimate: ghost-shell volume
+     * fraction of one subdomain for a shell of thickness @p cutoff
+     * (the O(6 L^2 cutoff d) vs O(L^3 npa d) argument of Section 5.1).
+     */
+    double ghostFraction(double cutoff) const;
+
+  private:
+    Box box_;
+    std::array<int, 3> grid_{1, 1, 1};
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_PARALLEL_DECOMP_H

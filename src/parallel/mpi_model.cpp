@@ -1,0 +1,96 @@
+#include "parallel/mpi_model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+const char *
+mpiFunctionName(MpiFunction fn)
+{
+    switch (fn) {
+      case MpiFunction::Allreduce: return "MPI_Allreduce";
+      case MpiFunction::Init:      return "MPI_Init";
+      case MpiFunction::Send:      return "MPI_Send";
+      case MpiFunction::Sendrecv:  return "MPI_Sendrecv";
+      case MpiFunction::Wait:      return "MPI_Wait";
+      case MpiFunction::Waitany:   return "MPI_Waitany";
+      case MpiFunction::Others:    return "others";
+      default: panic("invalid MpiFunction");
+    }
+}
+
+MpiStats::MpiStats(int nranks)
+{
+    require(nranks >= 1, "MpiStats needs at least one rank");
+    perRank_.resize(static_cast<std::size_t>(nranks));
+    reset();
+}
+
+void
+MpiStats::reset()
+{
+    for (auto &row : perRank_)
+        row.fill(0.0);
+}
+
+void
+MpiStats::add(int rank, MpiFunction fn, double seconds)
+{
+    ensure(rank >= 0 && rank < nranks(), "rank out of range");
+    ensure(seconds >= 0.0, "negative MPI time");
+    perRank_[rank][static_cast<std::size_t>(fn)] += seconds;
+}
+
+double
+MpiStats::seconds(int rank, MpiFunction fn) const
+{
+    return perRank_[rank][static_cast<std::size_t>(fn)];
+}
+
+double
+MpiStats::rankTotal(int rank) const
+{
+    double sum = 0.0;
+    for (double s : perRank_[rank])
+        sum += s;
+    return sum;
+}
+
+double
+MpiStats::meanTotal() const
+{
+    double sum = 0.0;
+    for (int r = 0; r < nranks(); ++r)
+        sum += rankTotal(r);
+    return sum / nranks();
+}
+
+double
+MpiStats::meanFunction(MpiFunction fn) const
+{
+    double sum = 0.0;
+    for (int r = 0; r < nranks(); ++r)
+        sum += seconds(r, fn);
+    return sum / nranks();
+}
+
+double
+MpiStats::functionFraction(MpiFunction fn) const
+{
+    const double total = meanTotal();
+    return total > 0.0 ? meanFunction(fn) / total : 0.0;
+}
+
+double
+MpiMachineModel::allreduceTime(std::size_t bytes, int nranks) const
+{
+    if (nranks <= 1)
+        return 0.0;
+    const double hops = std::ceil(std::log2(static_cast<double>(nranks)));
+    return hops * (allreduceLatency + static_cast<double>(bytes) /
+                                          bandwidth);
+}
+
+} // namespace mdbench

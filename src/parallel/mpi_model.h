@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Simulated MPI: function taxonomy, per-rank time accounting, and the
+ * machine model that converts communication events into virtual time.
+ *
+ * The paper's Figures 4, 5, 12, and 14 are built from exactly this data:
+ * per-rank time in each MPI function, the total MPI share of the run,
+ * and the imbalance (time waiting on the slowest rank).
+ *
+ * The host running this reproduction has no MPI and (possibly) a single
+ * core, so ranks execute sequentially and all communication costs are
+ * *modeled*: each event advances the involved ranks' virtual clocks
+ * according to a latency/bandwidth machine description calibrated to the
+ * paper's CPU instance (see src/perf/calibration.*).
+ */
+
+#ifndef MDBENCH_PARALLEL_MPI_MODEL_H
+#define MDBENCH_PARALLEL_MPI_MODEL_H
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace mdbench {
+
+/** The MPI functions the paper's breakdown plots distinguish. */
+enum class MpiFunction : std::size_t {
+    Allreduce = 0,
+    Init,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitany,
+    Others,
+    NumFunctions
+};
+
+constexpr std::size_t kNumMpiFunctions =
+    static_cast<std::size_t>(MpiFunction::NumFunctions);
+
+/** Human-readable name, e.g. "MPI_Allreduce". */
+const char *mpiFunctionName(MpiFunction fn);
+
+/** Per-rank accumulated seconds in each MPI function. */
+class MpiStats
+{
+  public:
+    explicit MpiStats(int nranks = 1);
+
+    void add(int rank, MpiFunction fn, double seconds);
+
+    double seconds(int rank, MpiFunction fn) const;
+
+    /** Total MPI seconds of @p rank across all functions. */
+    double rankTotal(int rank) const;
+
+    /** Mean over ranks of rankTotal(). */
+    double meanTotal() const;
+
+    /** Mean over ranks of one function's time. */
+    double meanFunction(MpiFunction fn) const;
+
+    /** Fraction of meanTotal() spent in @p fn (the Fig. 5 breakdown). */
+    double functionFraction(MpiFunction fn) const;
+
+    int nranks() const { return static_cast<int>(perRank_.size()); }
+
+    void reset();
+
+  private:
+    std::vector<std::array<double, kNumMpiFunctions>> perRank_;
+};
+
+/**
+ * Latency/bandwidth machine description for intra-node MPI.
+ */
+struct MpiMachineModel
+{
+    double latency = 1.0e-6;           ///< per-message latency [s]
+    double bandwidth = 12.0e9;         ///< intra-node bytes/s
+    double initBase = 0.08;            ///< MPI_Init fixed cost [s]
+    double initPerRank = 0.012;        ///< MPI_Init growth per rank [s]
+    double allreduceLatency = 1.5e-6;  ///< per-hop allreduce latency [s]
+
+    /** Point-to-point message time. */
+    double
+    sendTime(std::size_t bytes) const
+    {
+        return latency + static_cast<double>(bytes) / bandwidth;
+    }
+
+    /**
+     * Allreduce time: log2(nranks) hops of latency plus the payload
+     * traversing each hop.
+     */
+    double allreduceTime(std::size_t bytes, int nranks) const;
+
+    /**
+     * MPI_Init cost for a communicator of @p nranks — the paper observes
+     * this grows with the rank count (Section 5.1) and remains a large
+     * share of total MPI time.
+     */
+    double
+    initTime(int nranks) const
+    {
+        return initBase + initPerRank * nranks;
+    }
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_PARALLEL_MPI_MODEL_H

@@ -1,0 +1,515 @@
+#include "parallel/ranked_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace mdbench {
+
+namespace {
+// Approximate wire sizes per atom for the three exchange kinds.
+constexpr std::size_t kBytesPosition = 3 * sizeof(double);
+constexpr std::size_t kBytesPositionVelocity = 6 * sizeof(double);
+constexpr std::size_t kBytesForce = 3 * sizeof(double);
+constexpr std::size_t kBytesMigrate = 14 * sizeof(double);
+} // namespace
+
+// ---------------------------------------------------------------- RankComm
+
+RankComm::RankComm(RankedSimulation &parent, int rank)
+    : parent_(parent), rank_(rank)
+{}
+
+void
+RankComm::exchange(Simulation &)
+{
+    // Migration is orchestrated centrally by RankedSimulation; a direct
+    // call happens only through Simulation::reneighbor, which the ranked
+    // driver never uses.
+    panic("RankComm::exchange must go through RankedSimulation");
+}
+
+void
+RankComm::borders(Simulation &)
+{
+    panic("RankComm::borders must go through RankedSimulation");
+}
+
+void
+RankComm::forwardPositions(Simulation &sim)
+{
+    const Vec3 len = parent_.globalBox_.lengths();
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    ensure(atoms.nghost() == ghosts_.size(), "ghost bookkeeping out of sync");
+    for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+        const GhostRecord &rec = ghosts_[g];
+        const AtomStore &src = parent_.rank(rec.srcRank).atoms;
+        const Vec3 shift{rec.image[0] * len.x, rec.image[1] * len.y,
+                         rec.image[2] * len.z};
+        atoms.x[nlocal + g] = src.x[rec.srcIndex] + shift;
+        atoms.v[nlocal + g] = src.v[rec.srcIndex];
+        atoms.omega[nlocal + g] = src.omega[rec.srcIndex];
+    }
+    parent_.chargeComm(rank_, MpiFunction::Send,
+                       ghosts_.size() * kBytesPositionVelocity, 6);
+}
+
+void
+RankComm::reverseForces(Simulation &sim)
+{
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    std::size_t sentBytes = 0;
+    for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+        Vec3 &force = atoms.f[nlocal + g];
+        Vec3 &torque = atoms.torque[nlocal + g];
+        if (force.x == 0.0 && force.y == 0.0 && force.z == 0.0 &&
+            torque.x == 0.0 && torque.y == 0.0 && torque.z == 0.0) {
+            continue;
+        }
+        const GhostRecord &rec = ghosts_[g];
+        AtomStore &src = parent_.rank(rec.srcRank).atoms;
+        src.f[rec.srcIndex] += force;
+        src.torque[rec.srcIndex] += torque;
+        force = {};
+        torque = {};
+        sentBytes += kBytesForce;
+    }
+    parent_.chargeComm(rank_, MpiFunction::Sendrecv, sentBytes, 6);
+}
+
+void
+RankComm::forwardScalar(Simulation &, std::vector<double> &)
+{
+    fatal("per-atom scalar communication (EAM) is not supported in "
+          "decomposed native runs; use a serial run or the perf model");
+}
+
+void
+RankComm::reverseScalar(Simulation &, std::vector<double> &)
+{
+    fatal("per-atom scalar communication (EAM) is not supported in "
+          "decomposed native runs; use a serial run or the perf model");
+}
+
+// -------------------------------------------------------- RankedSimulation
+
+RankedSimulation::RankedSimulation(
+    Simulation &global, int nranks,
+    const std::function<void(Simulation &)> &configureRank,
+    MpiMachineModel machine)
+    : globalBox_(global.box), globalTopology_(global.topology),
+      decomp_(nranks, global.box), machine_(machine), mpiStats_(nranks),
+      clocks_(nranks, 0.0)
+{
+    require(nranks >= 1, "need at least one rank");
+    require(global.topology.shakeClusters.empty(),
+            "SHAKE clusters are not supported in decomposed native runs");
+    require(!global.kspace,
+            "k-space solvers are not supported in decomposed native runs");
+
+    globalTopology_.buildExclusions();
+
+    // Create the per-rank simulations and scatter the atoms.
+    sims_.reserve(nranks);
+    comms_.reserve(nranks);
+    for (int r = 0; r < nranks; ++r) {
+        auto sim = std::make_unique<Simulation>();
+        sim->box = globalBox_;
+        sim->units = global.units;
+        sim->dt = global.dt;
+        sim->thermoEvery = 0;
+        sim->atoms.typeParams = global.atoms.typeParams;
+        auto comm = std::make_unique<RankComm>(*this, r);
+        comms_.push_back(comm.get());
+        sim->comm = std::move(comm);
+        sims_.push_back(std::move(sim));
+    }
+
+    for (std::size_t i = 0; i < global.atoms.nlocal(); ++i) {
+        const Vec3 wrapped = globalBox_.wrap(global.atoms.x[i]);
+        const int owner = decomp_.ownerOf(wrapped);
+        AtomStore &dst = sims_[owner]->atoms;
+        const std::size_t idx =
+            dst.addAtom(global.atoms.tag[i], global.atoms.type[i], wrapped);
+        dst.v[idx] = global.atoms.v[i];
+        dst.omega[idx] = global.atoms.omega[i];
+        dst.q[idx] = global.atoms.q[i];
+        dst.molecule[idx] = global.atoms.molecule[i];
+    }
+
+    for (auto &sim : sims_) {
+        configureRank(*sim);
+        // Every rank checks pair exclusions against the global topology.
+        for (const Bond &bond : globalTopology_.bonds)
+            sim->topology.addExclusion(bond.tagA, bond.tagB);
+        for (const Angle &angle : globalTopology_.angles) {
+            sim->topology.addExclusion(angle.tagA, angle.tagB);
+            sim->topology.addExclusion(angle.tagB, angle.tagC);
+            sim->topology.addExclusion(angle.tagA, angle.tagC);
+        }
+    }
+    assignTopology();
+}
+
+void
+RankedSimulation::chargeComm(int rank, MpiFunction fn, std::size_t bytes,
+                             int messages)
+{
+    const double time =
+        messages * machine_.latency +
+        static_cast<double>(bytes) / machine_.bandwidth;
+    mpiStats_.add(rank, fn, time);
+    clocks_[rank] += time;
+    commBytes_ += bytes;
+    // Also visible in the Table 1 breakdown as "Comm".
+    sims_[rank]->timer.add(Task::Comm, time);
+}
+
+void
+RankedSimulation::synchronizeClocks(MpiFunction reason)
+{
+    const double maxClock = *std::max_element(clocks_.begin(), clocks_.end());
+    for (int r = 0; r < nranks(); ++r) {
+        const double wait = maxClock - clocks_[r];
+        if (wait > 0.0) {
+            mpiStats_.add(r, reason, wait);
+            clocks_[r] = maxClock;
+        }
+    }
+}
+
+void
+RankedSimulation::migrateAtoms()
+{
+    // Drop ghosts everywhere, wrap positions, then move strays.
+    for (auto &sim : sims_)
+        sim->atoms.clearGhosts();
+    for (auto &comm : comms_)
+        comm->ghosts_.clear();
+
+    struct Move
+    {
+        int from;
+        int to;
+        std::size_t index;
+    };
+    std::vector<Move> moves;
+    for (int r = 0; r < nranks(); ++r) {
+        AtomStore &atoms = sims_[r]->atoms;
+        for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+            atoms.x[i] = globalBox_.wrap(atoms.x[i]);
+            const int owner = decomp_.ownerOf(atoms.x[i]);
+            if (owner != r)
+                moves.push_back({r, owner, i});
+        }
+    }
+
+    // Apply removals in descending index order per rank so that the
+    // swap-removal does not invalidate pending indices.
+    std::sort(moves.begin(), moves.end(), [](const Move &a, const Move &b) {
+        return a.from == b.from ? a.index > b.index : a.from < b.from;
+    });
+    for (const Move &move : moves) {
+        AtomStore &src = sims_[move.from]->atoms;
+        AtomStore &dst = sims_[move.to]->atoms;
+        const std::size_t i = move.index;
+        const std::size_t idx = dst.addAtom(src.tag[i], src.type[i],
+                                            src.x[i]);
+        dst.v[idx] = src.v[i];
+        dst.omega[idx] = src.omega[i];
+        dst.q[idx] = src.q[i];
+        dst.molecule[idx] = src.molecule[i];
+        src.removeAtom(i);
+        chargeComm(move.from, MpiFunction::Sendrecv, kBytesMigrate, 1);
+        chargeComm(move.to, MpiFunction::Sendrecv, kBytesMigrate, 1);
+    }
+}
+
+void
+RankedSimulation::rebuildGhosts()
+{
+    for (int r = 0; r < nranks(); ++r) {
+        sims_[r]->atoms.clearGhosts();
+        comms_[r]->ghosts_.clear();
+    }
+
+    const Vec3 len = globalBox_.lengths();
+    const auto &grid = decomp_.grid();
+    const Vec3 cellSpan{len.x / grid[0], len.y / grid[1], len.z / grid[2]};
+
+    for (int s = 0; s < nranks(); ++s) {
+        const AtomStore &src = sims_[s]->atoms;
+        const double cut = sims_[s]->commCutoff();
+        for (std::size_t i = 0; i < src.nlocal(); ++i) {
+            for (int sx = -1; sx <= 1; ++sx) {
+                if (sx != 0 && !globalBox_.periodic(0))
+                    continue;
+                for (int sy = -1; sy <= 1; ++sy) {
+                    if (sy != 0 && !globalBox_.periodic(1))
+                        continue;
+                    for (int sz = -1; sz <= 1; ++sz) {
+                        if (sz != 0 && !globalBox_.periodic(2))
+                            continue;
+                        const Vec3 shift{sx * len.x, sy * len.y,
+                                         sz * len.z};
+                        const Vec3 pos = src.x[i] + shift;
+                        // Candidate destination cells whose expanded
+                        // subdomain [lo-cut, hi+cut) contains pos.
+                        const int cxLo = static_cast<int>(std::floor(
+                            (pos.x - cut - globalBox_.lo().x) / cellSpan.x));
+                        const int cxHi = static_cast<int>(std::floor(
+                            (pos.x + cut - globalBox_.lo().x) / cellSpan.x));
+                        const int cyLo = static_cast<int>(std::floor(
+                            (pos.y - cut - globalBox_.lo().y) / cellSpan.y));
+                        const int cyHi = static_cast<int>(std::floor(
+                            (pos.y + cut - globalBox_.lo().y) / cellSpan.y));
+                        const int czLo = static_cast<int>(std::floor(
+                            (pos.z - cut - globalBox_.lo().z) / cellSpan.z));
+                        const int czHi = static_cast<int>(std::floor(
+                            (pos.z + cut - globalBox_.lo().z) / cellSpan.z));
+                        for (int cx = cxLo; cx <= cxHi; ++cx) {
+                            if (cx < 0 || cx >= grid[0])
+                                continue;
+                            for (int cy = cyLo; cy <= cyHi; ++cy) {
+                                if (cy < 0 || cy >= grid[1])
+                                    continue;
+                                for (int cz = czLo; cz <= czHi; ++cz) {
+                                    if (cz < 0 || cz >= grid[2])
+                                        continue;
+                                    const int dst =
+                                        decomp_.rankOf(cx, cy, cz);
+                                    if (dst == s && !sx && !sy && !sz)
+                                        continue;
+                                    sims_[dst]->atoms.addGhostFrom(
+                                        src, i, shift);
+                                    comms_[dst]->ghosts_.push_back(
+                                        {s, static_cast<std::uint32_t>(i),
+                                         {static_cast<std::int8_t>(sx),
+                                          static_cast<std::int8_t>(sy),
+                                          static_cast<std::int8_t>(sz)}});
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (int r = 0; r < nranks(); ++r) {
+        chargeComm(r, MpiFunction::Sendrecv,
+                   comms_[r]->ghosts_.size() * kBytesPositionVelocity, 6);
+        sims_[r]->topology.buildTagMap(sims_[r]->atoms);
+    }
+}
+
+void
+RankedSimulation::assignTopology()
+{
+    // Build tag -> owner-rank map, then hand each bond/angle to the rank
+    // owning its first (bonds) / vertex (angles) atom.
+    std::unordered_map<std::int64_t, int> ownerOfTag;
+    for (int r = 0; r < nranks(); ++r) {
+        const AtomStore &atoms = sims_[r]->atoms;
+        for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+            ownerOfTag[atoms.tag[i]] = r;
+    }
+    for (auto &sim : sims_) {
+        sim->topology.bonds.clear();
+        sim->topology.angles.clear();
+    }
+    for (const Bond &bond : globalTopology_.bonds)
+        sims_[ownerOfTag.at(bond.tagA)]->topology.bonds.push_back(bond);
+    for (const Angle &angle : globalTopology_.angles)
+        sims_[ownerOfTag.at(angle.tagB)]->topology.angles.push_back(angle);
+}
+
+void
+RankedSimulation::forwardAll()
+{
+    for (int r = 0; r < nranks(); ++r) {
+        ScopedTask scope(sims_[r]->timer, Task::Comm);
+        comms_[r]->forwardPositions(*sims_[r]);
+    }
+}
+
+void
+RankedSimulation::setup()
+{
+    // MPI context creation: the cost the paper finds surprisingly large
+    // and growing with the rank count (Section 5.1).
+    for (int r = 0; r < nranks(); ++r) {
+        const double init = machine_.initTime(nranks());
+        mpiStats_.add(r, MpiFunction::Init, init);
+        clocks_[r] += init;
+    }
+
+    migrateAtoms();
+    assignTopology();
+    for (auto &sim : sims_) {
+        if (sim->pair) {
+            sim->neighbor.cutoff =
+                std::max(sim->neighbor.cutoff, sim->pair->cutoff());
+            sim->neighbor.full = sim->pair->needsFullList();
+            sim->pair->setup(*sim);
+        }
+    }
+    rebuildGhosts();
+    for (int r = 0; r < nranks(); ++r) {
+        Simulation &sim = *sims_[r];
+        WallTimer wall;
+        {
+            ScopedTask scope(sim.timer, Task::Neigh);
+            sim.neighbor.build(sim);
+        }
+        sim.zeroForceAccumulators();
+        clocks_[r] += wall.seconds();
+    }
+    // Same three-sweep discipline as run(): no rank may zero its
+    // accumulators after another rank folded ghost forces into them.
+    for (int r = 0; r < nranks(); ++r) {
+        WallTimer wall;
+        sims_[r]->computeLocalForces();
+        clocks_[r] += wall.seconds();
+    }
+    for (int r = 0; r < nranks(); ++r) {
+        Simulation &sim = *sims_[r];
+        WallTimer wall;
+        sim.reverseForceComm();
+        for (auto &fix : sim.fixes) {
+            ScopedTask scope(sim.timer, Task::Modify);
+            fix->setup(sim);
+        }
+        clocks_[r] += wall.seconds();
+    }
+    synchronizeClocks(MpiFunction::Wait);
+    setupDone_ = true;
+}
+
+void
+RankedSimulation::run(long nsteps)
+{
+    ensure(setupDone_, "RankedSimulation::run before setup()");
+    for (long stepIdx = 0; stepIdx < nsteps; ++stepIdx) {
+        // Phase 1: first integration half on every rank.
+        for (int r = 0; r < nranks(); ++r) {
+            WallTimer wall;
+            ++sims_[r]->step;
+            sims_[r]->integrateInitial();
+            clocks_[r] += wall.seconds();
+        }
+
+        // Rebuild decision is collective (an Allreduce in LAMMPS).
+        bool rebuild = false;
+        for (int r = 0; r < nranks(); ++r) {
+            WallTimer wall;
+            rebuild = sims_[r]->needsReneighbor() || rebuild;
+            clocks_[r] += wall.seconds();
+        }
+        for (int r = 0; r < nranks(); ++r) {
+            const double t = machine_.allreduceTime(sizeof(int), nranks());
+            mpiStats_.add(r, MpiFunction::Allreduce, t);
+            clocks_[r] += t;
+        }
+
+        if (rebuild) {
+            migrateAtoms();
+            assignTopology();
+            rebuildGhosts();
+            for (int r = 0; r < nranks(); ++r) {
+                Simulation &sim = *sims_[r];
+                WallTimer wall;
+                ScopedTask scope(sim.timer, Task::Neigh);
+                sim.neighbor.build(sim);
+                clocks_[r] += wall.seconds();
+            }
+        } else {
+            forwardAll();
+        }
+
+        // Phase 2: forces. All ranks must zero their accumulators
+        // before any rank folds ghost forces into a neighbor, hence the
+        // three sweeps. Ranks finish computing at different times; the
+        // reverse exchange is where the skew materializes as MPI_Wait.
+        for (int r = 0; r < nranks(); ++r)
+            sims_[r]->zeroForceAccumulators();
+        for (int r = 0; r < nranks(); ++r) {
+            WallTimer wall;
+            sims_[r]->computeLocalForces();
+            clocks_[r] += wall.seconds();
+        }
+        synchronizeClocks(MpiFunction::Wait);
+        for (int r = 0; r < nranks(); ++r)
+            sims_[r]->reverseForceComm();
+
+        // Phase 3: final integration half.
+        for (int r = 0; r < nranks(); ++r) {
+            WallTimer wall;
+            sims_[r]->integrateFinal();
+            sims_[r]->maybeSampleThermo();
+            clocks_[r] += wall.seconds();
+        }
+    }
+}
+
+double
+RankedSimulation::virtualTime() const
+{
+    return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+TaskTimer
+RankedSimulation::aggregateTaskTimer() const
+{
+    TaskTimer total;
+    for (const auto &sim : sims_)
+        total.merge(sim->timer);
+    return total;
+}
+
+std::size_t
+RankedSimulation::totalAtoms() const
+{
+    std::size_t count = 0;
+    for (const auto &sim : sims_)
+        count += sim->atoms.nlocal();
+    return count;
+}
+
+void
+RankedSimulation::gather(Simulation &out) const
+{
+    struct Entry
+    {
+        std::int64_t tag;
+        int type;
+        Vec3 x;
+        Vec3 v;
+        double q;
+    };
+    std::vector<Entry> entries;
+    for (const auto &sim : sims_) {
+        const AtomStore &atoms = sim->atoms;
+        for (std::size_t i = 0; i < atoms.nlocal(); ++i)
+            entries.push_back({atoms.tag[i], atoms.type[i], atoms.x[i],
+                               atoms.v[i], atoms.q[i]});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) { return a.tag < b.tag; });
+    out.box = globalBox_;
+    out.atoms = AtomStore{};
+    out.atoms.typeParams = sims_[0]->atoms.typeParams;
+    for (const Entry &entry : entries) {
+        const std::size_t idx =
+            out.atoms.addAtom(entry.tag, entry.type, entry.x);
+        out.atoms.v[idx] = entry.v;
+        out.atoms.q[idx] = entry.q;
+    }
+}
+
+} // namespace mdbench

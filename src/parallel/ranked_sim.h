@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Multi-rank execution of an MD simulation over a spatial decomposition,
+ * with simulated MPI (the platform substitution documented in DESIGN.md).
+ *
+ * Ranks execute sequentially on the host; data movement between
+ * subdomains is real (atoms migrate, halos are exchanged, forces fold
+ * back), while communication *time* is charged to per-rank virtual
+ * clocks through the MpiMachineModel. Physics is therefore bit-honest
+ * (validated against serial runs) and timing is modeled.
+ *
+ * Limitations (documented): k-space solvers, EAM (which needs per-atom
+ * density communication), and SHAKE clusters are not supported in
+ * decomposed native runs; the paper-scale figures for those come from
+ * the src/perf platform model.
+ */
+
+#ifndef MDBENCH_PARALLEL_RANKED_SIM_H
+#define MDBENCH_PARALLEL_RANKED_SIM_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "md/simulation.h"
+#include "parallel/decomp.h"
+#include "parallel/mpi_model.h"
+
+namespace mdbench {
+
+class RankedSimulation;
+
+/**
+ * Communication layer of one rank inside a RankedSimulation.
+ */
+class RankComm : public CommLayer
+{
+  public:
+    RankComm(RankedSimulation &parent, int rank);
+
+    void exchange(Simulation &sim) override;
+    void borders(Simulation &sim) override;
+    void forwardPositions(Simulation &sim) override;
+    void reverseForces(Simulation &sim) override;
+    void forwardScalar(Simulation &sim, std::vector<double> &values) override;
+    void reverseScalar(Simulation &sim, std::vector<double> &values) override;
+
+  private:
+    friend class RankedSimulation;
+
+    /** Cross-rank ghost record. */
+    struct GhostRecord
+    {
+        int srcRank;
+        std::uint32_t srcIndex;
+        std::array<std::int8_t, 3> image;
+    };
+
+    RankedSimulation &parent_;
+    int rank_;
+    std::vector<GhostRecord> ghosts_;
+};
+
+/**
+ * Driver that steps all ranks through each timestep phase in lockstep.
+ */
+class RankedSimulation
+{
+  public:
+    /**
+     * Partition @p global (a fully built serial system: box, atoms,
+     * topology, units, dt) across @p nranks subdomains.
+     *
+     * @param configureRank Callback that installs the pair/bond styles
+     *        and fixes on each rank's Simulation (called once per rank
+     *        after partitioning).
+     */
+    RankedSimulation(Simulation &global, int nranks,
+                     const std::function<void(Simulation &)> &configureRank,
+                     MpiMachineModel machine = {});
+
+    /** Prepare all ranks (ghosts, lists, initial forces, fixes). */
+    void setup();
+
+    /** Advance all ranks @p nsteps timesteps in lockstep. */
+    void run(long nsteps);
+
+    int nranks() const { return static_cast<int>(sims_.size()); }
+    Simulation &rank(int r) { return *sims_[r]; }
+    const Simulation &rank(int r) const { return *sims_[r]; }
+    const Decomposition &decomposition() const { return decomp_; }
+
+    /** Simulated per-rank MPI time accounting. */
+    const MpiStats &mpiStats() const { return mpiStats_; }
+
+    /** Per-rank virtual clocks (compute measured, comm modeled). */
+    const std::vector<double> &clocks() const { return clocks_; }
+
+    /** Virtual wall time of the run so far (slowest rank). */
+    double virtualTime() const;
+
+    /** Sum of all ranks' task timers (Table 1 breakdown). */
+    TaskTimer aggregateTaskTimer() const;
+
+    /** Total owned atoms across ranks (conservation checks). */
+    std::size_t totalAtoms() const;
+
+    /** Copy all owned atoms back into @p out (sorted by tag). */
+    void gather(Simulation &out) const;
+
+    /** Bytes exchanged so far (forward + reverse + migration). */
+    std::size_t commBytes() const { return commBytes_; }
+
+  private:
+    friend class RankComm;
+
+    void migrateAtoms();
+    void rebuildGhosts();
+    void assignTopology();
+    void forwardAll();
+    void synchronizeClocks(MpiFunction reason);
+    void chargeComm(int rank, MpiFunction fn, std::size_t bytes,
+                    int messages);
+
+    Box globalBox_;
+    Topology globalTopology_;
+    Decomposition decomp_;
+    MpiMachineModel machine_;
+    std::vector<std::unique_ptr<Simulation>> sims_;
+    std::vector<RankComm *> comms_; ///< borrowed from sims_
+    MpiStats mpiStats_;
+    std::vector<double> clocks_;
+    std::size_t commBytes_ = 0;
+    bool setupDone_ = false;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_PARALLEL_RANKED_SIM_H

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Calibration constants of the platform-replay cost models.
+ *
+ * One "interaction unit" is the cost of a vectorized Lennard-Jones pair
+ * evaluation (including its share of neighbor-list traversal overhead).
+ * All other work is expressed in these units through the coefficients
+ * below, and converted to seconds by the per-core / per-device rates.
+ *
+ * The constants are fitted so the model lands near the paper's anchor
+ * numbers (DESIGN.md Section 6) — shapes and crossovers are what the
+ * reproduction must match, not absolute third-digit agreement.
+ */
+
+#ifndef MDBENCH_PERF_CALIBRATION_H
+#define MDBENCH_PERF_CALIBRATION_H
+
+namespace mdbench {
+namespace calib {
+
+// -- CPU core throughput ----------------------------------------------------
+
+/** Sustained LJ interactions per core cycle (INTEL package, AVX-512). */
+constexpr double kCpuInteractionsPerCycle = 0.0438;
+
+/** Single-precision speedup on the pair kernel (Section 8, CPU).
+ *  The double-precision penalty is per-style (WorkloadSpec). */
+constexpr double kCpuPrecisionSingle = 0.96;
+
+// -- Per-task work coefficients (interaction units) ---------------------------
+
+/** Neighbor candidate check relative to a pair evaluation. */
+constexpr double kNeighPerCandidate = 0.30;
+
+/** Binning / bookkeeping per atom per rebuild. */
+constexpr double kNeighPerAtom = 2.0;
+
+/** Rebuild-trigger distance check per atom per step. */
+constexpr double kCheckPerAtom = 0.06;
+
+/** Bonded terms per bond / per angle. */
+constexpr double kBondCost = 3.0;
+constexpr double kAngleCost = 5.5;
+
+/** Integration + generic fix cost per atom per step. */
+constexpr double kModifyPerAtom = 0.9;
+
+/** Extra Modify cost per atom: SHAKE clusters / NPT barostat. */
+constexpr double kShakePerAtom = 3.5;
+constexpr double kNptPerAtom = 1.2;
+
+/** Thermo output per atom per sampled step (sampled every 100). */
+constexpr double kOutputPerAtom = 0.004;
+
+/** Residual per-atom per-step cost (wraps, force clear). */
+constexpr double kOtherPerAtom = 0.25;
+
+/**
+ * Memory-subsystem contention: poorly vectorized / latency-bound styles
+ * (low core utilization in the paper's profiles) slow down as the
+ * socket fills. Multiplies compute time by
+ * 1 + kMemContention * (1 - utilization) * fill.
+ */
+constexpr double kMemContention = 1.2;
+
+/** All-core turbo frequency relative to base (socket fully busy). */
+constexpr double kAllCoreTurboOverBase = 1.15;
+
+/** FFT strong-scaling exponent: per-rank FFT work ~ G log G / P^e
+ *  (transposes and startup costs erode ideal scaling; Section 7). */
+constexpr double kFftScalingExponent = 0.82;
+
+/**
+ * Synchronization waits inside the FFT all-to-all (stragglers across
+ * rounds): seconds per step ~ this factor * ranks * latency. Dominates
+ * rhodo's MPI imbalance at loose thresholds and small sizes (Fig. 14),
+ * and fades relative to data exchange at tight thresholds.
+ */
+constexpr double kKspaceSyncLatencyFactor = 12.0;
+
+/** Extra all-to-all cost when the job spans both sockets. */
+constexpr double kCrossSocketA2a = 1.5;
+
+// -- PPPM (kspace) ------------------------------------------------------------
+
+/** Charge assignment + field interpolation per atom (order^3 stencils). */
+constexpr double kKspacePerAtom = 85.0;
+
+/** FFT butterflies per grid point per log2(points), times 4 FFTs. */
+constexpr double kKspacePerGridPoint = 1.6;
+
+/** Bytes per grid point exchanged in the FFT all-to-all (fwd+inv). */
+constexpr double kKspaceBytesPerPoint = 24.0;
+
+// -- Communication -----------------------------------------------------------
+
+/** Bytes per ghost atom: forward positions / reverse forces. */
+constexpr double kBytesForward = 24.0;
+constexpr double kBytesReverse = 24.0;
+/** Border (list rebuild) exchange carries full atom state. */
+constexpr double kBytesBorder = 80.0;
+
+// -- MPI_Init (Section 5.1 observation) ---------------------------------------
+
+/**
+ * The paper finds MPI_Init time grows with rank count *and* scales with
+ * total execution time (library-internal progress/teardown attributed
+ * to Init by the profiler). Model: fixed part + runtime-proportional
+ * part that grows with ranks.
+ */
+constexpr double kInitBase = 0.02;      // seconds
+constexpr double kInitPerRank = 0.0045; // seconds per rank
+constexpr double kInitRuntimeShare = 0.018; // of runtime at 64 ranks
+
+// -- CPU power ---------------------------------------------------------------
+
+constexpr double kSocketIdleWatts = 55.0;
+constexpr double kUncoreActiveWatts = 25.0; // per active socket
+
+// -- GPU package -------------------------------------------------------------
+
+/** Device-wide LJ interactions per SM cycle at full occupancy and
+ *  full warp efficiency. */
+constexpr double kGpuInteractionsPerSmCycle = 0.26;
+
+/** Single-precision speedup / double-precision penalty on device
+ *  kernels (Section 8, GPU; the charmm/coul kernel is bandwidth-bound
+ *  and handled per-style). */
+constexpr double kGpuPrecisionSingle = 0.93;
+constexpr double kGpuPrecisionDouble = 1.40;
+
+/** Fraction of peak a kernel reaches with near-zero resident work. */
+constexpr double kGpuMinEfficiency = 0.06;
+
+/** Atoms per device for ~50% occupancy (latency hiding). */
+constexpr double kGpuSaturationAtoms = 600000.0;
+
+/** Warp efficiency half-saturation in neighbors/atom: short lists
+ *  leave most of each warp idle (Chain suffers, Rhodo thrives). */
+constexpr double kGpuListHalfSat = 200.0;
+
+/** Per-kernel launch overhead (seconds). */
+constexpr double kGpuLaunchOverhead = 8.0e-6;
+
+/** Per-step fixed host-driver overhead per MPI process (seconds). */
+constexpr double kGpuStepOverhead = 9.0e-5;
+
+/** Staged host<->device copies per step per MPI process, and the
+ *  per-copy latency (the PCIe under-utilization the paper observes). */
+constexpr double kGpuCopiesPerStep = 8.0;
+constexpr double kGpuCopyLatency = 1.5e-5;
+
+/** Host-side SHAKE penalty in the GPU package (serialized per-molecule
+ *  constraint solves with no device support; Section 6.1). */
+constexpr double kGpuHostShakeFactor = 5.0;
+
+/** Charge/field mesh bytes staged over PCIe per grid point per step,
+ *  including per-rank ghost-layer duplication (calibrated against the
+ *  16.09 -> 0.46 TS/s collapse of Section 7 on the GPU instance). */
+constexpr double kGpuKspaceBytesPerPoint = 3000.0;
+
+/** Above this atom count the PPPM neighbor-list kernel degrades
+ *  superlinearly (the paper's 2-million-atom "breaking point"). */
+constexpr double kGpuNeighBreakAtoms = 864000.0;
+constexpr double kGpuNeighBreakExponent = 1.8;
+
+/** GPU power model. */
+constexpr double kGpuIdleWatts = 52.0;
+
+} // namespace calib
+} // namespace mdbench
+
+#endif // MDBENCH_PERF_CALIBRATION_H

@@ -1,0 +1,239 @@
+#include "perf/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/decomp.h"
+#include "perf/calibration.h"
+#include "perf/power.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+double
+precisionFactorCpu(Precision precision, const WorkloadSpec &spec)
+{
+    switch (precision) {
+      case Precision::Single: return calib::kCpuPrecisionSingle;
+      case Precision::Mixed:  return 1.0;
+      case Precision::Double: return spec.doubleCostFactor;
+      default: panic("invalid Precision");
+    }
+}
+
+} // namespace
+
+double
+CpuModelResult::mpiFunctionFraction(MpiFunction fn) const
+{
+    double total = 0.0;
+    for (double s : mpiFunctionSeconds)
+        total += s;
+    return total > 0.0 ? mpiFunctionSeconds[static_cast<std::size_t>(fn)] /
+                             total
+                       : 0.0;
+}
+
+CpuModel::CpuModel(PlatformInstance platform, MpiMachineModel machine)
+    : platform_(std::move(platform)), machine_(machine)
+{
+    machine_.initBase = calib::kInitBase;
+    machine_.initPerRank = calib::kInitPerRank;
+}
+
+CpuModelResult
+CpuModel::evaluate(const WorkloadInstance &workload, int ranks,
+                   long steps) const
+{
+    require(ranks >= 1 && ranks <= platform_.totalCores(),
+            "rank count exceeds physical cores");
+    const WorkloadSpec &spec = workload.spec;
+    const double natoms = static_cast<double>(workload.natoms);
+    const double perRankAtoms = natoms / ranks;
+
+    // Single-core turbo decays toward the all-core turbo as the socket
+    // fills.
+    const double fillFraction =
+        std::min(1.0, static_cast<double>(ranks) / platform_.cpu.cores);
+    const double allCoreGHz =
+        platform_.cpu.baseGHz * calib::kAllCoreTurboOverBase;
+    const double ghz = platform_.cpu.turboGHz -
+                       (platform_.cpu.turboGHz - allCoreGHz) * fillFraction;
+    const double unitRate =
+        calib::kCpuInteractionsPerCycle * ghz * 1e9; // units/s/core
+
+    const double precision = precisionFactorCpu(workload.precision, spec);
+
+    // ---- per-rank work in interaction units -------------------------------
+    // Size-dependent cost growth (Chute: deeper packed beds at larger
+    // sizes densify the contact network; zero for other workloads).
+    const double sizeCost =
+        std::pow(natoms / 32000.0, spec.sizeCostExponent);
+    const double pairUnits = workload.pairInteractionsPerStep() / ranks *
+                             spec.pairCostUnits * precision * sizeCost;
+
+    const double candidateRatio =
+        std::pow((spec.cutoff + spec.skin) / spec.cutoff, 3);
+    const double neighUnits =
+        (perRankAtoms * spec.neighborsPerAtom * candidateRatio *
+             calib::kNeighPerCandidate +
+         perRankAtoms * calib::kNeighPerAtom) /
+            spec.rebuildInterval +
+        perRankAtoms * calib::kCheckPerAtom;
+
+    const double bondUnits =
+        perRankAtoms * (spec.bondsPerAtom * calib::kBondCost +
+                        spec.anglesPerAtom * calib::kAngleCost);
+
+    double kspaceUnits = 0.0;
+    if (spec.usesKspace) {
+        const double gridPoints =
+            static_cast<double>(workload.kspaceGridPoints());
+        const double fftUnits = gridPoints * std::log2(gridPoints) *
+                                calib::kKspacePerGridPoint /
+                                std::pow(ranks, calib::kFftScalingExponent);
+        kspaceUnits = perRankAtoms * calib::kKspacePerAtom * precision +
+                      fftUnits;
+    }
+
+    double modifyUnits = perRankAtoms * calib::kModifyPerAtom;
+    if (spec.usesShake)
+        modifyUnits += perRankAtoms * calib::kShakePerAtom;
+    if (spec.nptIntegration)
+        modifyUnits += perRankAtoms * calib::kNptPerAtom;
+    modifyUnits += perRankAtoms * spec.extraFixCostPerAtom;
+
+    const double outputUnits = perRankAtoms * calib::kOutputPerAtom;
+    const double otherUnits = perRankAtoms * calib::kOtherPerAtom;
+
+    // Memory-subsystem contention as the socket fills (low-utilization
+    // styles suffer most; Section 5.2's core-utilization profile).
+    const double headroom = 1.0 - spec.coreUtilization;
+    const double contention =
+        1.0 + calib::kMemContention * headroom * headroom * headroom *
+                  fillFraction;
+    const double unitsToSeconds = contention / unitRate;
+    const double computeSeconds =
+        (pairUnits + neighUnits + bondUnits + kspaceUnits + modifyUnits +
+         outputUnits + otherUnits) *
+        unitsToSeconds;
+
+    // ---- communication ------------------------------------------------------
+    Box box({0, 0, 0}, workload.boxLength);
+    const Decomposition decomp(ranks, box);
+    const double ghostAtoms =
+        perRankAtoms * decomp.ghostFraction(spec.cutoff + spec.skin);
+
+    double sendSeconds = 0.0;     // MPI_Send: forward halo each step
+    double sendrecvSeconds = 0.0; // MPI_Sendrecv: reverse + borders + FFT
+    double allreduceSeconds = 0.0;
+    if (ranks > 1) {
+        sendSeconds = 6.0 * machine_.latency +
+                      ghostAtoms * calib::kBytesForward / machine_.bandwidth;
+        if (spec.newton3) {
+            sendrecvSeconds +=
+                6.0 * machine_.latency +
+                ghostAtoms * calib::kBytesReverse / machine_.bandwidth;
+        }
+        // Border rebuild, amortized over the reneighbor interval.
+        sendrecvSeconds += (6.0 * machine_.latency +
+                            ghostAtoms * calib::kBytesBorder /
+                                machine_.bandwidth) /
+                           spec.rebuildInterval;
+        allreduceSeconds += machine_.allreduceTime(8, ranks); // rebuild flag
+        if (spec.usesKspace) {
+            // FFT transposes: each rank re-distributes its grid slab
+            // several times per solve; crossing the socket boundary
+            // makes the exchange pattern costlier (the paper's greater
+            // rhodo efficiency loss from 32 to 64 ranks).
+            const double gridPoints =
+                static_cast<double>(workload.kspaceGridPoints());
+            const double a2aBytes =
+                gridPoints * calib::kKspaceBytesPerPoint / ranks;
+            const double crossSocket =
+                ranks > platform_.cpu.cores ? calib::kCrossSocketA2a : 1.0;
+            sendrecvSeconds += 4.0 * ((ranks - 1) * machine_.latency +
+                                      a2aBytes / machine_.bandwidth) *
+                               crossSocket;
+            allreduceSeconds += machine_.allreduceTime(64, ranks);
+        }
+    }
+    const double commSeconds = sendSeconds + sendrecvSeconds;
+
+    // ---- imbalance and totals ----------------------------------------------
+    const double imbalance =
+        spec.imbalanceFactor * (1.0 - 1.0 / ranks);
+    double waitSeconds = computeSeconds * imbalance;
+    if (spec.usesKspace && ranks > 1) {
+        // Straggler synchronization across the FFT all-to-all rounds.
+        waitSeconds += calib::kKspaceSyncLatencyFactor * ranks *
+                       machine_.latency;
+    }
+
+    const double stepSeconds =
+        computeSeconds + waitSeconds + commSeconds + allreduceSeconds;
+
+    // ---- MPI accounting over the modeled run -------------------------------
+    CpuModelResult result;
+    const double runBody = steps * stepSeconds;
+    const double initSeconds =
+        ranks > 1 ? machine_.initTime(ranks) +
+                        calib::kInitRuntimeShare * runBody *
+                            (static_cast<double>(ranks) / 64.0)
+                  : 0.0;
+    const double runSeconds = runBody + initSeconds;
+
+    auto &fn = result.mpiFunctionSeconds;
+    fn[static_cast<std::size_t>(MpiFunction::Init)] = initSeconds;
+    fn[static_cast<std::size_t>(MpiFunction::Send)] = steps * sendSeconds;
+    fn[static_cast<std::size_t>(MpiFunction::Sendrecv)] =
+        steps * sendrecvSeconds;
+    fn[static_cast<std::size_t>(MpiFunction::Allreduce)] =
+        steps * allreduceSeconds;
+    fn[static_cast<std::size_t>(MpiFunction::Wait)] = steps * waitSeconds;
+    fn[static_cast<std::size_t>(MpiFunction::Others)] =
+        0.02 * steps * commSeconds;
+
+    double mpiSeconds = 0.0;
+    for (double s : fn)
+        mpiSeconds += s;
+    result.mpiTimePercent =
+        ranks > 1 ? mpiSeconds / runSeconds * 100.0 : 0.0;
+    result.mpiImbalancePercent =
+        ranks > 1 ? steps * waitSeconds / runSeconds * 100.0 : 0.0;
+
+    // ---- Table 1 breakdown (mean rank, seconds per step) --------------------
+    result.taskBreakdown.add(Task::Pair, pairUnits * unitsToSeconds);
+    result.taskBreakdown.add(Task::Neigh, neighUnits * unitsToSeconds);
+    result.taskBreakdown.add(Task::Bond, bondUnits * unitsToSeconds);
+    result.taskBreakdown.add(Task::Kspace, kspaceUnits * unitsToSeconds);
+    result.taskBreakdown.add(Task::Modify, modifyUnits * unitsToSeconds);
+    result.taskBreakdown.add(Task::Output, outputUnits * unitsToSeconds);
+    result.taskBreakdown.add(Task::Comm, commSeconds + waitSeconds +
+                                             allreduceSeconds);
+    result.taskBreakdown.add(Task::Other, otherUnits * unitsToSeconds);
+
+    // ---- throughput, power, efficiency --------------------------------------
+    result.stepSeconds = stepSeconds;
+    result.timestepsPerSecond = 1.0 / stepSeconds;
+    result.nsPerDay = result.timestepsPerSecond * 2e-6 * 86400.0;
+
+    result.powerWatts =
+        cpuNodeWatts(platform_, ranks, spec.coreUtilization);
+    result.energyEfficiency =
+        result.timestepsPerSecond / result.powerWatts;
+    return result;
+}
+
+double
+CpuModel::parallelEfficiency(const WorkloadInstance &workload,
+                             int ranks) const
+{
+    const double tsN = evaluate(workload, ranks).timestepsPerSecond;
+    const double ts1 = evaluate(workload, 1).timestepsPerSecond;
+    return tsN / (ts1 * ranks) * 100.0;
+}
+
+} // namespace mdbench

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic cost model of a LAMMPS-style timestep on the paper's CPU
+ * instance: per-task breakdown (Fig. 3), MPI overhead and function
+ * breakdown (Figs. 4/5/12/14), strong scaling, energy efficiency
+ * (Fig. 6), k-space threshold sensitivity (Figs. 10/11), and precision
+ * sensitivity (Fig. 15).
+ *
+ * The model encodes the mechanisms the paper identifies — pair work
+ * proportional to N * npa, surface-to-volume halo traffic, FFT
+ * all-to-all, rank-count-dependent MPI_Init, and workload-specific
+ * compute imbalance — with coefficients calibrated against the paper's
+ * anchor numbers (calibration.h).
+ */
+
+#ifndef MDBENCH_PERF_CPU_MODEL_H
+#define MDBENCH_PERF_CPU_MODEL_H
+
+#include "parallel/mpi_model.h"
+#include "perf/platform.h"
+#include "perf/workload.h"
+#include "util/timer.h"
+
+namespace mdbench {
+
+/** Everything the CPU-instance figures need for one configuration. */
+struct CpuModelResult
+{
+    double stepSeconds = 0.0;        ///< slowest-rank time per timestep
+    double timestepsPerSecond = 0.0; ///< TS/s (Fig. 6 top)
+    double powerWatts = 0.0;
+    double energyEfficiency = 0.0;   ///< TS/s/W (Fig. 6 middle)
+    double mpiTimePercent = 0.0;     ///< Fig. 4 top
+    double mpiImbalancePercent = 0.0;///< Fig. 4 bottom
+    double nsPerDay = 0.0;           ///< for 2 fs timesteps (rhodo)
+
+    /** Mean-rank seconds per step by Table 1 task (Fig. 3). */
+    TaskTimer taskBreakdown;
+
+    /** Per-MPI-function seconds over the modeled run (Fig. 5). */
+    std::array<double, kNumMpiFunctions> mpiFunctionSeconds{};
+
+    /** Fraction of MPI time per function. */
+    double mpiFunctionFraction(MpiFunction fn) const;
+};
+
+/**
+ * Cost model over a CPU platform.
+ */
+class CpuModel
+{
+  public:
+    explicit CpuModel(PlatformInstance platform = PlatformInstance::cpuInstance(),
+                      MpiMachineModel machine = {});
+
+    /**
+     * Evaluate one configuration.
+     *
+     * @param workload Instantiated workload (size, threshold, precision).
+     * @param ranks    MPI processes (= physical cores used).
+     * @param steps    Modeled run length (the paper's long runs use 10k).
+     */
+    CpuModelResult evaluate(const WorkloadInstance &workload, int ranks,
+                            long steps = 10000) const;
+
+    /** Parallel efficiency in percent: TS(P) / (TS(1) * P) * 100. */
+    double parallelEfficiency(const WorkloadInstance &workload,
+                              int ranks) const;
+
+    const PlatformInstance &platform() const { return platform_; }
+
+  private:
+    PlatformInstance platform_;
+    MpiMachineModel machine_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_PERF_CPU_MODEL_H

@@ -1,0 +1,48 @@
+#include "perf/platform.h"
+
+namespace mdbench {
+
+double
+CpuSpec::effectiveGigaInteractions() const
+{
+    // One "interaction unit" is normalized to a Lennard-Jones pair
+    // evaluation. A vectorized LJ kernel on a Skylake/Icelake-class core
+    // sustains roughly 0.55 interactions per cycle (INTEL package).
+    return 0.55 * baseGHz;
+}
+
+double
+GpuSpec::effectiveGigaInteractions() const
+{
+    // Per SM, roughly 2.2 LJ interactions per cycle at full occupancy.
+    return 2.2 * freqGHz * sms;
+}
+
+PlatformInstance
+PlatformInstance::cpuInstance()
+{
+    PlatformInstance platform;
+    platform.name = "CPU instance";
+    platform.cpu = {"Intel Xeon Platinum 8358", 32,   64,  2.6, 3.4,
+                    64,                          1.0,  48.0, 10,  250.0};
+    platform.sockets = 2;
+    platform.memoryGB = 1024;
+    return platform;
+}
+
+PlatformInstance
+PlatformInstance::gpuInstance()
+{
+    PlatformInstance platform;
+    platform.name = "GPU instance";
+    platform.cpu = {"Intel Xeon Platinum 8167M", 26,   52,  2.0, 2.4,
+                    32,                           1.0,  35.75, 14, 165.0};
+    platform.sockets = 2;
+    platform.memoryGB = 768;
+    platform.gpu = GpuSpec{"NVIDIA V100", 84,  16.0, 6.0, 128,
+                           1.35,          12,  300.0, 12.0};
+    platform.gpuCount = 8;
+    return platform;
+}
+
+} // namespace mdbench

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hardware descriptions of the paper's two evaluation platforms
+ * (Table 3): the dual-socket Xeon 8358 "CPU instance" and the
+ * Xeon 8167M + 8x V100 "GPU instance".
+ *
+ * These are *data*, consumed by the cost models in cpu_model.* and
+ * src/gpusim to replay the paper's experiments on platforms this
+ * reproduction host does not have (see DESIGN.md, substitutions).
+ */
+
+#ifndef MDBENCH_PERF_PLATFORM_H
+#define MDBENCH_PERF_PLATFORM_H
+
+#include <optional>
+#include <string>
+
+namespace mdbench {
+
+/** CPU package description. */
+struct CpuSpec
+{
+    std::string model;
+    int cores = 0;
+    int threads = 0;
+    double baseGHz = 0.0;
+    double turboGHz = 0.0;
+    int l1KBPerCore = 0;
+    double l2MBPerCore = 0.0;
+    double l3MB = 0.0;
+    int techNm = 0;
+    double tdpW = 0.0;
+
+    /**
+     * Effective double-precision interaction throughput of one core in
+     * billions of pair-kernel "interaction units" per second, before
+     * style-specific efficiency factors (see calibration.h).
+     */
+    double effectiveGigaInteractions() const;
+};
+
+/** GPU device description. */
+struct GpuSpec
+{
+    std::string model;
+    int sms = 0;
+    double memGB = 0.0;
+    double l2MB = 0.0;
+    int l1KBPerSm = 0;
+    double freqGHz = 0.0;
+    int techNm = 0;
+    double tdpW = 0.0;
+    double pcieGBs = 12.0; ///< effective host<->device bandwidth
+
+    /** Device-wide interaction throughput (giga-interactions/s). */
+    double effectiveGigaInteractions() const;
+};
+
+/** One evaluation platform (Table 3 column). */
+struct PlatformInstance
+{
+    std::string name;
+    CpuSpec cpu;
+    int sockets = 1;
+    int memoryGB = 0;
+    std::optional<GpuSpec> gpu;
+    int gpuCount = 0;
+
+    int totalCores() const { return cpu.cores * sockets; }
+
+    /** The paper's CPU instance: 2x Intel Xeon Platinum 8358, 1 TB. */
+    static PlatformInstance cpuInstance();
+
+    /** The paper's GPU instance: 2x Xeon 8167M + 8x NVIDIA V100. */
+    static PlatformInstance gpuInstance();
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_PERF_PLATFORM_H

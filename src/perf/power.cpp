@@ -1,0 +1,41 @@
+#include "perf/power.h"
+
+#include <algorithm>
+
+#include "perf/calibration.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+double
+cpuNodeWatts(const PlatformInstance &platform, int activeCores,
+             double utilization)
+{
+    require(activeCores >= 0 && activeCores <= platform.totalCores(),
+            "active core count out of range");
+    require(utilization >= 0.0 && utilization <= 1.0,
+            "utilization must be in [0, 1]");
+    const int socketsActive =
+        activeCores > platform.cpu.cores ? platform.sockets : 1;
+    const double perCoreWatts =
+        (platform.cpu.tdpW - calib::kSocketIdleWatts -
+         calib::kUncoreActiveWatts) /
+        platform.cpu.cores;
+    const double watts = platform.sockets * calib::kSocketIdleWatts +
+                         socketsActive * calib::kUncoreActiveWatts +
+                         activeCores * perCoreWatts * utilization +
+                         40.0; // DRAM + board
+    return std::min(watts,
+                    platform.sockets * platform.cpu.tdpW + 80.0);
+}
+
+double
+gpuDeviceWatts(const GpuSpec &gpu, double utilization)
+{
+    require(utilization >= 0.0 && utilization <= 1.0,
+            "utilization must be in [0, 1]");
+    return calib::kGpuIdleWatts +
+           (gpu.tdpW - calib::kGpuIdleWatts) * utilization;
+}
+
+} // namespace mdbench

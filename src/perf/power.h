@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Power models replacing the paper's powerstat / nvidia-smi sampling
+ * (see DESIGN.md substitutions): idle + utilization-proportional active
+ * power, capped at TDP.
+ */
+
+#ifndef MDBENCH_PERF_POWER_H
+#define MDBENCH_PERF_POWER_H
+
+#include "perf/platform.h"
+
+namespace mdbench {
+
+/**
+ * Node power of a CPU platform with @p activeCores busy at
+ * @p utilization average activity.
+ */
+double cpuNodeWatts(const PlatformInstance &platform, int activeCores,
+                    double utilization);
+
+/** Power of one GPU device at @p utilization (0..1). */
+double gpuDeviceWatts(const GpuSpec &gpu, double utilization);
+
+} // namespace mdbench
+
+#endif // MDBENCH_PERF_POWER_H

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Workload descriptors for the five benchmark experiments (Table 2),
+ * and the derived per-size quantities the cost models consume.
+ */
+
+#ifndef MDBENCH_PERF_WORKLOAD_H
+#define MDBENCH_PERF_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "kspace/plan.h"
+#include "md/vec3.h"
+
+namespace mdbench {
+
+/** The five benchmarks of the paper's Section 3. */
+enum class BenchmarkId { Rhodo = 0, LJ, Chain, EAM, Chute };
+
+/** All benchmarks in the paper's plotting order. */
+const std::vector<BenchmarkId> &allBenchmarks();
+
+/** Benchmarks supported by the reference GPU package (no Chute). */
+const std::vector<BenchmarkId> &gpuBenchmarks();
+
+/** Lowercase name as the paper's plots use ("rhodo", "lj", ...). */
+const char *benchmarkName(BenchmarkId id);
+
+/** Floating-point precision modes of the Section 8 study. */
+enum class Precision { Mixed = 0, Single, Double };
+
+const char *precisionName(Precision precision);
+
+/**
+ * Static per-benchmark characteristics (the Table 2 taxonomy plus the
+ * cost-model coefficients attached to each interaction style).
+ */
+struct WorkloadSpec
+{
+    BenchmarkId id;
+    std::string forceField;     ///< Table 2 "Force field" row
+    double cutoff = 0.0;        ///< in native distance units
+    double skin = 0.0;
+    double neighborsPerAtom = 0.0;
+    bool newton3 = true;        ///< Chute does not use Newton's 3rd law
+    bool hasBonds = false;
+    bool hasAngles = false;
+    bool usesKspace = false;    ///< Rhodopsin only (PPPM)
+    bool usesShake = false;
+    bool nptIntegration = false;
+    double bondsPerAtom = 0.0;
+    double anglesPerAtom = 0.0;
+    double numberDensity = 0.0; ///< atoms per cubic distance-unit
+
+    /**
+     * Relative cost of one neighbor interaction in LJ-pair units
+     * (the cost-model normalization; see platform.h).
+     */
+    double pairCostUnits = 1.0;
+
+    /** Average steps between neighbor-list rebuilds. */
+    double rebuildInterval = 10.0;
+
+    /** Average physical-core utilization the paper profiles (Sec. 5.2). */
+    double coreUtilization = 0.5;
+
+    /**
+     * Residual compute imbalance across ranks at high rank counts
+     * (density inhomogeneity, fix load, contact clustering).
+     */
+    double imbalanceFactor = 0.02;
+
+    /** Mean squared charge per atom (kspace workloads only). */
+    double chargeSq = 0.0;
+
+    /** Extra per-atom fix cost (Langevin thermostat, gravity + wall). */
+    double extraFixCostPerAtom = 0.0;
+
+    /** Pair-cost growth with system size (Chute's packed bed only). */
+    double sizeCostExponent = 0.0;
+
+    /** Pair-kernel slowdown in full double precision (Section 8). */
+    double doubleCostFactor = 1.18;
+
+    /** Device pair-kernel cost factor relative to the CPU cost units
+     *  (EAM's GPU kernels vectorize a bit better than its CPU path;
+     *  Chain's scalar-ish kernel a bit worse). */
+    double gpuPairFactor = 1.0;
+
+    /** Table 2 row for @p id. */
+    static WorkloadSpec get(BenchmarkId id);
+};
+
+/**
+ * A workload instantiated at a specific atom count and experiment
+ * configuration: everything size-dependent the models need.
+ */
+struct WorkloadInstance
+{
+    WorkloadSpec spec;
+    long natoms = 0;
+    Vec3 boxLength{0, 0, 0};
+    double kspaceAccuracy = 1e-4; ///< the Section 7 threshold
+    Precision precision = Precision::Mixed;
+    KspacePlan kspacePlan;        ///< valid when spec.usesKspace
+
+    /** Pair interactions computed per timestep (half vs full lists). */
+    double pairInteractionsPerStep() const;
+
+    /** PPPM mesh points (0 for non-kspace workloads). */
+    long kspaceGridPoints() const;
+
+    /**
+     * Build the instance: box edge from the density, k-space plan from
+     * the error threshold (real units, qqr2e = 332.06).
+     */
+    static WorkloadInstance make(BenchmarkId id, long natoms,
+                                 double kspaceAccuracy = 1e-4,
+                                 Precision precision = Precision::Mixed);
+};
+
+/** The paper's four experiment sizes, in thousands of atoms. */
+const std::vector<long> &paperSizesK();
+
+/** The paper's MPI process counts (Figures 3-6). */
+const std::vector<int> &paperRankCounts();
+
+/** The paper's GPU device counts (Figures 7-9). */
+const std::vector<int> &paperGpuCounts();
+
+/** The paper's kspace error thresholds (Figures 10-14). */
+const std::vector<double> &paperErrorThresholds();
+
+} // namespace mdbench
+
+#endif // MDBENCH_PERF_WORKLOAD_H

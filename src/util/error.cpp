@@ -1,0 +1,17 @@
+#include "util/error.h"
+
+namespace mdbench {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace mdbench

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error handling primitives.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - fatal():  the *user* asked for something impossible (bad configuration,
+ *              out-of-range parameter). Throws FatalError.
+ *  - panic():  an internal invariant was violated (a bug in mdbench).
+ *              Throws PanicError.
+ */
+
+#ifndef MDBENCH_UTIL_ERROR_H
+#define MDBENCH_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace mdbench {
+
+/** Raised when a user-visible configuration error makes progress impossible. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Raised when an internal invariant is violated (an mdbench bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/** Abort the current operation due to a user/configuration error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Abort the current operation due to an internal bug. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Check a user-facing precondition; fatal() with @p msg if it fails. */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+/** Check an internal invariant; panic() with @p msg if it fails. */
+inline void
+ensure(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_ERROR_H

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace mdbench {
+
+namespace {
+LogLevel gLevel = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace mdbench

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal status-message logging (inform/warn), gem5-style.
+ *
+ * Messages go to stderr so they never pollute the structured output
+ * (tables, CSV) that benches print on stdout. Verbosity is a process-wide
+ * setting; the default prints warnings only.
+ */
+
+#ifndef MDBENCH_UTIL_LOGGING_H
+#define MDBENCH_UTIL_LOGGING_H
+
+#include <string>
+
+namespace mdbench {
+
+/** Logging verbosity levels, from quietest to noisiest. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+/** Informative message the user should see but not worry about. */
+void inform(const std::string &msg);
+
+/** Something works but deserves attention if odd behaviour follows. */
+void warn(const std::string &msg);
+
+/** Developer-facing tracing, silenced by default. */
+void debugLog(const std::string &msg);
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_LOGGING_H

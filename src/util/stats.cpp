@@ -1,0 +1,59 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdbench {
+
+void
+RunningStat::push(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+Imbalance::imbalancePercent() const
+{
+    return max > 0.0 ? (max - mean) / max * 100.0 : 0.0;
+}
+
+Imbalance
+Imbalance::fromSamples(const std::vector<double> &values)
+{
+    Imbalance result;
+    if (values.empty())
+        return result;
+    RunningStat stat;
+    for (double v : values)
+        stat.push(v);
+    result.max = stat.max();
+    result.mean = stat.mean();
+    result.min = stat.min();
+    return result;
+}
+
+} // namespace mdbench

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the characterization harness.
+ */
+
+#ifndef MDBENCH_UTIL_STATS_H
+#define MDBENCH_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mdbench {
+
+/**
+ * Welford-style running mean/variance with min/max tracking.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Number of samples so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Load-imbalance metrics over a set of per-rank values (e.g. busy times).
+ *
+ * imbalancePercent mirrors the VTune-style metric the paper plots in
+ * Figure 4 (bottom): the average idle fraction implied by ranks waiting
+ * for the slowest one.
+ */
+struct Imbalance
+{
+    double max = 0.0;   ///< slowest rank's value
+    double mean = 0.0;  ///< average over ranks
+    double min = 0.0;   ///< fastest rank's value
+
+    /** (max - mean) / max * 100; 0 when max == 0. */
+    double imbalancePercent() const;
+
+    /** Compute metrics from a vector of per-rank values. */
+    static Imbalance fromSamples(const std::vector<double> &values);
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_STATS_H

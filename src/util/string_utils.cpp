@@ -1,0 +1,55 @@
+#include "util/string_utils.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mdbench {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args2;
+    va_copy(args2, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    }
+    va_end(args2);
+    return out;
+}
+
+std::string
+formatSig(double value, int digits)
+{
+    std::string s = strprintf("%.*g", digits, value);
+    return s;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatThreshold(double value)
+{
+    const int exponent =
+        static_cast<int>(std::floor(std::log10(std::fabs(value))));
+    const double mantissa = value / std::pow(10.0, exponent);
+    return strprintf("%.1fe%d", mantissa, exponent);
+}
+
+} // namespace mdbench

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string formatting helpers shared across the project.
+ */
+
+#ifndef MDBENCH_UTIL_STRING_UTILS_H
+#define MDBENCH_UTIL_STRING_UTILS_H
+
+#include <string>
+#include <vector>
+
+namespace mdbench {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a double with @p digits significant digits, trimming zeros. */
+std::string formatSig(double value, int digits = 4);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** "1.0e-4"-style compact scientific formatting for thresholds. */
+std::string formatThreshold(double value);
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_STRING_UTILS_H

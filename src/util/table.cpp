@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "Table row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::printAscii(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+    auto printRule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "+-" : "-+-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-+\n";
+    };
+
+    printRule();
+    printRow(headers_);
+    printRule();
+    for (const auto &row : rows_)
+        printRow(row);
+    printRule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << escape(row[c]);
+        }
+        os << '\n';
+    };
+    printRow(headers_);
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+} // namespace mdbench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table and CSV emitters for paper-style output.
+ *
+ * Every bench binary prints its figure/table through this class so that
+ * the textual output has a single consistent look and a machine-readable
+ * CSV twin (mirroring the runs.csv flow of the paper's artifact).
+ */
+
+#ifndef MDBENCH_UTIL_TABLE_H
+#define MDBENCH_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mdbench {
+
+/**
+ * Column-aligned ASCII table with optional CSV rendering.
+ */
+class Table
+{
+  public:
+    /** Create a table with fixed column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void printAscii(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_TABLE_H

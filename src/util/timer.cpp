@@ -1,0 +1,83 @@
+#include "util/timer.h"
+
+#include "util/error.h"
+
+namespace mdbench {
+
+const char *
+taskName(Task task)
+{
+    switch (task) {
+      case Task::Bond:   return "Bond";
+      case Task::Comm:   return "Comm";
+      case Task::Kspace: return "Kspace";
+      case Task::Modify: return "Modify";
+      case Task::Neigh:  return "Neigh";
+      case Task::Output: return "Output";
+      case Task::Pair:   return "Pair";
+      case Task::Other:  return "Other";
+      default: panic("invalid Task enumerator");
+    }
+}
+
+void
+TaskTimer::reset()
+{
+    acc_.fill(0.0);
+    active_ = false;
+}
+
+void
+TaskTimer::start(Task task)
+{
+    ensure(!active_, "TaskTimer::start while another task is running");
+    current_ = task;
+    active_ = true;
+    running_.reset();
+}
+
+void
+TaskTimer::stop()
+{
+    ensure(active_, "TaskTimer::stop without a running task");
+    acc_[static_cast<std::size_t>(current_)] += running_.seconds();
+    active_ = false;
+}
+
+void
+TaskTimer::add(Task task, double seconds)
+{
+    ensure(seconds >= 0.0, "cannot charge negative time");
+    acc_[static_cast<std::size_t>(task)] += seconds;
+}
+
+double
+TaskTimer::seconds(Task task) const
+{
+    return acc_[static_cast<std::size_t>(task)];
+}
+
+double
+TaskTimer::total() const
+{
+    double sum = 0.0;
+    for (double s : acc_)
+        sum += s;
+    return sum;
+}
+
+double
+TaskTimer::fraction(Task task) const
+{
+    const double t = total();
+    return t > 0.0 ? seconds(task) / t : 0.0;
+}
+
+void
+TaskTimer::merge(const TaskTimer &other)
+{
+    for (std::size_t i = 0; i < kNumTasks; ++i)
+        acc_[i] += other.acc_[i];
+}
+
+} // namespace mdbench

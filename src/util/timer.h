@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wall-clock timing and the per-task timing breakdown of Table 1.
+ *
+ * TaskTimer accumulates wall time per LAMMPS-style computational task
+ * (Pair, Bond, Kspace, Neigh, Comm, Modify, Output, Other) and is the
+ * instrumentation behind the paper's Figure 3 / Figure 7 breakdowns.
+ */
+
+#ifndef MDBENCH_UTIL_TIMER_H
+#define MDBENCH_UTIL_TIMER_H
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace mdbench {
+
+/** Simple monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * The computational tasks of a LAMMPS timestep (paper Table 1).
+ *
+ * The enumerator order fixes the presentation order used in all
+ * breakdown tables.
+ */
+enum class Task : std::size_t {
+    Bond = 0,   ///< Computation of bonded forces
+    Comm,       ///< Inter-processor communication of atoms and properties
+    Kspace,     ///< Computation of long-range interaction forces
+    Modify,     ///< Fixes and computes invoked by fixes
+    Neigh,      ///< Neighbor list construction
+    Output,     ///< Output of thermodynamic info and dump files
+    Pair,       ///< Computation of pairwise potential
+    Other,      ///< All other tasks
+    NumTasks
+};
+
+/** Number of Task enumerators. */
+constexpr std::size_t kNumTasks = static_cast<std::size_t>(Task::NumTasks);
+
+/** Human-readable task name ("Pair", "Kspace", ...). */
+const char *taskName(Task task);
+
+/**
+ * Accumulator of per-task seconds.
+ *
+ * Supports both measured accumulation (start/stop around real work) and
+ * direct charging of modeled virtual time (add()), so the same breakdown
+ * type serves the native engine and the platform-replay models.
+ */
+class TaskTimer
+{
+  public:
+    TaskTimer() { reset(); }
+
+    /** Zero all accumulators. */
+    void reset();
+
+    /** Begin measuring @p task (non-reentrant; one task at a time). */
+    void start(Task task);
+
+    /** Stop measuring the task started last and accumulate its time. */
+    void stop();
+
+    /** Charge @p seconds of (possibly virtual) time to @p task. */
+    void add(Task task, double seconds);
+
+    /** Accumulated seconds for @p task. */
+    double seconds(Task task) const;
+
+    /** Sum over all tasks. */
+    double total() const;
+
+    /** Fraction of total() spent in @p task; 0 when total() == 0. */
+    double fraction(Task task) const;
+
+    /** Merge another breakdown into this one (component-wise add). */
+    void merge(const TaskTimer &other);
+
+  private:
+    std::array<double, kNumTasks> acc_;
+    WallTimer running_;
+    Task current_ = Task::Other;
+    bool active_ = false;
+};
+
+/**
+ * RAII helper: charges the enclosing scope's wall time to a task.
+ */
+class ScopedTask
+{
+  public:
+    ScopedTask(TaskTimer &timer, Task task) : timer_(timer)
+    {
+        timer_.start(task);
+    }
+
+    ~ScopedTask() { timer_.stop(); }
+
+    ScopedTask(const ScopedTask &) = delete;
+    ScopedTask &operator=(const ScopedTask &) = delete;
+
+  private:
+    TaskTimer &timer_;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_TIMER_H

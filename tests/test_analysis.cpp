@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Analysis + dump tests: RDF peaks on known lattices, MSD properties
+ * (zero for static systems, growth in a melt, solid vs liquid), and
+ * extended-XYZ output format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/suite.h"
+#include "md/analysis.h"
+#include "md/dump.h"
+#include "md/fix_nve.h"
+#include "md/lattice.h"
+#include "md/simulation.h"
+#include "md/velocity.h"
+#include "forcefield/pair_lj_cut.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mdbench {
+namespace {
+
+Simulation
+staticFcc(double a, double cutoff)
+{
+    Simulation sim;
+    buildFcc(sim, 5, 5, 5, a);
+    auto pair = std::make_unique<PairLJCut>(1, cutoff);
+    pair->setCoeff(1, 1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    sim.neighbor.skin = 0.3;
+    sim.thermoEvery = 0;
+    sim.setup();
+    return sim;
+}
+
+TEST(Rdf, FccFirstShellPeak)
+{
+    // fcc nearest-neighbor distance is a / sqrt(2).
+    const double a = 1.6;
+    Simulation sim = staticFcc(a, 2.5);
+    const Rdf rdf = computeRdf(sim, 2.5, 125);
+    EXPECT_NEAR(rdf.peakPosition(), a / std::sqrt(2.0), 0.03);
+}
+
+TEST(Rdf, NoPairsBelowFirstShell)
+{
+    Simulation sim = staticFcc(1.6, 2.5);
+    const Rdf rdf = computeRdf(sim, 2.5, 100);
+    // g(r) is exactly zero well inside the first shell.
+    for (std::size_t b = 0; rdf.r(b) < 1.0; ++b)
+        EXPECT_DOUBLE_EQ(rdf.g[b], 0.0) << b;
+}
+
+TEST(Rdf, LiquidTendsToOneAtLargeR)
+{
+    // After melting, g(r) approaches 1 near the cutoff.
+    auto sim = buildLJ(6);
+    sim->thermoEvery = 0;
+    sim->setup();
+    sim->run(400);
+    const Rdf rdf = computeRdf(*sim, 2.7, 90);
+    double tail = 0.0;
+    int count = 0;
+    for (std::size_t b = 0; b < rdf.g.size(); ++b) {
+        if (rdf.r(b) > 2.2) {
+            tail += rdf.g[b];
+            ++count;
+        }
+    }
+    EXPECT_NEAR(tail / count, 1.0, 0.15);
+}
+
+TEST(Rdf, RangeBeyondListThrows)
+{
+    Simulation sim = staticFcc(1.6, 2.5);
+    EXPECT_THROW(computeRdf(sim, 5.0), FatalError);
+}
+
+TEST(Msd, ZeroForStaticSystem)
+{
+    Simulation sim = staticFcc(1.6, 2.5);
+    MsdTracker tracker(sim);
+    EXPECT_DOUBLE_EQ(tracker.sample(sim), 0.0);
+}
+
+TEST(Msd, GrowsInAMelt)
+{
+    auto sim = buildLJ(5);
+    sim->thermoEvery = 0;
+    sim->setup();
+    MsdTracker tracker(*sim);
+    sim->run(100);
+    const double early = tracker.sample(*sim);
+    sim->run(400);
+    const double late = tracker.sample(*sim);
+    EXPECT_GT(early, 0.0);
+    // The melt cools as potential energy is released, so diffusion is
+    // slow; still, displacement must keep accumulating.
+    EXPECT_GT(late, 1.3 * early);
+}
+
+TEST(Msd, SolidStaysCaged)
+{
+    // The EAM copper solid at 800 K: atoms vibrate but do not diffuse,
+    // so the MSD stays below a fraction of the nn distance squared.
+    auto sim = buildEAM(4);
+    sim->thermoEvery = 0;
+    sim->setup();
+    MsdTracker tracker(*sim);
+    sim->run(150);
+    const double msd = tracker.sample(*sim);
+    const double nnSq = std::pow(3.615 / std::sqrt(2.0), 2);
+    EXPECT_LT(msd, 0.25 * nnSq);
+    EXPECT_GT(msd, 0.0);
+}
+
+TEST(Msd, SurvivesBoxWrap)
+{
+    // A single free atom drifting across the periodic boundary must
+    // accumulate true displacement, not the wrapped coordinate jump.
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {10, 10, 10});
+    sim.atoms.setNumTypes(1);
+    sim.atoms.addAtom(1, 1, {9.5, 5, 5});
+    sim.atoms.v[0] = {1.0, 0, 0};
+    auto pair = std::make_unique<PairLJCut>(1, 2.0);
+    pair->setCoeff(1, 1, 0.0, 1.0); // non-interacting
+    sim.pair = std::move(pair);
+    sim.neighbor.skin = 0.5;
+    sim.dt = 0.01;
+    sim.thermoEvery = 0;
+    sim.addFix<FixNVE>();
+    sim.setup();
+    MsdTracker tracker(sim);
+    for (int i = 0; i < 20; ++i) {
+        sim.run(25); // 0.25 distance units per block
+        tracker.sample(sim);
+    }
+    // Total drift 5.0 -> MSD 25, straight through the boundary.
+    EXPECT_NEAR(tracker.value(), 25.0, 0.5);
+}
+
+TEST(Dump, XyzFrameFormat)
+{
+    Simulation sim = staticFcc(1.6, 2.5);
+    std::ostringstream os;
+    writeXyzFrame(os, sim);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "500");
+    std::getline(is, line);
+    EXPECT_NE(line.find("Lattice="), std::string::npos);
+    EXPECT_NE(line.find("step=0"), std::string::npos);
+    std::getline(is, line);
+    EXPECT_EQ(line.rfind("T1 ", 0), 0u);
+    // Count atom lines.
+    int count = 1;
+    while (std::getline(is, line))
+        if (!line.empty())
+            ++count;
+    EXPECT_EQ(count, 500);
+}
+
+TEST(Dump, AppendsFrames)
+{
+    Simulation sim = staticFcc(1.6, 2.5);
+    const std::string path = "/tmp/mdbench_dump_test.xyz";
+    XyzDump dump(path);
+    EXPECT_EQ(dump.write(sim), 1);
+    EXPECT_EQ(dump.write(sim), 2);
+    std::ifstream file(path);
+    std::string first;
+    std::getline(file, first);
+    EXPECT_EQ(first, "500");
+    int lines = 1;
+    std::string line;
+    while (std::getline(file, line))
+        ++lines;
+    EXPECT_EQ(lines, 2 * (500 + 2));
+}
+
+} // namespace
+} // namespace mdbench

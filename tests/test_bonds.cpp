@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Bonded-style correctness: FENE, harmonic bonds, harmonic angles —
+ * analytic values, finite-difference force consistency, and exclusion
+ * interplay with the pair list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forcefield/bond_styles.h"
+#include "forcefield/pair_lj_cut.h"
+#include "md/fix_langevin.h"
+#include "md/fix_nve.h"
+#include "md/simulation.h"
+#include "md/velocity.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mdbench {
+namespace {
+
+/** Two bonded atoms at distance r. */
+Simulation
+bondedPair(double r)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {30, 30, 30});
+    sim.atoms.setNumTypes(1);
+    sim.atoms.addAtom(1, 1, {10, 10, 10});
+    sim.atoms.addAtom(2, 1, {10 + r, 10, 10});
+    sim.topology.bonds.push_back({1, 2, 1});
+    sim.neighbor.cutoff = 2.0;
+    return sim;
+}
+
+TEST(BondFene, EnergyMatchesAnalyticForm)
+{
+    const double r = 1.1;
+    Simulation sim = bondedPair(r);
+    sim.bondStyle = std::make_unique<BondFENE>();
+    sim.setup();
+    const double k = 30.0;
+    const double r0 = 1.5;
+    double expected = -0.5 * k * r0 * r0 * std::log(1.0 - r * r / (r0 * r0));
+    const double rc = std::pow(2.0, 1.0 / 6.0);
+    if (r < rc) {
+        const double sr6 = std::pow(1.0 / r, 6);
+        expected += 4.0 * (sr6 * sr6 - sr6) + 1.0;
+    }
+    EXPECT_NEAR(sim.bondStyle->energy(), expected, 1e-10);
+}
+
+TEST(BondFene, EquilibriumNearKremerGrestValue)
+{
+    // The Kremer-Grest bond minimum is at r ~ 0.97 sigma.
+    double bestR = 0.0;
+    double bestE = 1e300;
+    for (double r = 0.8; r < 1.3; r += 0.001) {
+        Simulation sim = bondedPair(r);
+        sim.bondStyle = std::make_unique<BondFENE>();
+        sim.setup();
+        if (sim.bondStyle->energy() < bestE) {
+            bestE = sim.bondStyle->energy();
+            bestR = r;
+        }
+    }
+    EXPECT_NEAR(bestR, 0.97, 0.01);
+}
+
+TEST(BondFene, OverstretchThrows)
+{
+    Simulation sim = bondedPair(1.49);
+    sim.bondStyle = std::make_unique<BondFENE>();
+    EXPECT_THROW(sim.setup(), FatalError);
+}
+
+TEST(BondFene, ForceMatchesFiniteDifference)
+{
+    for (double r : {0.9, 1.0, 1.2, 1.35}) {
+        Simulation sim = bondedPair(r);
+        sim.bondStyle = std::make_unique<BondFENE>();
+        sim.setup();
+        const double fx = sim.atoms.f[0].x;
+
+        const double h = 1e-7;
+        double energies[2];
+        int idx = 0;
+        for (double sign : {1.0, -1.0}) {
+            Simulation sim2 = bondedPair(r - sign * h);
+            sim2.bondStyle = std::make_unique<BondFENE>();
+            sim2.setup();
+            energies[idx++] = sim2.bondStyle->energy();
+        }
+        // energies[0] = E(r-h), energies[1] = E(r+h); with atom 0 at
+        // x0 and atom 1 at x0 + r, dr/dx0 = -1, so F0x = +dE/dr.
+        const double numeric = (energies[1] - energies[0]) / (2.0 * h);
+        EXPECT_NEAR(fx, numeric, 1e-3 * std::max(1.0, std::fabs(fx))) << r;
+    }
+}
+
+TEST(BondHarmonic, RestLengthGivesZeroForce)
+{
+    Simulation sim = bondedPair(1.0);
+    auto bond = std::make_unique<BondHarmonic>();
+    bond->setCoeff(1, {250.0, 1.0});
+    sim.bondStyle = std::move(bond);
+    sim.setup();
+    EXPECT_NEAR(sim.bondStyle->energy(), 0.0, 1e-12);
+    EXPECT_NEAR(sim.atoms.f[0].norm(), 0.0, 1e-12);
+}
+
+TEST(BondHarmonic, StretchedValues)
+{
+    Simulation sim = bondedPair(1.2);
+    auto bond = std::make_unique<BondHarmonic>();
+    bond->setCoeff(1, {250.0, 1.0});
+    sim.bondStyle = std::move(bond);
+    sim.setup();
+    EXPECT_NEAR(sim.bondStyle->energy(), 250.0 * 0.04, 1e-9);
+    // F = -2 k (r - r0) pulling atoms together.
+    EXPECT_NEAR(sim.atoms.f[0].x, 2.0 * 250.0 * 0.2, 1e-9);
+}
+
+TEST(BondHarmonic, ActsAcrossPeriodicBoundary)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {10, 10, 10});
+    sim.atoms.setNumTypes(1);
+    sim.atoms.addAtom(1, 1, {0.3, 5, 5});
+    sim.atoms.addAtom(2, 1, {9.5, 5, 5}); // 0.8 apart via the boundary
+    sim.topology.bonds.push_back({1, 2, 1});
+    auto bond = std::make_unique<BondHarmonic>();
+    bond->setCoeff(1, {100.0, 1.0});
+    sim.bondStyle = std::move(bond);
+    sim.neighbor.cutoff = 2.0;
+    sim.setup();
+    EXPECT_NEAR(sim.bondStyle->energy(), 100.0 * 0.04, 1e-9);
+}
+
+TEST(AngleHarmonic, RestAngleGivesZeroForce)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {30, 30, 30});
+    sim.atoms.setNumTypes(1);
+    const double theta0 = 100.0 * M_PI / 180.0;
+    sim.atoms.addAtom(1, 1, {10 + std::cos(theta0), 10 + std::sin(theta0),
+                             10});
+    sim.atoms.addAtom(2, 1, {10, 10, 10});
+    sim.atoms.addAtom(3, 1, {11, 10, 10});
+    sim.topology.angles.push_back({1, 2, 3, 1});
+    auto angle = std::make_unique<AngleHarmonic>();
+    angle->setCoeff(1, {60.0, theta0});
+    sim.angleStyle = std::move(angle);
+    sim.neighbor.cutoff = 2.5;
+    sim.setup();
+    EXPECT_NEAR(sim.angleStyle->energy(), 0.0, 1e-12);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(sim.atoms.f[i].norm(), 0.0, 1e-10);
+}
+
+TEST(AngleHarmonic, BentAngleEnergyAndForceDirections)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {30, 30, 30});
+    sim.atoms.setNumTypes(1);
+    // 90-degree angle, rest angle 109.47: wants to open up.
+    sim.atoms.addAtom(1, 1, {10, 11, 10});
+    sim.atoms.addAtom(2, 1, {10, 10, 10});
+    sim.atoms.addAtom(3, 1, {11, 10, 10});
+    sim.topology.angles.push_back({1, 2, 3, 1});
+    auto angle = std::make_unique<AngleHarmonic>();
+    const double theta0 = 109.47 * M_PI / 180.0;
+    angle->setCoeff(1, {60.0, theta0});
+    sim.angleStyle = std::move(angle);
+    sim.neighbor.cutoff = 2.5;
+    sim.setup();
+    const double dTheta = M_PI / 2.0 - theta0;
+    EXPECT_NEAR(sim.angleStyle->energy(), 60.0 * dTheta * dTheta, 1e-9);
+    // Ends pushed apart; total force zero.
+    Vec3 total = sim.atoms.f[0] + sim.atoms.f[1] + sim.atoms.f[2];
+    EXPECT_NEAR(total.norm(), 0.0, 1e-10);
+    EXPECT_LT(sim.atoms.f[0].x, 0.0); // end atom 1 pushed toward -x
+    EXPECT_LT(sim.atoms.f[2].y, 0.0); // end atom 3 pushed toward -y
+}
+
+TEST(AngleHarmonic, ForceMatchesFiniteDifference)
+{
+    auto build = [](const Vec3 &p0) {
+        Simulation sim;
+        sim.box = Box({0, 0, 0}, {30, 30, 30});
+        sim.atoms.setNumTypes(1);
+        sim.atoms.addAtom(1, 1, p0);
+        sim.atoms.addAtom(2, 1, {10, 10, 10});
+        sim.atoms.addAtom(3, 1, {11.2, 10.1, 9.9});
+        sim.topology.angles.push_back({1, 2, 3, 1});
+        auto angle = std::make_unique<AngleHarmonic>();
+        angle->setCoeff(1, {60.0, 1.9});
+        sim.angleStyle = std::move(angle);
+        sim.neighbor.cutoff = 2.5;
+        sim.setup();
+        return sim;
+    };
+    const Vec3 base{10.2, 11.1, 10.4};
+    Simulation sim = build(base);
+    const Vec3 f0 = sim.atoms.f[0];
+    const double h = 1e-6;
+    const double dEdx = (build({base.x + h, base.y, base.z})
+                             .angleStyle->energy() -
+                         build({base.x - h, base.y, base.z})
+                             .angleStyle->energy()) /
+                        (2.0 * h);
+    EXPECT_NEAR(f0.x, -dEdx, 1e-4 * std::max(1.0, std::fabs(f0.x)));
+}
+
+TEST(Exclusions, BondedPairSkippedByPairStyle)
+{
+    // Two atoms bonded at a distance where LJ would be huge: the
+    // exclusion must remove the pair interaction entirely.
+    Simulation sim = bondedPair(0.5);
+    auto pair = std::make_unique<PairLJCut>(1, 2.5);
+    pair->setCoeff(1, 1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    auto bond = std::make_unique<BondHarmonic>();
+    bond->setCoeff(1, {10.0, 0.5});
+    sim.bondStyle = std::move(bond);
+    sim.setup();
+    EXPECT_NEAR(sim.pair->energy(), 0.0, 1e-12);
+    EXPECT_NEAR(sim.bondStyle->energy(), 0.0, 1e-12);
+}
+
+TEST(ChainWorkload, ShortChainStableUnderLangevin)
+{
+    // A 10-mer Kremer-Grest chain with WCA pair + FENE bonds and a
+    // Langevin thermostat: bonds must stay within FENE range.
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {20, 20, 20});
+    sim.atoms.setNumTypes(1);
+    for (int i = 0; i < 10; ++i) {
+        sim.atoms.addAtom(i + 1, 1, {5.0 + 0.97 * i, 10, 10});
+        if (i > 0)
+            sim.topology.bonds.push_back({i, i + 1, 1});
+    }
+    auto pair = std::make_unique<PairLJCut>(1, std::pow(2.0, 1.0 / 6.0),
+                                            true);
+    pair->setCoeff(1, 1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    sim.bondStyle = std::make_unique<BondFENE>();
+    sim.neighbor.skin = 0.4;
+    sim.dt = 0.005;
+    sim.thermoEvery = 0;
+    Rng rng(123);
+    createVelocities(sim, 1.0, rng);
+    sim.addFix<FixNVE>();
+    sim.addFix<FixLangevin>(1.0, 1.0, 42);
+    sim.setup();
+    EXPECT_NO_THROW(sim.run(2000));
+    // All bonds within the FENE extensibility limit.
+    for (const Bond &bond : sim.topology.bonds) {
+        const auto a = sim.topology.indexOf(bond.tagA);
+        const auto b = sim.topology.indexOf(bond.tagB);
+        const double r = sim.box
+                             .minimumImage(sim.atoms.x[a] - sim.atoms.x[b])
+                             .norm();
+        EXPECT_LT(r, 1.4);
+        EXPECT_GT(r, 0.6);
+    }
+}
+
+} // namespace
+} // namespace mdbench

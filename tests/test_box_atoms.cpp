@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for Box, AtomStore, Topology, lattice builders, and
+ * velocity initialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "md/box.h"
+#include "md/lattice.h"
+#include "md/simulation.h"
+#include "md/topology.h"
+#include "md/velocity.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mdbench {
+namespace {
+
+TEST(Box, WrapIntoPrimaryCell)
+{
+    Box box({0, 0, 0}, {10, 10, 10});
+    const Vec3 wrapped = box.wrap({12.5, -3.0, 5.0});
+    EXPECT_DOUBLE_EQ(wrapped.x, 2.5);
+    EXPECT_DOUBLE_EQ(wrapped.y, 7.0);
+    EXPECT_DOUBLE_EQ(wrapped.z, 5.0);
+}
+
+TEST(Box, WrapRespectsNonPeriodicAxis)
+{
+    Box box({0, 0, 0}, {10, 10, 10});
+    box.setPeriodic(true, true, false);
+    const Vec3 wrapped = box.wrap({1.0, 1.0, 14.0});
+    EXPECT_DOUBLE_EQ(wrapped.z, 14.0);
+}
+
+TEST(Box, MinimumImage)
+{
+    Box box({0, 0, 0}, {10, 10, 10});
+    const Vec3 delta = box.minimumImage({9.0, -9.0, 4.0});
+    EXPECT_DOUBLE_EQ(delta.x, -1.0);
+    EXPECT_DOUBLE_EQ(delta.y, 1.0);
+    EXPECT_DOUBLE_EQ(delta.z, 4.0);
+}
+
+TEST(Box, VolumeAndDilate)
+{
+    Box box({0, 0, 0}, {2, 3, 4});
+    EXPECT_DOUBLE_EQ(box.volume(), 24.0);
+    box.dilate(2.0);
+    EXPECT_DOUBLE_EQ(box.volume(), 24.0 * 8.0);
+    // Center is preserved.
+    EXPECT_DOUBLE_EQ((box.lo().x + box.hi().x) / 2.0, 1.0);
+}
+
+TEST(Box, InvalidCornersThrow)
+{
+    EXPECT_THROW(Box({0, 0, 0}, {-1, 1, 1}), FatalError);
+}
+
+TEST(AtomStore, AddAndRemove)
+{
+    AtomStore atoms;
+    atoms.setNumTypes(1);
+    atoms.addAtom(1, 1, {0, 0, 0});
+    atoms.addAtom(2, 1, {1, 0, 0});
+    atoms.addAtom(3, 1, {2, 0, 0});
+    EXPECT_EQ(atoms.nlocal(), 3u);
+    atoms.removeAtom(0); // swaps tag 3 into slot 0
+    EXPECT_EQ(atoms.nlocal(), 2u);
+    EXPECT_EQ(atoms.tag[0], 3);
+}
+
+TEST(AtomStore, GhostsTrackOwners)
+{
+    AtomStore atoms;
+    atoms.setNumTypes(1);
+    atoms.addAtom(1, 1, {1, 2, 3});
+    atoms.q[0] = -0.5;
+    const std::size_t g = atoms.addGhost(0, {10, 0, 0});
+    EXPECT_EQ(atoms.nghost(), 1u);
+    EXPECT_DOUBLE_EQ(atoms.x[g].x, 11.0);
+    EXPECT_DOUBLE_EQ(atoms.q[g], -0.5);
+    EXPECT_EQ(atoms.tag[g], 1);
+    EXPECT_EQ(atoms.ghostOf[g], 0);
+    atoms.clearGhosts();
+    EXPECT_EQ(atoms.nghost(), 0u);
+}
+
+TEST(AtomStore, GhostOfGhostResolvesToOwner)
+{
+    AtomStore atoms;
+    atoms.setNumTypes(1);
+    atoms.addAtom(1, 1, {0, 0, 0});
+    const std::size_t g1 = atoms.addGhost(0, {10, 0, 0});
+    const std::size_t g2 = atoms.addGhost(g1, {0, 10, 0});
+    EXPECT_EQ(atoms.ghostOf[g2], 0);
+}
+
+TEST(Lattice, FccCountsAndDensity)
+{
+    Simulation sim;
+    const double a = fccLatticeConstant(0.8442);
+    const std::int64_t n = buildFcc(sim, 5, 5, 5, a);
+    EXPECT_EQ(n, 4 * 125);
+    EXPECT_EQ(sim.atoms.nlocal(), 500u);
+    const double rho = n / sim.box.volume();
+    EXPECT_NEAR(rho, 0.8442, 1e-10);
+}
+
+TEST(Lattice, PaperSizesAreFccCubes)
+{
+    // The paper's sizes 32k..2048k are 4 k^3 with k = 20, 40, 60, 80.
+    EXPECT_EQ(4 * 20 * 20 * 20, 32000);
+    EXPECT_EQ(4 * 40 * 40 * 40, 256000);
+    EXPECT_EQ(4 * 60 * 60 * 60, 864000);
+    EXPECT_EQ(4 * 80 * 80 * 80, 2048000);
+}
+
+TEST(Lattice, TagsAreUniqueAndDense)
+{
+    Simulation sim;
+    buildFcc(sim, 3, 3, 3, 1.0);
+    std::vector<bool> seen(sim.atoms.nlocal() + 1, false);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i) {
+        const auto tag = sim.atoms.tag[i];
+        ASSERT_GE(tag, 1);
+        ASSERT_LE(tag, static_cast<std::int64_t>(sim.atoms.nlocal()));
+        EXPECT_FALSE(seen[tag]);
+        seen[tag] = true;
+    }
+}
+
+TEST(Velocity, CreateHitsTargetTemperature)
+{
+    Simulation sim;
+    buildFcc(sim, 4, 4, 4, fccLatticeConstant(0.8442));
+    Rng rng(1234);
+    createVelocities(sim, 1.44, rng);
+    EXPECT_NEAR(sim.temperature(), 1.44, 1e-10);
+}
+
+TEST(Velocity, CreateZeroesMomentum)
+{
+    Simulation sim;
+    buildFcc(sim, 4, 4, 4, 1.0);
+    Rng rng(99);
+    createVelocities(sim, 2.0, rng);
+    Vec3 p{};
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        p += sim.atoms.v[i] * sim.atoms.massOf(i);
+    EXPECT_NEAR(p.norm(), 0.0, 1e-10);
+}
+
+TEST(Topology, TagMapPrefersOwnedAtoms)
+{
+    Simulation sim;
+    sim.atoms.setNumTypes(1);
+    sim.atoms.addAtom(1, 1, {0, 0, 0});
+    sim.atoms.addAtom(2, 1, {1, 0, 0});
+    sim.atoms.addGhost(0, {10, 0, 0});
+    sim.topology.buildTagMap(sim.atoms);
+    EXPECT_EQ(sim.topology.indexOf(1), 0);
+    EXPECT_EQ(sim.topology.indexOf(2), 1);
+    EXPECT_EQ(sim.topology.indexOf(42), -1);
+}
+
+TEST(Topology, ExclusionsCoverBondsAndAngles)
+{
+    Topology topo;
+    topo.bonds.push_back({1, 2, 1});
+    topo.angles.push_back({3, 4, 5, 1});
+    topo.buildExclusions();
+    EXPECT_TRUE(topo.excluded(1, 2));
+    EXPECT_TRUE(topo.excluded(2, 1));
+    EXPECT_TRUE(topo.excluded(3, 4));
+    EXPECT_TRUE(topo.excluded(4, 5));
+    EXPECT_TRUE(topo.excluded(3, 5));
+    EXPECT_FALSE(topo.excluded(1, 5));
+}
+
+} // namespace
+} // namespace mdbench

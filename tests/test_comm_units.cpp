@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Communication-layer and unit-system tests: SerialComm ghost
+ * bookkeeping under force folding and scalar exchange, box dilation
+ * interplay (NPT), and the lj/metal/real conversion constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forcefield/pair_lj_cut.h"
+#include "md/lattice.h"
+#include "md/simulation.h"
+#include "md/units.h"
+#include "util/error.h"
+#include "md/velocity.h"
+#include "util/rng.h"
+
+namespace mdbench {
+namespace {
+
+Simulation
+ghostedSystem()
+{
+    Simulation sim;
+    buildFcc(sim, 5, 5, 5, 1.7);
+    sim.neighbor.cutoff = 2.0;
+    sim.neighbor.skin = 0.3;
+    sim.comm->exchange(sim);
+    sim.comm->borders(sim);
+    return sim;
+}
+
+TEST(SerialComm, GhostsArePeriodicImages)
+{
+    Simulation sim = ghostedSystem();
+    ASSERT_GT(sim.atoms.nghost(), 0u);
+    const Vec3 len = sim.box.lengths();
+    for (std::size_t g = sim.atoms.nlocal(); g < sim.atoms.nall(); ++g) {
+        const auto owner = static_cast<std::size_t>(sim.atoms.ghostOf[g]);
+        const Vec3 delta = sim.atoms.x[g] - sim.atoms.x[owner];
+        // Each component is a multiple of the box length (0 or +-L).
+        for (double pair : {delta.x / len.x, delta.y / len.y,
+                            delta.z / len.z}) {
+            EXPECT_NEAR(pair, std::round(pair), 1e-12);
+            EXPECT_LE(std::fabs(pair), 1.0 + 1e-12);
+        }
+        EXPECT_EQ(sim.atoms.tag[g], sim.atoms.tag[owner]);
+    }
+}
+
+TEST(SerialComm, ForwardTracksOwnersAfterMotion)
+{
+    Simulation sim = ghostedSystem();
+    Rng rng(3);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.x[i] += Vec3{rng.uniform(-0.05, 0.05),
+                               rng.uniform(-0.05, 0.05),
+                               rng.uniform(-0.05, 0.05)};
+    sim.comm->forwardPositions(sim);
+    const Vec3 len = sim.box.lengths();
+    for (std::size_t g = sim.atoms.nlocal(); g < sim.atoms.nall(); ++g) {
+        const auto owner = static_cast<std::size_t>(sim.atoms.ghostOf[g]);
+        const Vec3 delta = sim.atoms.x[g] - sim.atoms.x[owner];
+        EXPECT_NEAR(delta.x / len.x, std::round(delta.x / len.x), 1e-12);
+        EXPECT_NEAR(delta.y / len.y, std::round(delta.y / len.y), 1e-12);
+        EXPECT_NEAR(delta.z / len.z, std::round(delta.z / len.z), 1e-12);
+    }
+}
+
+TEST(SerialComm, ForwardAdaptsToBoxDilation)
+{
+    // NPT dilates the box between rebuilds; ghost images must follow
+    // the *current* box lengths.
+    Simulation sim = ghostedSystem();
+    const Vec3 center = (sim.box.lo() + sim.box.hi()) * 0.5;
+    sim.box.dilate(1.02);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.x[i] = center + (sim.atoms.x[i] - center) * 1.02;
+    sim.comm->forwardPositions(sim);
+    const Vec3 len = sim.box.lengths();
+    for (std::size_t g = sim.atoms.nlocal(); g < sim.atoms.nall(); ++g) {
+        const auto owner = static_cast<std::size_t>(sim.atoms.ghostOf[g]);
+        const Vec3 delta = sim.atoms.x[g] - sim.atoms.x[owner];
+        EXPECT_NEAR(delta.x / len.x, std::round(delta.x / len.x), 1e-12);
+    }
+}
+
+TEST(SerialComm, ReverseFoldsForcesOntoOwners)
+{
+    Simulation sim = ghostedSystem();
+    sim.atoms.zeroForces();
+    // Deposit a marker force on every ghost.
+    for (std::size_t g = sim.atoms.nlocal(); g < sim.atoms.nall(); ++g)
+        sim.atoms.f[g] = {1.0, 2.0, 3.0};
+    const std::size_t nghost = sim.atoms.nghost();
+    sim.comm->reverseForces(sim);
+    Vec3 total{};
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        total += sim.atoms.f[i];
+    EXPECT_NEAR(total.x, 1.0 * nghost, 1e-9);
+    EXPECT_NEAR(total.y, 2.0 * nghost, 1e-9);
+    EXPECT_NEAR(total.z, 3.0 * nghost, 1e-9);
+    // Ghost accumulators were consumed.
+    for (std::size_t g = sim.atoms.nlocal(); g < sim.atoms.nall(); ++g)
+        EXPECT_DOUBLE_EQ(sim.atoms.f[g].norm(), 0.0);
+}
+
+TEST(SerialComm, ScalarRoundTrip)
+{
+    Simulation sim = ghostedSystem();
+    std::vector<double> values(sim.atoms.nall(), 0.0);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        values[i] = static_cast<double>(sim.atoms.tag[i]);
+    sim.comm->forwardScalar(sim, values);
+    for (std::size_t g = sim.atoms.nlocal(); g < sim.atoms.nall(); ++g)
+        EXPECT_DOUBLE_EQ(values[g],
+                         static_cast<double>(sim.atoms.tag[g]));
+
+    // Reverse: ghosts contribute back, owners accumulate.
+    std::vector<double> ones(sim.atoms.nall(), 1.0);
+    sim.comm->reverseScalar(sim, ones);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sum += ones[i];
+    EXPECT_NEAR(sum, static_cast<double>(sim.atoms.nlocal() +
+                                         sim.atoms.nghost()),
+                1e-9);
+}
+
+TEST(SerialComm, SmallBoxRejected)
+{
+    Simulation sim;
+    buildFcc(sim, 3, 3, 3, 1.0); // box edge 3
+    sim.neighbor.cutoff = 2.0;   // needs edge > 4.6
+    sim.neighbor.skin = 0.3;
+    sim.comm->exchange(sim);
+    EXPECT_THROW(sim.comm->borders(sim), FatalError);
+}
+
+TEST(Units, LjIsAllOnes)
+{
+    const Units lj = Units::lj();
+    EXPECT_DOUBLE_EQ(lj.boltz, 1.0);
+    EXPECT_DOUBLE_EQ(lj.mvv2e, 1.0);
+    EXPECT_DOUBLE_EQ(lj.ftm2v, 1.0);
+    EXPECT_DOUBLE_EQ(lj.qqr2e, 1.0);
+}
+
+TEST(Units, MetalConstants)
+{
+    const Units metal = Units::metal();
+    // g/mol * (A/ps)^2 -> eV.
+    EXPECT_NEAR(metal.mvv2e, 1.0364269e-4, 1e-9);
+    EXPECT_NEAR(metal.mvv2e * metal.ftm2v, 1.0, 1e-12);
+    EXPECT_NEAR(metal.boltz, 8.617333e-5, 1e-9);
+    EXPECT_NEAR(metal.qqr2e, 14.399645, 1e-5);
+}
+
+TEST(Units, RealConstants)
+{
+    const Units real = Units::real();
+    // 1 g/mol * (A/fs)^2 = 1e7 J/mol = 2390.06 kcal/mol.
+    EXPECT_NEAR(real.mvv2e, 1e7 / 4184.0, 0.01);
+    EXPECT_NEAR(real.boltz, 1.9872e-3, 1e-6);
+    EXPECT_NEAR(real.qqr2e, 332.06371, 1e-5);
+}
+
+TEST(Units, TemperatureConsistentAcrossSystems)
+{
+    // Equipartition: velocities sampled at T should read back as T in
+    // any unit system.
+    for (const Units &units : {Units::metal(), Units::real()}) {
+        Simulation sim;
+        buildFcc(sim, 4, 4, 4, 3.6);
+        sim.units = units;
+        sim.atoms.typeParams[1].mass = 55.0;
+        Rng rng(42);
+        createVelocities(sim, 450.0, rng);
+        EXPECT_NEAR(sim.temperature(), 450.0, 1e-9) << units.name;
+    }
+}
+
+} // namespace
+} // namespace mdbench

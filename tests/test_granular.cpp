@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Granular (gran/hooke/history) correctness: contact forces, energy
+ * dissipation, friction caps, shear history persistence, wall and
+ * gravity fixes, and rotational integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forcefield/pair_gran_hooke_history.h"
+#include "md/fix_gravity.h"
+#include "md/fix_nve.h"
+#include "md/fix_wall_gran.h"
+#include "md/simulation.h"
+
+namespace mdbench {
+namespace {
+
+constexpr double kKn = 200000.0;
+constexpr double kKt = 2.0 / 7.0 * kKn;
+constexpr double kGammaN = 50.0;
+constexpr double kGammaT = 25.0;
+constexpr double kXmu = 0.5;
+
+/** Two unit-diameter grains approaching head-on with speed v each. */
+Simulation
+collisionSetup(double gap, double speed)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {20, 20, 20});
+    sim.box.setPeriodic(true, true, true);
+    sim.atoms.setNumTypes(1);
+    sim.atoms.typeParams[1].radius = 0.5;
+    const std::size_t a = sim.atoms.addAtom(1, 1, {9.5 - gap / 2, 10, 10});
+    const std::size_t b = sim.atoms.addAtom(2, 1, {10.5 + gap / 2, 10, 10});
+    sim.atoms.v[a] = {speed, 0, 0};
+    sim.atoms.v[b] = {-speed, 0, 0};
+    sim.pair = std::make_unique<PairGranHookeHistory>(kKn, kKt, kGammaN,
+                                                      kGammaT, kXmu, 1.0);
+    sim.neighbor.skin = 0.1;
+    sim.dt = 1e-4;
+    sim.thermoEvery = 0;
+    sim.addFix<FixNVESphere>();
+    return sim;
+}
+
+TEST(GranPair, NoForceWithoutOverlap)
+{
+    Simulation sim = collisionSetup(0.05, 0.0);
+    sim.setup();
+    EXPECT_DOUBLE_EQ(sim.atoms.f[0].norm(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.atoms.f[1].norm(), 0.0);
+}
+
+TEST(GranPair, StaticOverlapGivesHookeanForce)
+{
+    Simulation sim = collisionSetup(-0.01, 0.0); // 1% overlap
+    sim.setup();
+    // F = kn * overlap on each grain, pushing them apart.
+    EXPECT_NEAR(sim.atoms.f[0].x, -kKn * 0.01, 1e-6);
+    EXPECT_NEAR(sim.atoms.f[1].x, kKn * 0.01, 1e-6);
+}
+
+TEST(GranPair, NewtonsThirdLawFromFullList)
+{
+    Simulation sim = collisionSetup(-0.02, 1.0);
+    sim.setup();
+    sim.run(10);
+    const Vec3 total = sim.atoms.f[0] + sim.atoms.f[1];
+    EXPECT_NEAR(total.norm(), 0.0, 1e-9);
+}
+
+TEST(GranPair, HeadOnCollisionDissipatesEnergy)
+{
+    Simulation sim = collisionSetup(0.02, 1.0);
+    sim.setup();
+    const double ke0 = sim.kineticEnergy();
+    sim.run(400); // through the collision
+    const double ke1 = sim.kineticEnergy();
+    // Grains separated again and lost energy to the normal dashpot.
+    const double gap = (sim.atoms.x[1] - sim.atoms.x[0]).norm();
+    EXPECT_GT(gap, 1.0);
+    EXPECT_LT(ke1, ke0);
+    EXPECT_GT(ke1, 0.0);
+    // Velocities reversed (they bounced).
+    EXPECT_LT(sim.atoms.v[0].x, 0.0);
+    EXPECT_GT(sim.atoms.v[1].x, 0.0);
+}
+
+TEST(GranPair, ObliqueContactInducesSpin)
+{
+    // Grain sliding tangentially across another builds tangential force
+    // and hence torque (frictional history at work).
+    Simulation sim = collisionSetup(-0.02, 0.0);
+    sim.atoms.v[0] = {0, 1.0, 0}; // tangential motion
+    sim.setup();
+    sim.run(50);
+    EXPECT_GT(std::fabs(sim.atoms.omega[0].z), 0.0);
+    EXPECT_GT(std::fabs(sim.atoms.omega[1].z), 0.0);
+}
+
+TEST(GranPair, FrictionCappedByCoulomb)
+{
+    Simulation sim = collisionSetup(-0.001, 0.0); // light overlap
+    sim.atoms.v[0] = {0, 5.0, 0};                 // fast sliding
+    sim.setup();
+    // Tangential force magnitude never exceeds xmu * |fn|.
+    for (int i = 0; i < 20; ++i) {
+        sim.run(1);
+        const Vec3 f = sim.atoms.f[0];
+        const double fn = std::fabs(f.x);
+        const double ft = std::sqrt(f.y * f.y + f.z * f.z);
+        if (fn > 0.0) {
+            EXPECT_LE(ft, kXmu * fn * 1.05) << "step " << i;
+        }
+    }
+}
+
+TEST(GranPair, HistoryPersistsAcrossSteps)
+{
+    Simulation sim = collisionSetup(-0.02, 0.0);
+    sim.atoms.v[0] = {0, 0.2, 0};
+    sim.setup();
+    sim.run(5);
+    auto &gran = static_cast<PairGranHookeHistory &>(*sim.pair);
+    EXPECT_GE(gran.historyCount(), 2u); // both directed sides tracked
+    // Tangential spring force grows with accumulated displacement while
+    // static friction holds.
+    const double ft1 = std::fabs(sim.atoms.f[0].y);
+    sim.run(5);
+    const double ft2 = std::fabs(sim.atoms.f[0].y);
+    EXPECT_GT(ft2, ft1 * 0.5);
+    EXPECT_GT(ft2, 0.0);
+}
+
+TEST(GranPair, HistoryClearedOnSeparation)
+{
+    Simulation sim = collisionSetup(0.02, 1.0);
+    sim.setup();
+    sim.run(400); // collide and separate
+    auto &gran = static_cast<PairGranHookeHistory &>(*sim.pair);
+    EXPECT_EQ(gran.historyCount(), 0u);
+}
+
+TEST(WallGran, SupportsParticleAgainstGravity)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {10, 10, 10});
+    sim.box.setPeriodic(true, true, false);
+    sim.atoms.setNumTypes(1);
+    sim.atoms.typeParams[1].radius = 0.5;
+    sim.atoms.addAtom(1, 1, {5, 5, 0.55});
+    sim.pair = std::make_unique<PairGranHookeHistory>(kKn, kKt, kGammaN,
+                                                      kGammaT, kXmu, 1.0);
+    sim.neighbor.skin = 0.1;
+    sim.dt = 1e-4;
+    sim.thermoEvery = 0;
+    sim.addFix<FixNVESphere>();
+    sim.addFix<FixGravity>(1.0, Vec3{0, 0, -1});
+    // Strong normal damping so the bounce cascade settles quickly.
+    sim.addFix<FixWallGran>(0.0, kKn, kKt, 500.0, kGammaT, kXmu);
+    sim.setup();
+    sim.run(20000);
+    // Particle settles just above the wall (z ~ radius).
+    EXPECT_NEAR(sim.atoms.x[0].z, 0.5, 0.05);
+    EXPECT_NEAR(sim.atoms.v[0].z, 0.0, 0.05);
+}
+
+TEST(FixGravity, ChuteTiltSplitsComponents)
+{
+    const FixGravity gravity = FixGravity::chute(1.0, 26.0);
+    const Vec3 &g = gravity.acceleration();
+    EXPECT_NEAR(g.x, std::sin(26.0 * M_PI / 180.0), 1e-12);
+    EXPECT_NEAR(g.z, -std::cos(26.0 * M_PI / 180.0), 1e-12);
+    EXPECT_DOUBLE_EQ(g.y, 0.0);
+}
+
+TEST(FixNVESphere, FreeRotationIsUniform)
+{
+    Simulation sim;
+    sim.box = Box({0, 0, 0}, {10, 10, 10});
+    sim.atoms.setNumTypes(1);
+    sim.atoms.typeParams[1].radius = 0.5;
+    sim.atoms.addAtom(1, 1, {5, 5, 5});
+    sim.atoms.omega[0] = {0, 0, 3.0};
+    sim.pair = std::make_unique<PairGranHookeHistory>(kKn, kKt, kGammaN,
+                                                      kGammaT, kXmu, 1.0);
+    sim.neighbor.skin = 0.1;
+    sim.dt = 1e-4;
+    sim.thermoEvery = 0;
+    sim.addFix<FixNVESphere>();
+    sim.setup();
+    sim.run(100);
+    EXPECT_NEAR(sim.atoms.omega[0].z, 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace mdbench

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Harness tests: sweep generation order, model-experiment records,
+ * figure-table rendering, and anchor reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+namespace mdbench {
+namespace {
+
+TEST(Sweep, RowMajorOrderMatchesFigureGrids)
+{
+    const auto specs = cpuSweep({BenchmarkId::LJ, BenchmarkId::EAM},
+                                {32, 256}, {1, 4});
+    ASSERT_EQ(specs.size(), 8u);
+    EXPECT_EQ(specs[0].benchmark, BenchmarkId::LJ);
+    EXPECT_EQ(specs[0].natoms, 32000);
+    EXPECT_EQ(specs[0].resources, 1);
+    EXPECT_EQ(specs[1].resources, 4);
+    EXPECT_EQ(specs[2].natoms, 256000);
+    EXPECT_EQ(specs[4].benchmark, BenchmarkId::EAM);
+    for (const auto &spec : specs)
+        EXPECT_EQ(spec.mode, ExperimentMode::ModelCpu);
+}
+
+TEST(Sweep, GpuSweepSetsMode)
+{
+    const auto specs = gpuSweep({BenchmarkId::LJ}, {32}, {1, 2, 4, 6, 8});
+    ASSERT_EQ(specs.size(), 5u);
+    for (const auto &spec : specs)
+        EXPECT_EQ(spec.mode, ExperimentMode::ModelGpu);
+}
+
+TEST(Sweep, OptionsPropagate)
+{
+    SweepOptions options;
+    options.kspaceAccuracy = 1e-6;
+    options.precision = Precision::Double;
+    const auto specs = cpuSweep({BenchmarkId::Rhodo}, {32}, {1}, options);
+    EXPECT_DOUBLE_EQ(specs[0].kspaceAccuracy, 1e-6);
+    EXPECT_EQ(specs[0].precision, Precision::Double);
+}
+
+TEST(Sweep, RunModelSweepProducesRecords)
+{
+    const auto records =
+        runModelSweep(cpuSweep({BenchmarkId::LJ}, {32}, {1, 8, 64}));
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_GT(records[2].timestepsPerSecond,
+              records[0].timestepsPerSecond);
+}
+
+TEST(Report, BreakdownTableHasTaskColumns)
+{
+    const auto records =
+        runModelSweep(cpuSweep({BenchmarkId::Rhodo}, {32}, {4}));
+    const Table table = makeBreakdownTable(records, "procs");
+    std::ostringstream os;
+    table.printAscii(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Pair%"), std::string::npos);
+    EXPECT_NE(out.find("Kspace%"), std::string::npos);
+    EXPECT_NE(out.find("rhodo"), std::string::npos);
+}
+
+TEST(Report, MpiFunctionTableHasInitColumn)
+{
+    const auto records =
+        runModelSweep(cpuSweep({BenchmarkId::LJ}, {32}, {8}));
+    const Table table = makeMpiFunctionTable(records);
+    std::ostringstream os;
+    table.printAscii(os);
+    EXPECT_NE(os.str().find("MPI_Init%"), std::string::npos);
+    EXPECT_NE(os.str().find("MPI_Wait%"), std::string::npos);
+}
+
+TEST(Report, ScalingTableGpuColumn)
+{
+    const auto records =
+        runModelSweep(gpuSweep({BenchmarkId::LJ}, {256}, {1, 8}));
+    const Table table = makeScalingTable(records, "GPUs", true);
+    std::ostringstream os;
+    table.printAscii(os);
+    EXPECT_NE(os.str().find("device util"), std::string::npos);
+}
+
+TEST(Report, AnchorReportComputesRatios)
+{
+    AnchorReport report;
+    report.add("thing", 10.0, 12.0);
+    report.add("other", 5.0, 5.0);
+    std::ostringstream os;
+    const double worst = report.print(os);
+    EXPECT_NEAR(worst, std::log(1.2), 1e-9);
+    EXPECT_NE(os.str().find("1.20x"), std::string::npos);
+}
+
+TEST(Report, EmitTableIncludesCsvBlock)
+{
+    Table table({"a"});
+    table.addRow({"1"});
+    std::ostringstream os;
+    emitTable(os, table, "test_tag");
+    EXPECT_NE(os.str().find("[csv:test_tag]"), std::string::npos);
+    EXPECT_NE(os.str().find("[/csv]"), std::string::npos);
+}
+
+TEST(Record, ModeNames)
+{
+    EXPECT_STREQ(experimentModeName(ExperimentMode::ModelCpu),
+                 "model-cpu");
+    EXPECT_STREQ(experimentModeName(ExperimentMode::NativeRanked),
+                 "native-ranked");
+}
+
+} // namespace
+} // namespace mdbench

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Integration tests of the timestep loop: NVE energy/momentum
+ * conservation, thermostats relaxing to setpoints, and the task-timer
+ * instrumentation of the Verlet loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forcefield/pair_lj_cut.h"
+#include "md/fix_langevin.h"
+#include "md/fix_nh.h"
+#include "md/fix_nve.h"
+#include "md/lattice.h"
+#include "md/simulation.h"
+#include "md/velocity.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdbench {
+namespace {
+
+/** Standard small LJ melt (rho* = 0.8442, T* = 1.44). */
+Simulation
+makeLJMelt(int cells, double temperature = 1.44)
+{
+    Simulation sim;
+    buildFcc(sim, cells, cells, cells, fccLatticeConstant(0.8442));
+    auto pair = std::make_unique<PairLJCut>(1, 2.5);
+    pair->setCoeff(1, 1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    sim.neighbor.skin = 0.3;
+    sim.dt = 0.005;
+    sim.thermoEvery = 0;
+    Rng rng(987);
+    createVelocities(sim, temperature, rng);
+    return sim;
+}
+
+TEST(IntegrateNVE, EnergyConservation)
+{
+    Simulation sim = makeLJMelt(5);
+    sim.addFix<FixNVE>();
+    sim.setup();
+    const double e0 = sim.kineticEnergy() + sim.potentialEnergy();
+    sim.run(400);
+    const double e1 = sim.kineticEnergy() + sim.potentialEnergy();
+    // Velocity Verlet at dt = 0.005 tau conserves energy to a small
+    // relative drift over 400 steps.
+    EXPECT_NEAR(e1, e0, 2e-3 * std::fabs(e0));
+}
+
+TEST(IntegrateNVE, EnergyDriftScalesWithTimestepSquared)
+{
+    // Property: halving dt reduces the energy drift by roughly 4x
+    // (2nd-order integrator). Allow generous slack for chaos.
+    auto driftFor = [&](double dt) {
+        Simulation sim = makeLJMelt(4);
+        sim.dt = dt;
+        sim.addFix<FixNVE>();
+        sim.setup();
+        const double e0 = sim.kineticEnergy() + sim.potentialEnergy();
+        sim.run(static_cast<long>(1.0 / dt));
+        const double e1 = sim.kineticEnergy() + sim.potentialEnergy();
+        return std::fabs(e1 - e0);
+    };
+    const double coarse = driftFor(0.008);
+    const double fine = driftFor(0.004);
+    EXPECT_LT(fine, coarse);
+}
+
+TEST(IntegrateNVE, MomentumConservation)
+{
+    Simulation sim = makeLJMelt(4);
+    sim.addFix<FixNVE>();
+    sim.setup();
+    sim.run(200);
+    Vec3 momentum{};
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        momentum += sim.atoms.v[i] * sim.atoms.massOf(i);
+    EXPECT_NEAR(momentum.norm(), 0.0, 1e-8);
+}
+
+TEST(IntegrateNVE, TemperatureEquilibratesNearMeltValue)
+{
+    // The classic LJ melt started at T = 1.44 on a lattice settles to
+    // roughly half the initial temperature as potential energy is
+    // released (LAMMPS bench thermo shows T ~ 0.7).
+    Simulation sim = makeLJMelt(5);
+    sim.addFix<FixNVE>();
+    sim.setup();
+    sim.run(500);
+    EXPECT_NEAR(sim.temperature(), 0.72, 0.12);
+}
+
+TEST(IntegrateNVE, TaskTimerCoversAllPhases)
+{
+    Simulation sim = makeLJMelt(4);
+    sim.addFix<FixNVE>();
+    sim.thermoEvery = 10;
+    sim.setup();
+    sim.run(60);
+    EXPECT_GT(sim.timer.seconds(Task::Pair), 0.0);
+    EXPECT_GT(sim.timer.seconds(Task::Neigh), 0.0);
+    EXPECT_GT(sim.timer.seconds(Task::Comm), 0.0);
+    EXPECT_GT(sim.timer.seconds(Task::Modify), 0.0);
+    EXPECT_GT(sim.timer.seconds(Task::Output), 0.0);
+    // Pair dominates an LJ run (the paper's Figure 3, lj row).
+    EXPECT_GT(sim.timer.fraction(Task::Pair), 0.4);
+}
+
+TEST(IntegrateNVE, ThermoLogSampledAtRequestedCadence)
+{
+    Simulation sim = makeLJMelt(4);
+    sim.addFix<FixNVE>();
+    sim.thermoEvery = 25;
+    sim.setup();
+    sim.run(100);
+    // setup() sample + steps 25, 50, 75, 100.
+    ASSERT_EQ(sim.thermoLog().size(), 5u);
+    EXPECT_EQ(sim.thermoLog()[0].step, 0);
+    EXPECT_EQ(sim.thermoLog()[4].step, 100);
+}
+
+TEST(Langevin, RelaxesToTargetTemperature)
+{
+    Simulation sim = makeLJMelt(4, 0.3);
+    sim.addFix<FixNVE>();
+    sim.addFix<FixLangevin>(1.0, 0.5, 777);
+    sim.setup();
+    sim.run(600);
+    // Average over a window to smooth fluctuations.
+    RunningStat temperature;
+    for (int i = 0; i < 200; ++i) {
+        sim.run(5);
+        temperature.push(sim.temperature());
+    }
+    EXPECT_NEAR(temperature.mean(), 1.0, 0.08);
+}
+
+TEST(NoseHoover, NVTRelaxesToTargetTemperature)
+{
+    Simulation sim = makeLJMelt(4, 2.0);
+    sim.addFix<FixNVT>(1.2, 0.5);
+    sim.setup();
+    sim.run(800);
+    RunningStat temperature;
+    for (int i = 0; i < 150; ++i) {
+        sim.run(5);
+        temperature.push(sim.temperature());
+    }
+    EXPECT_NEAR(temperature.mean(), 1.2, 0.1);
+}
+
+TEST(NoseHoover, NPTMovesPressureTowardTarget)
+{
+    Simulation sim = makeLJMelt(4, 1.44);
+    sim.addFix<FixNPT>(1.44, 0.5, 0.5, 5.0);
+    sim.setup();
+    const double p0 = sim.pressure();
+    sim.run(1200);
+    RunningStat pressure;
+    for (int i = 0; i < 100; ++i) {
+        sim.run(5);
+        pressure.push(sim.pressure());
+    }
+    // The LJ melt starts far above P = 0.5; NPT must move it closer.
+    EXPECT_LT(std::fabs(pressure.mean() - 0.5), std::fabs(p0 - 0.5) * 0.5);
+    EXPECT_NE(sim.box.volume(), 0.0);
+}
+
+} // namespace
+} // namespace mdbench

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Long-range solver correctness: Ewald against the known NaCl Madelung
+ * constant, PPPM against Ewald, and the error-threshold -> grid-size
+ * planning that drives the paper's Section 7 sensitivity study.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forcefield/pair_lj_charmm_coul_long.h"
+#include "kspace/ewald.h"
+#include "kspace/plan.h"
+#include "kspace/pppm.h"
+#include "md/lattice.h"
+#include "md/fix_nve.h"
+#include "md/simulation.h"
+#include "util/rng.h"
+
+namespace mdbench {
+namespace {
+
+/**
+ * Rocksalt (NaCl) lattice of 2*n^3 ions with nearest-neighbor spacing d,
+ * charges +-1, LJ disabled (pure Coulomb).
+ */
+void
+buildRocksalt(Simulation &sim, int n, double d)
+{
+    const double a = 2.0 * d;
+    sim.box = Box({0, 0, 0}, {n * a, n * a, n * a});
+    sim.atoms.setNumTypes(2);
+    std::int64_t tag = 1;
+    for (int iz = 0; iz < 2 * n; ++iz)
+        for (int iy = 0; iy < 2 * n; ++iy)
+            for (int ix = 0; ix < 2 * n; ++ix) {
+                const int sign = (ix + iy + iz) % 2 == 0 ? 1 : -1;
+                const std::size_t idx = sim.atoms.addAtom(
+                    tag++, sign > 0 ? 1 : 2,
+                    {ix * d, iy * d, iz * d});
+                sim.atoms.q[idx] = sign;
+            }
+}
+
+/** Neutral random charge cloud for solver cross-checks. */
+void
+buildRandomCharges(Simulation &sim, int nPairs, double length,
+                   std::uint64_t seed)
+{
+    sim.box = Box({0, 0, 0}, {length, length, length});
+    sim.atoms.setNumTypes(2);
+    Rng rng(seed);
+    std::int64_t tag = 1;
+    for (int i = 0; i < nPairs; ++i) {
+        for (int sign : {1, -1}) {
+            const std::size_t idx = sim.atoms.addAtom(
+                tag++, sign > 0 ? 1 : 2,
+                {rng.uniform(0, length), rng.uniform(0, length),
+                 rng.uniform(0, length)});
+            sim.atoms.q[idx] = sign;
+        }
+    }
+}
+
+/** Attach a Coulomb-only pair style (epsilon = 0 LJ). */
+void
+attachCoulombPair(Simulation &sim, double cutoff)
+{
+    auto pair = std::make_unique<PairLJCharmmCoulLong>(2, 0.9 * cutoff,
+                                                       0.95 * cutoff,
+                                                       cutoff);
+    pair->setCoeff(1, 0.0, 1.0);
+    pair->setCoeff(2, 0.0, 1.0);
+    sim.pair = std::move(pair);
+}
+
+TEST(Ewald, NaClMadelungEnergy)
+{
+    Simulation sim;
+    const double d = 1.0;
+    buildRocksalt(sim, 3, d); // (2n)^3 = 216 ions, box side 6d
+    attachCoulombPair(sim, 2.7);
+    sim.kspace = std::make_unique<Ewald>(1e-5);
+    sim.neighbor.skin = 0.1;
+    sim.setup();
+
+    const double perIon = sim.potentialEnergy() /
+                          static_cast<double>(sim.atoms.nlocal());
+    // Madelung: E/ion = -1.7475646 q^2 / (2 d) ... energy per ion is
+    // -M/2 per ion when counting each pair once; the standard lattice
+    // energy is -M q^2 / d per *ion pair*, i.e. -M/(2d) per ion.
+    EXPECT_NEAR(perIon, -1.7475646 / (2.0 * d), 2e-3);
+}
+
+TEST(Ewald, ForcesVanishOnPerfectLattice)
+{
+    Simulation sim;
+    buildRocksalt(sim, 3, 1.0);
+    attachCoulombPair(sim, 2.7);
+    sim.kspace = std::make_unique<Ewald>(1e-5);
+    sim.neighbor.skin = 0.1;
+    sim.setup();
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        EXPECT_NEAR(sim.atoms.f[i].norm(), 0.0, 1e-3) << i;
+}
+
+TEST(Ewald, EnergyIndependentOfCutoffSplit)
+{
+    // The erfc/real + kspace split must sum to the same total for
+    // different real-space cutoffs (the g parameter follows the cutoff).
+    double energies[2];
+    int idx = 0;
+    for (double cutoff : {2.0, 2.7}) {
+        Simulation sim;
+        buildRocksalt(sim, 3, 1.0);
+        attachCoulombPair(sim, cutoff);
+        sim.kspace = std::make_unique<Ewald>(1e-6);
+        sim.neighbor.skin = 0.1;
+        sim.setup();
+        energies[idx++] = sim.potentialEnergy();
+    }
+    EXPECT_NEAR(energies[0], energies[1],
+                2e-4 * std::fabs(energies[0]));
+}
+
+TEST(Pppm, MatchesEwaldEnergy)
+{
+    double ewaldEnergy = 0.0;
+    double pppmEnergy = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+        Simulation sim;
+        buildRandomCharges(sim, 40, 9.0, 2718);
+        attachCoulombPair(sim, 3.5);
+        if (pass == 0)
+            sim.kspace = std::make_unique<Ewald>(1e-5);
+        else
+            sim.kspace = std::make_unique<Pppm>(1e-5);
+        sim.neighbor.skin = 0.2;
+        sim.setup();
+        (pass == 0 ? ewaldEnergy : pppmEnergy) = sim.potentialEnergy();
+    }
+    EXPECT_NEAR(pppmEnergy, ewaldEnergy, 2e-3 * std::fabs(ewaldEnergy));
+}
+
+TEST(Pppm, MatchesEwaldForces)
+{
+    std::vector<Vec3> ewaldForces;
+    std::vector<Vec3> pppmForces;
+    double fScale = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+        Simulation sim;
+        buildRandomCharges(sim, 40, 9.0, 31415);
+        attachCoulombPair(sim, 3.5);
+        if (pass == 0)
+            sim.kspace = std::make_unique<Ewald>(1e-5);
+        else
+            sim.kspace = std::make_unique<Pppm>(1e-5);
+        sim.neighbor.skin = 0.2;
+        sim.setup();
+        auto &dst = pass == 0 ? ewaldForces : pppmForces;
+        dst.assign(sim.atoms.f.begin(),
+                   sim.atoms.f.begin() + sim.atoms.nlocal());
+        if (pass == 0) {
+            double sum = 0.0;
+            for (const auto &f : dst)
+                sum += f.normSq();
+            fScale = std::sqrt(sum / dst.size());
+        }
+    }
+    ASSERT_EQ(ewaldForces.size(), pppmForces.size());
+    for (std::size_t i = 0; i < ewaldForces.size(); ++i) {
+        EXPECT_NEAR((ewaldForces[i] - pppmForces[i]).norm() / fScale, 0.0,
+                    2e-2)
+            << "atom " << i;
+    }
+}
+
+TEST(Pppm, TighterThresholdReducesActualError)
+{
+    // Reference forces from a tight Ewald run.
+    std::vector<Vec3> reference;
+    {
+        Simulation sim;
+        buildRandomCharges(sim, 30, 8.0, 999);
+        attachCoulombPair(sim, 3.2);
+        sim.kspace = std::make_unique<Ewald>(1e-7);
+        sim.neighbor.skin = 0.2;
+        sim.setup();
+        reference.assign(sim.atoms.f.begin(),
+                         sim.atoms.f.begin() + sim.atoms.nlocal());
+    }
+    double rms[2];
+    int idx = 0;
+    for (double accuracy : {1e-3, 1e-6}) {
+        Simulation sim;
+        buildRandomCharges(sim, 30, 8.0, 999);
+        attachCoulombPair(sim, 3.2);
+        sim.kspace = std::make_unique<Pppm>(accuracy);
+        sim.neighbor.skin = 0.2;
+        sim.setup();
+        double sum = 0.0;
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            sum += (sim.atoms.f[i] - reference[i]).normSq();
+        rms[idx++] = std::sqrt(sum / reference.size());
+    }
+    EXPECT_LT(rms[1], rms[0]);
+}
+
+TEST(KspacePlan, GridGrowsWithTighterThreshold)
+{
+    // The mechanism behind the paper's Figures 10-14: lowering the error
+    // threshold inflates the PPPM mesh (more FFT work + communication).
+    KspaceProblem problem;
+    problem.boxLength = {55.0, 55.0, 55.0};
+    problem.natoms = 32000;
+    problem.qSqSum = 32000 * 0.5;
+    problem.qqr2e = 332.06371;
+    problem.cutoff = 10.0;
+    long lastPoints = 0;
+    for (double accuracy : {1e-4, 1e-5, 1e-6, 1e-7}) {
+        problem.accuracy = accuracy;
+        const KspacePlan plan = planKspace(problem);
+        EXPECT_GT(plan.gridPoints(), lastPoints) << accuracy;
+        lastPoints = plan.gridPoints();
+        EXPECT_TRUE(isSmooth235(plan.grid[0]));
+        EXPECT_TRUE(isSmooth235(plan.grid[1]));
+        EXPECT_TRUE(isSmooth235(plan.grid[2]));
+    }
+}
+
+TEST(KspacePlan, SplittingParameterFollowsLammpsHeuristic)
+{
+    KspaceProblem problem;
+    problem.boxLength = {30, 30, 30};
+    problem.natoms = 1000;
+    problem.qSqSum = 500.0;
+    problem.cutoff = 10.0;
+    problem.accuracy = 1e-4;
+    const KspacePlan plan = planKspace(problem);
+    EXPECT_NEAR(plan.gEwald, (1.35 - 0.15 * std::log(1e-4)) / 10.0, 1e-12);
+}
+
+TEST(KspacePlan, EstimatedErrorsBelowTarget)
+{
+    KspaceProblem problem;
+    problem.boxLength = {40, 40, 40};
+    problem.natoms = 8000;
+    problem.qSqSum = 4000.0;
+    problem.qqr2e = 332.06371;
+    problem.cutoff = 10.0;
+    problem.accuracy = 1e-5;
+    const KspacePlan plan = planKspace(problem);
+    EXPECT_LE(plan.kspaceError, problem.accuracy * problem.qqr2e * 1.01);
+}
+
+TEST(Pppm, StatsReportFourFftsPerStep)
+{
+    Simulation sim;
+    buildRandomCharges(sim, 20, 8.0, 12);
+    attachCoulombPair(sim, 3.0);
+    auto pppm = std::make_unique<Pppm>(1e-4);
+    Pppm *raw = pppm.get();
+    sim.kspace = std::move(pppm);
+    sim.neighbor.skin = 0.2;
+    sim.setup();
+    EXPECT_EQ(raw->stats().fftCount, 4);
+    EXPECT_GT(raw->stats().gridPoints, 0);
+}
+
+
+class PppmOrders : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PppmOrders, MatchesEwaldAcrossAssignmentOrders)
+{
+    // The assignment order is a quality knob: every supported order
+    // must agree with the Ewald reference within its accuracy class.
+    const int order = GetParam();
+    std::vector<Vec3> reference;
+    double fScale = 0.0;
+    {
+        Simulation sim;
+        buildRandomCharges(sim, 30, 8.5, 777);
+        attachCoulombPair(sim, 3.3);
+        sim.kspace = std::make_unique<Ewald>(1e-6);
+        sim.neighbor.skin = 0.2;
+        sim.setup();
+        reference.assign(sim.atoms.f.begin(),
+                         sim.atoms.f.begin() + sim.atoms.nlocal());
+        for (const auto &f : reference)
+            fScale += f.normSq();
+        fScale = std::sqrt(fScale / reference.size());
+    }
+    Simulation sim;
+    buildRandomCharges(sim, 30, 8.5, 777);
+    attachCoulombPair(sim, 3.3);
+    sim.kspace = std::make_unique<Pppm>(1e-5, order);
+    sim.neighbor.skin = 0.2;
+    sim.setup();
+    double rmse = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        rmse += (sim.atoms.f[i] - reference[i]).normSq();
+    rmse = std::sqrt(rmse / reference.size()) / fScale;
+    // Low orders are less accurate on the same mesh; all must stay
+    // within a few percent and high orders within a fraction of that.
+    EXPECT_LT(rmse, order >= 5 ? 5e-3 : 5e-2) << "order " << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(AssignmentOrders, PppmOrders,
+                         ::testing::Values(3, 4, 5, 6, 7));
+
+TEST(Pppm, EnergyStableUnderDynamics)
+{
+    // Run real dynamics with PPPM forces: total energy must be well
+    // behaved (no secular heating from force errors).
+    Simulation sim;
+    buildRandomCharges(sim, 30, 9.0, 4242);
+    attachCoulombPair(sim, 3.3);
+    // Give the ions LJ cores so they cannot collapse onto each other.
+    auto pair = std::make_unique<PairLJCharmmCoulLong>(2, 2.6, 3.0, 3.3);
+    pair->setCoeff(1, 0.2, 1.2);
+    pair->setCoeff(2, 0.2, 1.2);
+    sim.pair = std::move(pair);
+    sim.kspace = std::make_unique<Pppm>(1e-5);
+    sim.neighbor.skin = 0.3;
+    sim.dt = 0.002;
+    sim.thermoEvery = 0;
+    Rng rng(5);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.v[i] = {rng.gaussian() * 0.3, rng.gaussian() * 0.3,
+                          rng.gaussian() * 0.3};
+    sim.addFix<FixNVE>();
+    sim.setup();
+    const double e0 = sim.kineticEnergy() + sim.potentialEnergy();
+    sim.run(200);
+    const double e1 = sim.kineticEnergy() + sim.potentialEnergy();
+    EXPECT_NEAR(e1, e0, 0.03 * std::max(1.0, std::fabs(e0)));
+}
+
+} // namespace
+} // namespace mdbench

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Decomposition + simulated-MPI correctness: rank grids, migration and
+ * halo exchange, trajectory equivalence against serial runs, and the
+ * MPI accounting the paper's Figures 4/5 are built from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forcefield/bond_styles.h"
+#include "forcefield/pair_lj_cut.h"
+#include "md/fix_nve.h"
+#include "md/lattice.h"
+#include "md/simulation.h"
+#include "md/velocity.h"
+#include "parallel/decomp.h"
+#include "parallel/mpi_model.h"
+#include "parallel/ranked_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace mdbench {
+namespace {
+
+/** Serial LJ melt used as the reference workload. */
+void
+buildMelt(Simulation &sim, int cells, std::uint64_t seed)
+{
+    buildFcc(sim, cells, cells, cells, fccLatticeConstant(0.8442));
+    sim.dt = 0.005;
+    sim.thermoEvery = 0;
+    Rng rng(seed);
+    createVelocities(sim, 1.44, rng);
+}
+
+void
+configureLJ(Simulation &sim)
+{
+    auto pair = std::make_unique<PairLJCut>(1, 2.5);
+    pair->setCoeff(1, 1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    sim.neighbor.skin = 0.3;
+    sim.addFix<FixNVE>();
+}
+
+TEST(Decomposition, FactorsMinimizeSurface)
+{
+    Box cube({0, 0, 0}, {10, 10, 10});
+    const Decomposition d8(8, cube);
+    EXPECT_EQ(d8.grid()[0] * d8.grid()[1] * d8.grid()[2], 8);
+    EXPECT_EQ(d8.grid()[0], 2);
+    EXPECT_EQ(d8.grid()[1], 2);
+    EXPECT_EQ(d8.grid()[2], 2);
+
+    // An elongated box should be cut along its long axis.
+    Box slab({0, 0, 0}, {40, 10, 10});
+    const Decomposition d4(4, slab);
+    EXPECT_EQ(d4.grid()[0], 4);
+}
+
+TEST(Decomposition, RankCellRoundTrip)
+{
+    Box cube({0, 0, 0}, {10, 10, 10});
+    const Decomposition decomp(12, cube);
+    for (int r = 0; r < 12; ++r) {
+        const auto cell = decomp.cellOf(r);
+        EXPECT_EQ(decomp.rankOf(cell[0], cell[1], cell[2]), r);
+    }
+}
+
+TEST(Decomposition, OwnerMatchesBounds)
+{
+    Box cube({0, 0, 0}, {12, 12, 12});
+    const Decomposition decomp(8, cube);
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const Vec3 pos{rng.uniform(0, 12), rng.uniform(0, 12),
+                       rng.uniform(0, 12)};
+        const int owner = decomp.ownerOf(pos);
+        Vec3 lo;
+        Vec3 hi;
+        decomp.bounds(owner, lo, hi);
+        EXPECT_GE(pos.x, lo.x - 1e-12);
+        EXPECT_LT(pos.x, hi.x + 1e-12);
+        EXPECT_GE(pos.y, lo.y - 1e-12);
+        EXPECT_LT(pos.y, hi.y + 1e-12);
+    }
+}
+
+TEST(Decomposition, GhostFractionShrinksWithSize)
+{
+    Box small({0, 0, 0}, {20, 20, 20});
+    Box large({0, 0, 0}, {80, 80, 80});
+    const Decomposition dSmall(8, small);
+    const Decomposition dLarge(8, large);
+    // Bigger subdomains -> smaller surface-to-volume comm share, the
+    // Section 5.1 argument for why larger systems scale better.
+    EXPECT_LT(dLarge.ghostFraction(2.8), dSmall.ghostFraction(2.8));
+}
+
+TEST(MpiModel, FunctionNames)
+{
+    EXPECT_STREQ(mpiFunctionName(MpiFunction::Init), "MPI_Init");
+    EXPECT_STREQ(mpiFunctionName(MpiFunction::Allreduce), "MPI_Allreduce");
+    EXPECT_STREQ(mpiFunctionName(MpiFunction::Others), "others");
+}
+
+TEST(MpiModel, TimesScaleSensibly)
+{
+    MpiMachineModel machine;
+    EXPECT_GT(machine.sendTime(1 << 20), machine.sendTime(64));
+    EXPECT_GT(machine.allreduceTime(8, 64), machine.allreduceTime(8, 4));
+    EXPECT_DOUBLE_EQ(machine.allreduceTime(8, 1), 0.0);
+    // MPI_Init grows with rank count (paper Section 5.1).
+    EXPECT_GT(machine.initTime(64), machine.initTime(4));
+}
+
+TEST(MpiStats, AccountingAndFractions)
+{
+    MpiStats stats(2);
+    stats.add(0, MpiFunction::Send, 1.0);
+    stats.add(1, MpiFunction::Send, 3.0);
+    stats.add(1, MpiFunction::Wait, 2.0);
+    EXPECT_DOUBLE_EQ(stats.rankTotal(1), 5.0);
+    EXPECT_DOUBLE_EQ(stats.meanTotal(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.meanFunction(MpiFunction::Send), 2.0);
+    EXPECT_NEAR(stats.functionFraction(MpiFunction::Send), 2.0 / 3.0,
+                1e-12);
+}
+
+class RankedEquivalence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RankedEquivalence, MatchesSerialTrajectory)
+{
+    const int nranks = GetParam();
+    const long steps = 25;
+
+    // Serial reference.
+    Simulation serial;
+    buildMelt(serial, 5, 42);
+    configureLJ(serial);
+    serial.setup();
+    serial.run(steps);
+
+    // Ranked run from the identical initial state.
+    Simulation global;
+    buildMelt(global, 5, 42);
+    RankedSimulation ranked(global, nranks, configureLJ);
+    ranked.setup();
+    ranked.run(steps);
+
+    ASSERT_EQ(ranked.totalAtoms(), serial.atoms.nlocal());
+    Simulation gathered;
+    ranked.gather(gathered);
+
+    // Sort serial by tag for comparison.
+    std::vector<std::pair<std::int64_t, Vec3>> serialPos;
+    for (std::size_t i = 0; i < serial.atoms.nlocal(); ++i)
+        serialPos.push_back({serial.atoms.tag[i],
+                             serial.box.wrap(serial.atoms.x[i])});
+    std::sort(serialPos.begin(), serialPos.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < gathered.atoms.nlocal(); ++i) {
+        ASSERT_EQ(gathered.atoms.tag[i], serialPos[i].first);
+        const Vec3 delta = serial.box.minimumImage(
+            gathered.box.wrap(gathered.atoms.x[i]) - serialPos[i].second);
+        worst = std::max(worst, delta.norm());
+    }
+    // Same physics, different summation order: tiny divergence only.
+    EXPECT_LT(worst, 1e-7) << nranks << " ranks";
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RankedEquivalence,
+                         ::testing::Values(2, 4, 8));
+
+TEST(Ranked, AtomCountConservedUnderMigration)
+{
+    Simulation global;
+    buildMelt(global, 5, 7);
+    const std::size_t n = global.atoms.nlocal();
+    RankedSimulation ranked(global, 8, configureLJ);
+    ranked.setup();
+    ranked.run(120); // long enough for many migrations
+    EXPECT_EQ(ranked.totalAtoms(), n);
+}
+
+TEST(Ranked, EnergyConserved)
+{
+    Simulation global;
+    buildMelt(global, 5, 11);
+    RankedSimulation ranked(global, 4, configureLJ);
+    ranked.setup();
+
+    auto totalEnergy = [&]() {
+        double energy = 0.0;
+        for (int r = 0; r < ranked.nranks(); ++r) {
+            energy += ranked.rank(r).kineticEnergy();
+            energy += ranked.rank(r).pair->energy();
+        }
+        return energy;
+    };
+    const double e0 = totalEnergy();
+    ranked.run(300);
+    EXPECT_NEAR(totalEnergy(), e0, 3e-3 * std::fabs(e0));
+}
+
+TEST(Ranked, MpiStatsPopulated)
+{
+    Simulation global;
+    buildMelt(global, 4, 3);
+    RankedSimulation ranked(global, 4, configureLJ);
+    ranked.setup();
+    ranked.run(30);
+    const MpiStats &stats = ranked.mpiStats();
+    EXPECT_GT(stats.meanFunction(MpiFunction::Init), 0.0);
+    EXPECT_GT(stats.meanFunction(MpiFunction::Send), 0.0);
+    EXPECT_GT(stats.meanFunction(MpiFunction::Sendrecv), 0.0);
+    EXPECT_GT(stats.meanFunction(MpiFunction::Allreduce), 0.0);
+    EXPECT_GT(ranked.commBytes(), 0u);
+    EXPECT_GT(ranked.virtualTime(), 0.0);
+}
+
+TEST(Ranked, BondedChainMatchesSerial)
+{
+    // A few short FENE chains exercised across subdomain boundaries.
+    auto buildChains = [](Simulation &sim) {
+        sim.box = Box({0, 0, 0}, {12, 12, 12});
+        sim.atoms.setNumTypes(1);
+        std::int64_t tag = 1;
+        Rng rng(17);
+        for (int c = 0; c < 12; ++c) {
+            Vec3 pos{rng.uniform(1, 11), rng.uniform(1, 11),
+                     rng.uniform(1, 11)};
+            for (int m = 0; m < 8; ++m) {
+                sim.atoms.addAtom(tag, 1, pos);
+                if (m > 0)
+                    sim.topology.bonds.push_back({tag - 1, tag, 1});
+                ++tag;
+                pos += Vec3{0.97, 0, 0};
+            }
+        }
+        sim.dt = 0.004;
+        sim.thermoEvery = 0;
+        Rng vrng(23);
+        createVelocities(sim, 0.8, vrng);
+    };
+    auto configureChain = [](Simulation &sim) {
+        auto pair = std::make_unique<PairLJCut>(
+            1, std::pow(2.0, 1.0 / 6.0), true);
+        pair->setCoeff(1, 1, 1.0, 1.0);
+        sim.pair = std::move(pair);
+        sim.bondStyle = std::make_unique<BondFENE>();
+        sim.neighbor.skin = 0.4;
+        sim.addFix<FixNVE>();
+    };
+
+    Simulation serial;
+    buildChains(serial);
+    configureChain(serial);
+    serial.setup();
+    serial.run(20);
+
+    Simulation global;
+    buildChains(global);
+    RankedSimulation ranked(global, 4, configureChain);
+    ranked.setup();
+    ranked.run(20);
+
+    Simulation gathered;
+    ranked.gather(gathered);
+    std::vector<std::pair<std::int64_t, Vec3>> serialPos;
+    for (std::size_t i = 0; i < serial.atoms.nlocal(); ++i)
+        serialPos.push_back({serial.atoms.tag[i],
+                             serial.box.wrap(serial.atoms.x[i])});
+    std::sort(serialPos.begin(), serialPos.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < gathered.atoms.nlocal(); ++i) {
+        const Vec3 delta = serial.box.minimumImage(
+            gathered.box.wrap(gathered.atoms.x[i]) - serialPos[i].second);
+        EXPECT_LT(delta.norm(), 1e-7) << "tag " << gathered.atoms.tag[i];
+    }
+}
+
+TEST(Ranked, KspaceRejected)
+{
+    Simulation global;
+    buildMelt(global, 4, 1);
+    global.kspace = nullptr; // fine
+    // SHAKE clusters rejected:
+    global.topology.shakeClusters.push_back({});
+    EXPECT_THROW(RankedSimulation(global, 2, configureLJ), FatalError);
+}
+
+} // namespace
+} // namespace mdbench

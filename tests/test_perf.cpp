@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Platform-model tests: Table 2/3 data fidelity, cost-model invariants,
+ * paper-anchor agreement, and the sensitivity-study mechanisms
+ * (threshold -> slowdown, precision -> slowdown).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/cpu_model.h"
+#include "perf/platform.h"
+#include "perf/power.h"
+#include "perf/workload.h"
+#include "util/error.h"
+
+namespace mdbench {
+namespace {
+
+/** Loose factor-band check for paper anchors (shape, not digits). */
+void
+expectNear(double measured, double paper, double band,
+           const std::string &what)
+{
+    EXPECT_GT(measured, paper / band) << what;
+    EXPECT_LT(measured, paper * band) << what;
+}
+
+TEST(Platform, Table3CpuInstance)
+{
+    const PlatformInstance cpu = PlatformInstance::cpuInstance();
+    EXPECT_EQ(cpu.cpu.cores, 32);
+    EXPECT_EQ(cpu.cpu.threads, 64);
+    EXPECT_EQ(cpu.sockets, 2);
+    EXPECT_EQ(cpu.totalCores(), 64);
+    EXPECT_DOUBLE_EQ(cpu.cpu.baseGHz, 2.6);
+    EXPECT_DOUBLE_EQ(cpu.cpu.tdpW, 250.0);
+    EXPECT_EQ(cpu.memoryGB, 1024);
+    EXPECT_FALSE(cpu.gpu.has_value());
+}
+
+TEST(Platform, Table3GpuInstance)
+{
+    const PlatformInstance gpu = PlatformInstance::gpuInstance();
+    EXPECT_EQ(gpu.cpu.cores, 26);
+    EXPECT_EQ(gpu.gpuCount, 8);
+    ASSERT_TRUE(gpu.gpu.has_value());
+    EXPECT_EQ(gpu.gpu->sms, 84);
+    EXPECT_DOUBLE_EQ(gpu.gpu->tdpW, 300.0);
+    EXPECT_DOUBLE_EQ(gpu.gpu->freqGHz, 1.35);
+}
+
+TEST(Workload, Table2Taxonomy)
+{
+    const WorkloadSpec rhodo = WorkloadSpec::get(BenchmarkId::Rhodo);
+    EXPECT_DOUBLE_EQ(rhodo.cutoff, 10.0);
+    EXPECT_DOUBLE_EQ(rhodo.skin, 2.0);
+    EXPECT_DOUBLE_EQ(rhodo.neighborsPerAtom, 440.0);
+    EXPECT_TRUE(rhodo.usesKspace);
+    EXPECT_TRUE(rhodo.nptIntegration);
+
+    const WorkloadSpec lj = WorkloadSpec::get(BenchmarkId::LJ);
+    EXPECT_DOUBLE_EQ(lj.cutoff, 2.5);
+    EXPECT_DOUBLE_EQ(lj.neighborsPerAtom, 55.0);
+    EXPECT_TRUE(lj.newton3);
+
+    const WorkloadSpec chain = WorkloadSpec::get(BenchmarkId::Chain);
+    EXPECT_NEAR(chain.cutoff, 1.12, 0.01);
+    EXPECT_DOUBLE_EQ(chain.neighborsPerAtom, 5.0);
+    EXPECT_TRUE(chain.hasBonds);
+
+    const WorkloadSpec eam = WorkloadSpec::get(BenchmarkId::EAM);
+    EXPECT_DOUBLE_EQ(eam.cutoff, 4.95);
+    EXPECT_DOUBLE_EQ(eam.neighborsPerAtom, 45.0);
+
+    const WorkloadSpec chute = WorkloadSpec::get(BenchmarkId::Chute);
+    EXPECT_FALSE(chute.newton3);
+    EXPECT_DOUBLE_EQ(chute.neighborsPerAtom, 7.0);
+}
+
+TEST(Workload, PairInteractionsRespectNewton)
+{
+    const auto lj = WorkloadInstance::make(BenchmarkId::LJ, 1000);
+    EXPECT_DOUBLE_EQ(lj.pairInteractionsPerStep(), 1000 * 55.0 / 2.0);
+    const auto chute = WorkloadInstance::make(BenchmarkId::Chute, 1000);
+    EXPECT_DOUBLE_EQ(chute.pairInteractionsPerStep(), 1000 * 7.0);
+}
+
+TEST(Workload, BoxMatchesDensity)
+{
+    const auto lj = WorkloadInstance::make(BenchmarkId::LJ, 32000);
+    const double volume =
+        lj.boxLength.x * lj.boxLength.y * lj.boxLength.z;
+    EXPECT_NEAR(32000.0 / volume, 0.8442, 1e-6);
+}
+
+TEST(Workload, KspaceGridGrowsWithThreshold)
+{
+    long last = 0;
+    for (double accuracy : paperErrorThresholds()) {
+        const auto w =
+            WorkloadInstance::make(BenchmarkId::Rhodo, 256000, accuracy);
+        EXPECT_GT(w.kspaceGridPoints(), last);
+        last = w.kspaceGridPoints();
+    }
+    // Over three decades the mesh must grow by well over an order of
+    // magnitude (the Section 7 mechanism).
+    const auto loose = WorkloadInstance::make(BenchmarkId::Rhodo, 256000,
+                                              1e-4);
+    EXPECT_GT(static_cast<double>(last) / loose.kspaceGridPoints(), 15.0);
+}
+
+TEST(CpuModel, BreakdownFractionsSumToOne)
+{
+    const CpuModel model;
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto w = WorkloadInstance::make(id, 256000);
+        const auto result = model.evaluate(w, 16);
+        double sum = 0.0;
+        for (std::size_t t = 0; t < kNumTasks; ++t)
+            sum += result.taskBreakdown.fraction(static_cast<Task>(t));
+        EXPECT_NEAR(sum, 1.0, 1e-9) << benchmarkName(id);
+    }
+}
+
+TEST(CpuModel, ThroughputMonotonicInRanksForLargeSystems)
+{
+    const CpuModel model;
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto w = WorkloadInstance::make(id, 2048000);
+        double last = 0.0;
+        for (int ranks : paperRankCounts()) {
+            const double ts =
+                model.evaluate(w, ranks).timestepsPerSecond;
+            EXPECT_GT(ts, last) << benchmarkName(id) << " " << ranks;
+            last = ts;
+        }
+    }
+}
+
+TEST(CpuModel, ThroughputDecreasesWithSize)
+{
+    const CpuModel model;
+    for (BenchmarkId id : allBenchmarks()) {
+        double last = 1e300;
+        for (long sizeK : paperSizesK()) {
+            const auto w = WorkloadInstance::make(id, sizeK * 1000);
+            const double ts = model.evaluate(w, 64).timestepsPerSecond;
+            EXPECT_LT(ts, last) << benchmarkName(id);
+            last = ts;
+        }
+    }
+}
+
+TEST(CpuModel, ParallelEfficiencyBounded)
+{
+    const CpuModel model;
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto w = WorkloadInstance::make(id, 864000);
+        for (int ranks : paperRankCounts()) {
+            const double eff = model.parallelEfficiency(w, ranks);
+            EXPECT_GT(eff, 15.0) << benchmarkName(id);
+            EXPECT_LT(eff, 135.0) << benchmarkName(id);
+        }
+    }
+}
+
+TEST(CpuModel, MpiShareDecreasesWithSize)
+{
+    // Fig. 4 trend: bigger systems -> smaller MPI share.
+    const CpuModel model;
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto small = WorkloadInstance::make(id, 32000);
+        const auto large = WorkloadInstance::make(id, 2048000);
+        EXPECT_GT(model.evaluate(small, 64).mpiTimePercent,
+                  model.evaluate(large, 64).mpiTimePercent)
+            << benchmarkName(id);
+    }
+}
+
+TEST(CpuModel, PairShareTracksNeighborsPerAtom)
+{
+    // Section 5 finding: neighbors/atom, not the force field, drives
+    // the Pair share. LJ (55) > Chain (5) and Chute (7) at one rank.
+    const CpuModel model;
+    const auto lj = WorkloadInstance::make(BenchmarkId::LJ, 256000);
+    const auto chain = WorkloadInstance::make(BenchmarkId::Chain, 256000);
+    const auto chute = WorkloadInstance::make(BenchmarkId::Chute, 256000);
+    const double ljPair =
+        model.evaluate(lj, 1).taskBreakdown.fraction(Task::Pair);
+    EXPECT_GT(ljPair, 0.75); // "over 75% ... if not parallelized"
+    EXPECT_GT(ljPair,
+              model.evaluate(chain, 1).taskBreakdown.fraction(Task::Pair));
+    EXPECT_GT(ljPair,
+              model.evaluate(chute, 1).taskBreakdown.fraction(Task::Pair));
+}
+
+TEST(CpuModel, PaperAnchors)
+{
+    const CpuModel model;
+    const double band = 1.45; // reproduce within ~±45 %
+
+    const auto rhodo4 =
+        WorkloadInstance::make(BenchmarkId::Rhodo, 2048000, 1e-4);
+    expectNear(model.evaluate(rhodo4, 64).timestepsPerSecond, 10.77, band,
+               "rhodo 2M 64r 1e-4");
+    expectNear(model.parallelEfficiency(rhodo4, 64), 74.29, 1.25,
+               "rhodo 2M eff");
+
+    const auto rhodo7 =
+        WorkloadInstance::make(BenchmarkId::Rhodo, 2048000, 1e-7);
+    expectNear(model.evaluate(rhodo7, 64).timestepsPerSecond, 3.54, band,
+               "rhodo 2M 64r 1e-7");
+    expectNear(model.parallelEfficiency(rhodo7, 64), 56.54, 1.25,
+               "rhodo 2M eff 1e-7");
+
+    const auto ljSingle = WorkloadInstance::make(
+        BenchmarkId::LJ, 2048000, 1e-4, Precision::Single);
+    expectNear(model.evaluate(ljSingle, 64).timestepsPerSecond, 115.2,
+               band, "lj single");
+    const auto ljDouble = WorkloadInstance::make(
+        BenchmarkId::LJ, 2048000, 1e-4, Precision::Double);
+    expectNear(model.evaluate(ljDouble, 64).timestepsPerSecond, 98.9,
+               band, "lj double");
+
+    const auto chute = WorkloadInstance::make(BenchmarkId::Chute, 32000);
+    expectNear(model.evaluate(chute, 64).timestepsPerSecond, 10697.0,
+               band, "chute 32k best");
+
+    // ~2 ns/day for the 2M-atom rhodopsin run (Section 10).
+    expectNear(model.evaluate(rhodo4, 64).nsPerDay, 2.0, 1.35,
+               "rhodo ns/day");
+}
+
+TEST(CpuModel, PrecisionOrdering)
+{
+    const CpuModel model;
+    for (BenchmarkId id : allBenchmarks()) {
+        const auto single = WorkloadInstance::make(id, 864000, 1e-4,
+                                                   Precision::Single);
+        const auto mixed = WorkloadInstance::make(id, 864000, 1e-4,
+                                                  Precision::Mixed);
+        const auto dbl = WorkloadInstance::make(id, 864000, 1e-4,
+                                                Precision::Double);
+        const double tsS = model.evaluate(single, 32).timestepsPerSecond;
+        const double tsM = model.evaluate(mixed, 32).timestepsPerSecond;
+        const double tsD = model.evaluate(dbl, 32).timestepsPerSecond;
+        EXPECT_GE(tsS, tsM) << benchmarkName(id);
+        EXPECT_GT(tsM, tsD) << benchmarkName(id);
+    }
+}
+
+TEST(CpuModel, ThresholdSlowdownMatchesPaperShape)
+{
+    // 10.77 -> 3.54 TS/s is a ~3x slowdown; require 2x..6x.
+    const CpuModel model;
+    const auto loose =
+        WorkloadInstance::make(BenchmarkId::Rhodo, 2048000, 1e-4);
+    const auto tight =
+        WorkloadInstance::make(BenchmarkId::Rhodo, 2048000, 1e-7);
+    const double ratio = model.evaluate(loose, 64).timestepsPerSecond /
+                         model.evaluate(tight, 64).timestepsPerSecond;
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 6.0);
+    // Kspace dominates the tight-threshold breakdown (Fig. 11).
+    EXPECT_GT(model.evaluate(tight, 64).taskBreakdown.fraction(
+                  Task::Kspace),
+              0.5);
+}
+
+TEST(CpuModel, MpiOverheadShrinksAtTighterThreshold)
+{
+    // Paper Section 7: the relative MPI overhead is *reduced* as
+    // compute grows faster than communication.
+    const CpuModel model;
+    const auto loose =
+        WorkloadInstance::make(BenchmarkId::Rhodo, 864000, 1e-4);
+    const auto tight =
+        WorkloadInstance::make(BenchmarkId::Rhodo, 864000, 1e-7);
+    EXPECT_GT(model.evaluate(loose, 64).mpiImbalancePercent,
+              model.evaluate(tight, 64).mpiImbalancePercent);
+}
+
+TEST(CpuModel, CoreUtilizationProfile)
+{
+    // Section 5.2: chute 24% < lj 48% < chain 56% < eam 63% < rhodo 83%.
+    EXPECT_LT(WorkloadSpec::get(BenchmarkId::Chute).coreUtilization,
+              WorkloadSpec::get(BenchmarkId::LJ).coreUtilization);
+    EXPECT_LT(WorkloadSpec::get(BenchmarkId::LJ).coreUtilization,
+              WorkloadSpec::get(BenchmarkId::Chain).coreUtilization);
+    EXPECT_LT(WorkloadSpec::get(BenchmarkId::Chain).coreUtilization,
+              WorkloadSpec::get(BenchmarkId::EAM).coreUtilization);
+    EXPECT_LT(WorkloadSpec::get(BenchmarkId::EAM).coreUtilization,
+              WorkloadSpec::get(BenchmarkId::Rhodo).coreUtilization);
+}
+
+TEST(Power, CpuPowerWithinTdpEnvelope)
+{
+    const PlatformInstance platform = PlatformInstance::cpuInstance();
+    const double idle = cpuNodeWatts(platform, 0, 0.0);
+    const double busy = cpuNodeWatts(platform, 64, 1.0);
+    EXPECT_GT(idle, 50.0);
+    EXPECT_LT(idle, busy);
+    EXPECT_LT(busy, 2 * 250.0 + 100.0);
+}
+
+TEST(Power, GpuPowerScalesWithUtilization)
+{
+    const GpuSpec gpu = *PlatformInstance::gpuInstance().gpu;
+    EXPECT_LT(gpuDeviceWatts(gpu, 0.0), gpuDeviceWatts(gpu, 1.0));
+    EXPECT_NEAR(gpuDeviceWatts(gpu, 1.0), 300.0, 1e-9);
+}
+
+TEST(Power, InvalidInputsThrow)
+{
+    const PlatformInstance platform = PlatformInstance::cpuInstance();
+    EXPECT_THROW(cpuNodeWatts(platform, 999, 0.5), FatalError);
+    EXPECT_THROW(cpuNodeWatts(platform, 4, 2.0), FatalError);
+}
+
+} // namespace
+} // namespace mdbench

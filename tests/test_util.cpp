@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the util subsystem: RNG, stats, timers, tables, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace mdbench {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i)
+        stat.push(rng.uniform());
+    EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStat stat;
+    for (int i = 0; i < 200000; ++i)
+        stat.push(rng.gaussian());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange)
+{
+    Rng rng(17);
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 90000; ++i)
+        ++counts[rng.uniformInt(3)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 30000, 1000);
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng a(5);
+    Rng b = a.split();
+    EXPECT_NE(a.nextU64(), b.nextU64());
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.push(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Imbalance, MatchesDefinition)
+{
+    const Imbalance imb = Imbalance::fromSamples({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(imb.max, 3.0);
+    EXPECT_DOUBLE_EQ(imb.mean, 2.0);
+    EXPECT_NEAR(imb.imbalancePercent(), (3.0 - 2.0) / 3.0 * 100.0, 1e-12);
+}
+
+TEST(Imbalance, UniformLoadIsZero)
+{
+    const Imbalance imb = Imbalance::fromSamples({2.0, 2.0, 2.0, 2.0});
+    EXPECT_DOUBLE_EQ(imb.imbalancePercent(), 0.0);
+}
+
+TEST(TaskTimer, AccumulatesAndFractions)
+{
+    TaskTimer timer;
+    timer.add(Task::Pair, 3.0);
+    timer.add(Task::Comm, 1.0);
+    EXPECT_DOUBLE_EQ(timer.total(), 4.0);
+    EXPECT_DOUBLE_EQ(timer.fraction(Task::Pair), 0.75);
+    EXPECT_DOUBLE_EQ(timer.seconds(Task::Kspace), 0.0);
+}
+
+TEST(TaskTimer, MergeAdds)
+{
+    TaskTimer a;
+    TaskTimer b;
+    a.add(Task::Neigh, 1.0);
+    b.add(Task::Neigh, 2.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.seconds(Task::Neigh), 3.0);
+}
+
+TEST(TaskTimer, MeasuredTimeIsPositive)
+{
+    TaskTimer timer;
+    {
+        ScopedTask scope(timer, Task::Other);
+        volatile double x = 0.0;
+        for (int i = 0; i < 100000; ++i)
+            x = x + std::sqrt(static_cast<double>(i));
+        (void)x;
+    }
+    EXPECT_GT(timer.seconds(Task::Other), 0.0);
+}
+
+TEST(TaskTimer, TaskNamesMatchTable1)
+{
+    EXPECT_STREQ(taskName(Task::Bond), "Bond");
+    EXPECT_STREQ(taskName(Task::Comm), "Comm");
+    EXPECT_STREQ(taskName(Task::Kspace), "Kspace");
+    EXPECT_STREQ(taskName(Task::Modify), "Modify");
+    EXPECT_STREQ(taskName(Task::Neigh), "Neigh");
+    EXPECT_STREQ(taskName(Task::Output), "Output");
+    EXPECT_STREQ(taskName(Task::Pair), "Pair");
+    EXPECT_STREQ(taskName(Task::Other), "Other");
+}
+
+TEST(Table, AsciiHasAllCells)
+{
+    Table table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"beta", "2"});
+    std::ostringstream os;
+    table.printAscii(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table table({"a"});
+    table.addRow({"x,y"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+}
+
+TEST(Strings, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strings, FormatThreshold)
+{
+    EXPECT_EQ(formatThreshold(1e-4), "1.0e-4");
+    EXPECT_EQ(formatThreshold(1e-7), "1.0e-7");
+}
+
+TEST(Errors, FatalAndPanicTypes)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_NO_THROW(require(true, "ok"));
+    EXPECT_THROW(require(false, "no"), FatalError);
+    EXPECT_THROW(ensure(false, "no"), PanicError);
+}
+
+} // namespace
+} // namespace mdbench
