@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gpu_offload"
+  "../bench/bench_ablation_gpu_offload.pdb"
+  "CMakeFiles/bench_ablation_gpu_offload.dir/bench_ablation_gpu_offload.cpp.o"
+  "CMakeFiles/bench_ablation_gpu_offload.dir/bench_ablation_gpu_offload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

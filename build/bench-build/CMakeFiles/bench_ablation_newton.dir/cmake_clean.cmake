@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_newton"
+  "../bench/bench_ablation_newton.pdb"
+  "CMakeFiles/bench_ablation_newton.dir/bench_ablation_newton.cpp.o"
+  "CMakeFiles/bench_ablation_newton.dir/bench_ablation_newton.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

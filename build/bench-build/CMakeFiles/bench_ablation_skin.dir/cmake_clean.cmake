@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_skin"
+  "../bench/bench_ablation_skin.pdb"
+  "CMakeFiles/bench_ablation_skin.dir/bench_ablation_skin.cpp.o"
+  "CMakeFiles/bench_ablation_skin.dir/bench_ablation_skin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

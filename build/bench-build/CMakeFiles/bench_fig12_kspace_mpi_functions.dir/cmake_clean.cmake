@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_kspace_mpi_functions"
+  "../bench/bench_fig12_kspace_mpi_functions.pdb"
+  "CMakeFiles/bench_fig12_kspace_mpi_functions.dir/bench_fig12_kspace_mpi_functions.cpp.o"
+  "CMakeFiles/bench_fig12_kspace_mpi_functions.dir/bench_fig12_kspace_mpi_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_kspace_mpi_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

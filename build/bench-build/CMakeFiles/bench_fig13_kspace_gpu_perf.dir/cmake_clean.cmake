@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_kspace_gpu_perf"
+  "../bench/bench_fig13_kspace_gpu_perf.pdb"
+  "CMakeFiles/bench_fig13_kspace_gpu_perf.dir/bench_fig13_kspace_gpu_perf.cpp.o"
+  "CMakeFiles/bench_fig13_kspace_gpu_perf.dir/bench_fig13_kspace_gpu_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_kspace_gpu_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

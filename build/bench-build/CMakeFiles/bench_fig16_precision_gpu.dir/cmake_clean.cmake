@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_precision_gpu"
+  "../bench/bench_fig16_precision_gpu.pdb"
+  "CMakeFiles/bench_fig16_precision_gpu.dir/bench_fig16_precision_gpu.cpp.o"
+  "CMakeFiles/bench_fig16_precision_gpu.dir/bench_fig16_precision_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_precision_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granular_chute_flow.dir/granular_chute_flow.cpp.o"
+  "CMakeFiles/granular_chute_flow.dir/granular_chute_flow.cpp.o.d"
+  "granular_chute_flow"
+  "granular_chute_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granular_chute_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

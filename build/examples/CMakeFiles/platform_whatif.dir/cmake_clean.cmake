@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_whatif.dir/platform_whatif.cpp.o"
+  "CMakeFiles/platform_whatif.dir/platform_whatif.cpp.o.d"
+  "platform_whatif"
+  "platform_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymer_relaxation.dir/polymer_relaxation.cpp.o"
+  "CMakeFiles/polymer_relaxation.dir/polymer_relaxation.cpp.o.d"
+  "polymer_relaxation"
+  "polymer_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymer_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saltwater_pppm.dir/saltwater_pppm.cpp.o"
+  "CMakeFiles/saltwater_pppm.dir/saltwater_pppm.cpp.o.d"
+  "saltwater_pppm"
+  "saltwater_pppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saltwater_pppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for saltwater_pppm.
+# This may be replaced when dependencies are built.

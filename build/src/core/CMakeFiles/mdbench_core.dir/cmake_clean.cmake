@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_core.dir/experiment.cpp.o"
+  "CMakeFiles/mdbench_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mdbench_core.dir/suite.cpp.o"
+  "CMakeFiles/mdbench_core.dir/suite.cpp.o.d"
+  "libmdbench_core.a"
+  "libmdbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forcefield/bond_styles.cpp" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/bond_styles.cpp.o" "gcc" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/bond_styles.cpp.o.d"
+  "/root/repo/src/forcefield/pair_eam.cpp" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_eam.cpp.o" "gcc" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_eam.cpp.o.d"
+  "/root/repo/src/forcefield/pair_gran_hooke_history.cpp" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_gran_hooke_history.cpp.o" "gcc" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_gran_hooke_history.cpp.o.d"
+  "/root/repo/src/forcefield/pair_lj_charmm_coul_long.cpp" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_lj_charmm_coul_long.cpp.o" "gcc" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_lj_charmm_coul_long.cpp.o.d"
+  "/root/repo/src/forcefield/pair_lj_cut.cpp" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_lj_cut.cpp.o" "gcc" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/pair_lj_cut.cpp.o.d"
+  "/root/repo/src/forcefield/spline.cpp" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/spline.cpp.o" "gcc" "src/forcefield/CMakeFiles/mdbench_forcefield.dir/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/mdbench_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

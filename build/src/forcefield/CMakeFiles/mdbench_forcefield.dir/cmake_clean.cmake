@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_forcefield.dir/bond_styles.cpp.o"
+  "CMakeFiles/mdbench_forcefield.dir/bond_styles.cpp.o.d"
+  "CMakeFiles/mdbench_forcefield.dir/pair_eam.cpp.o"
+  "CMakeFiles/mdbench_forcefield.dir/pair_eam.cpp.o.d"
+  "CMakeFiles/mdbench_forcefield.dir/pair_gran_hooke_history.cpp.o"
+  "CMakeFiles/mdbench_forcefield.dir/pair_gran_hooke_history.cpp.o.d"
+  "CMakeFiles/mdbench_forcefield.dir/pair_lj_charmm_coul_long.cpp.o"
+  "CMakeFiles/mdbench_forcefield.dir/pair_lj_charmm_coul_long.cpp.o.d"
+  "CMakeFiles/mdbench_forcefield.dir/pair_lj_cut.cpp.o"
+  "CMakeFiles/mdbench_forcefield.dir/pair_lj_cut.cpp.o.d"
+  "CMakeFiles/mdbench_forcefield.dir/spline.cpp.o"
+  "CMakeFiles/mdbench_forcefield.dir/spline.cpp.o.d"
+  "libmdbench_forcefield.a"
+  "libmdbench_forcefield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_forcefield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

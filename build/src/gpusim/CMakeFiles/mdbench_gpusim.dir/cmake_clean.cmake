@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_gpusim.dir/gpu_model.cpp.o"
+  "CMakeFiles/mdbench_gpusim.dir/gpu_model.cpp.o.d"
+  "libmdbench_gpusim.a"
+  "libmdbench_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

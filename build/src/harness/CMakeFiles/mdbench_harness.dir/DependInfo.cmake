@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/mdbench_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/mdbench_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/mdbench_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/mdbench_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "src/harness/CMakeFiles/mdbench_harness.dir/sweep.cpp.o" "gcc" "src/harness/CMakeFiles/mdbench_harness.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/mdbench_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mdbench_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kspace/CMakeFiles/mdbench_kspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mdbench_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/mdbench_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mdbench_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/mdbench_harness.dir/report.cpp.o"
+  "CMakeFiles/mdbench_harness.dir/report.cpp.o.d"
+  "CMakeFiles/mdbench_harness.dir/sweep.cpp.o"
+  "CMakeFiles/mdbench_harness.dir/sweep.cpp.o.d"
+  "libmdbench_harness.a"
+  "libmdbench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

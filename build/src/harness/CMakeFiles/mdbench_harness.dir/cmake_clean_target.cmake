@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdbench_harness.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kspace/ewald.cpp" "src/kspace/CMakeFiles/mdbench_kspace.dir/ewald.cpp.o" "gcc" "src/kspace/CMakeFiles/mdbench_kspace.dir/ewald.cpp.o.d"
+  "/root/repo/src/kspace/fft3d.cpp" "src/kspace/CMakeFiles/mdbench_kspace.dir/fft3d.cpp.o" "gcc" "src/kspace/CMakeFiles/mdbench_kspace.dir/fft3d.cpp.o.d"
+  "/root/repo/src/kspace/plan.cpp" "src/kspace/CMakeFiles/mdbench_kspace.dir/plan.cpp.o" "gcc" "src/kspace/CMakeFiles/mdbench_kspace.dir/plan.cpp.o.d"
+  "/root/repo/src/kspace/pppm.cpp" "src/kspace/CMakeFiles/mdbench_kspace.dir/pppm.cpp.o" "gcc" "src/kspace/CMakeFiles/mdbench_kspace.dir/pppm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/mdbench_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_kspace.dir/ewald.cpp.o"
+  "CMakeFiles/mdbench_kspace.dir/ewald.cpp.o.d"
+  "CMakeFiles/mdbench_kspace.dir/fft3d.cpp.o"
+  "CMakeFiles/mdbench_kspace.dir/fft3d.cpp.o.d"
+  "CMakeFiles/mdbench_kspace.dir/plan.cpp.o"
+  "CMakeFiles/mdbench_kspace.dir/plan.cpp.o.d"
+  "CMakeFiles/mdbench_kspace.dir/pppm.cpp.o"
+  "CMakeFiles/mdbench_kspace.dir/pppm.cpp.o.d"
+  "libmdbench_kspace.a"
+  "libmdbench_kspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_kspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cpp" "src/md/CMakeFiles/mdbench_md.dir/analysis.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/md/atoms.cpp" "src/md/CMakeFiles/mdbench_md.dir/atoms.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/atoms.cpp.o.d"
+  "/root/repo/src/md/box.cpp" "src/md/CMakeFiles/mdbench_md.dir/box.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/box.cpp.o.d"
+  "/root/repo/src/md/comm.cpp" "src/md/CMakeFiles/mdbench_md.dir/comm.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/comm.cpp.o.d"
+  "/root/repo/src/md/dump.cpp" "src/md/CMakeFiles/mdbench_md.dir/dump.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/dump.cpp.o.d"
+  "/root/repo/src/md/fix_gravity.cpp" "src/md/CMakeFiles/mdbench_md.dir/fix_gravity.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/fix_gravity.cpp.o.d"
+  "/root/repo/src/md/fix_langevin.cpp" "src/md/CMakeFiles/mdbench_md.dir/fix_langevin.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/fix_langevin.cpp.o.d"
+  "/root/repo/src/md/fix_nh.cpp" "src/md/CMakeFiles/mdbench_md.dir/fix_nh.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/fix_nh.cpp.o.d"
+  "/root/repo/src/md/fix_nve.cpp" "src/md/CMakeFiles/mdbench_md.dir/fix_nve.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/fix_nve.cpp.o.d"
+  "/root/repo/src/md/fix_shake.cpp" "src/md/CMakeFiles/mdbench_md.dir/fix_shake.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/fix_shake.cpp.o.d"
+  "/root/repo/src/md/fix_wall_gran.cpp" "src/md/CMakeFiles/mdbench_md.dir/fix_wall_gran.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/fix_wall_gran.cpp.o.d"
+  "/root/repo/src/md/lattice.cpp" "src/md/CMakeFiles/mdbench_md.dir/lattice.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/lattice.cpp.o.d"
+  "/root/repo/src/md/neighbor.cpp" "src/md/CMakeFiles/mdbench_md.dir/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/neighbor.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/mdbench_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/topology.cpp" "src/md/CMakeFiles/mdbench_md.dir/topology.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/topology.cpp.o.d"
+  "/root/repo/src/md/units.cpp" "src/md/CMakeFiles/mdbench_md.dir/units.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/units.cpp.o.d"
+  "/root/repo/src/md/velocity.cpp" "src/md/CMakeFiles/mdbench_md.dir/velocity.cpp.o" "gcc" "src/md/CMakeFiles/mdbench_md.dir/velocity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+src/md/CMakeFiles/mdbench_md.dir/units.cpp.o: /root/repo/src/md/units.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/md/units.h

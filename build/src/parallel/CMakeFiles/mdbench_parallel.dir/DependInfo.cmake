@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/decomp.cpp" "src/parallel/CMakeFiles/mdbench_parallel.dir/decomp.cpp.o" "gcc" "src/parallel/CMakeFiles/mdbench_parallel.dir/decomp.cpp.o.d"
+  "/root/repo/src/parallel/mpi_model.cpp" "src/parallel/CMakeFiles/mdbench_parallel.dir/mpi_model.cpp.o" "gcc" "src/parallel/CMakeFiles/mdbench_parallel.dir/mpi_model.cpp.o.d"
+  "/root/repo/src/parallel/ranked_sim.cpp" "src/parallel/CMakeFiles/mdbench_parallel.dir/ranked_sim.cpp.o" "gcc" "src/parallel/CMakeFiles/mdbench_parallel.dir/ranked_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/mdbench_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_parallel.dir/decomp.cpp.o"
+  "CMakeFiles/mdbench_parallel.dir/decomp.cpp.o.d"
+  "CMakeFiles/mdbench_parallel.dir/mpi_model.cpp.o"
+  "CMakeFiles/mdbench_parallel.dir/mpi_model.cpp.o.d"
+  "CMakeFiles/mdbench_parallel.dir/ranked_sim.cpp.o"
+  "CMakeFiles/mdbench_parallel.dir/ranked_sim.cpp.o.d"
+  "libmdbench_parallel.a"
+  "libmdbench_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cpu_model.cpp" "src/perf/CMakeFiles/mdbench_perf.dir/cpu_model.cpp.o" "gcc" "src/perf/CMakeFiles/mdbench_perf.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/perf/platform.cpp" "src/perf/CMakeFiles/mdbench_perf.dir/platform.cpp.o" "gcc" "src/perf/CMakeFiles/mdbench_perf.dir/platform.cpp.o.d"
+  "/root/repo/src/perf/power.cpp" "src/perf/CMakeFiles/mdbench_perf.dir/power.cpp.o" "gcc" "src/perf/CMakeFiles/mdbench_perf.dir/power.cpp.o.d"
+  "/root/repo/src/perf/workload.cpp" "src/perf/CMakeFiles/mdbench_perf.dir/workload.cpp.o" "gcc" "src/perf/CMakeFiles/mdbench_perf.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kspace/CMakeFiles/mdbench_kspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mdbench_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/mdbench_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

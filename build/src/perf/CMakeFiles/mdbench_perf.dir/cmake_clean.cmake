@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_perf.dir/cpu_model.cpp.o"
+  "CMakeFiles/mdbench_perf.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/mdbench_perf.dir/platform.cpp.o"
+  "CMakeFiles/mdbench_perf.dir/platform.cpp.o.d"
+  "CMakeFiles/mdbench_perf.dir/power.cpp.o"
+  "CMakeFiles/mdbench_perf.dir/power.cpp.o.d"
+  "CMakeFiles/mdbench_perf.dir/workload.cpp.o"
+  "CMakeFiles/mdbench_perf.dir/workload.cpp.o.d"
+  "libmdbench_perf.a"
+  "libmdbench_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbench_util.dir/error.cpp.o"
+  "CMakeFiles/mdbench_util.dir/error.cpp.o.d"
+  "CMakeFiles/mdbench_util.dir/logging.cpp.o"
+  "CMakeFiles/mdbench_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mdbench_util.dir/rng.cpp.o"
+  "CMakeFiles/mdbench_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mdbench_util.dir/stats.cpp.o"
+  "CMakeFiles/mdbench_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mdbench_util.dir/string_utils.cpp.o"
+  "CMakeFiles/mdbench_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/mdbench_util.dir/table.cpp.o"
+  "CMakeFiles/mdbench_util.dir/table.cpp.o.d"
+  "CMakeFiles/mdbench_util.dir/timer.cpp.o"
+  "CMakeFiles/mdbench_util.dir/timer.cpp.o.d"
+  "libmdbench_util.a"
+  "libmdbench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bonds.dir/test_bonds.cpp.o"
+  "CMakeFiles/test_bonds.dir/test_bonds.cpp.o.d"
+  "test_bonds"
+  "test_bonds.pdb"
+  "test_bonds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bonds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

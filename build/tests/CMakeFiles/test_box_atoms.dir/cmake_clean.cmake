@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box_atoms.dir/test_box_atoms.cpp.o"
+  "CMakeFiles/test_box_atoms.dir/test_box_atoms.cpp.o.d"
+  "test_box_atoms"
+  "test_box_atoms.pdb"
+  "test_box_atoms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box_atoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_units.dir/test_comm_units.cpp.o"
+  "CMakeFiles/test_comm_units.dir/test_comm_units.cpp.o.d"
+  "test_comm_units"
+  "test_comm_units.pdb"
+  "test_comm_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

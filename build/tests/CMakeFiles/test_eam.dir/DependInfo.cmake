@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_eam.cpp" "tests/CMakeFiles/test_eam.dir/test_eam.cpp.o" "gcc" "tests/CMakeFiles/test_eam.dir/test_eam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/mdbench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mdbench_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mdbench_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mdbench_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kspace/CMakeFiles/mdbench_kspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/forcefield/CMakeFiles/mdbench_forcefield.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/mdbench_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mdbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

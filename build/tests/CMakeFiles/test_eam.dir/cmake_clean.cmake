@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eam.dir/test_eam.cpp.o"
+  "CMakeFiles/test_eam.dir/test_eam.cpp.o.d"
+  "test_eam"
+  "test_eam.pdb"
+  "test_eam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integrate.dir/test_integrate.cpp.o"
+  "CMakeFiles/test_integrate.dir/test_integrate.cpp.o.d"
+  "test_integrate"
+  "test_integrate.pdb"
+  "test_integrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

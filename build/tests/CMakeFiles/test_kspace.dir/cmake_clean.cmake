@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kspace.dir/test_kspace.cpp.o"
+  "CMakeFiles/test_kspace.dir/test_kspace.cpp.o.d"
+  "test_kspace"
+  "test_kspace.pdb"
+  "test_kspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_lj.dir/test_pair_lj.cpp.o"
+  "CMakeFiles/test_pair_lj.dir/test_pair_lj.cpp.o.d"
+  "test_pair_lj"
+  "test_pair_lj.pdb"
+  "test_pair_lj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_lj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

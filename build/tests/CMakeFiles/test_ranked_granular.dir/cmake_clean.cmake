@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranked_granular.dir/test_ranked_granular.cpp.o"
+  "CMakeFiles/test_ranked_granular.dir/test_ranked_granular.cpp.o.d"
+  "test_ranked_granular"
+  "test_ranked_granular.pdb"
+  "test_ranked_granular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranked_granular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shake.dir/test_shake.cpp.o"
+  "CMakeFiles/test_shake.dir/test_shake.cpp.o.d"
+  "test_shake"
+  "test_shake.pdb"
+  "test_shake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_shake.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_box_atoms[1]_include.cmake")
+include("/root/repo/build/tests/test_neighbor[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_pair_lj[1]_include.cmake")
+include("/root/repo/build/tests/test_integrate[1]_include.cmake")
+include("/root/repo/build/tests/test_kspace[1]_include.cmake")
+include("/root/repo/build/tests/test_eam[1]_include.cmake")
+include("/root/repo/build/tests/test_bonds[1]_include.cmake")
+include("/root/repo/build/tests/test_granular[1]_include.cmake")
+include("/root/repo/build/tests/test_shake[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_core[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_units[1]_include.cmake")
+include("/root/repo/build/tests/test_ranked_granular[1]_include.cmake")
+include("/root/repo/build/tests/test_crossvalidation[1]_include.cmake")
