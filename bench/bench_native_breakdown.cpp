@@ -7,11 +7,61 @@
  */
 
 #include <iostream>
+#include <sstream>
 
 #include "core/experiment.h"
 #include "harness/report.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace mdbench;
+
+namespace {
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << value;
+    return os.str();
+}
+
+/**
+ * Shared-memory thread scaling of the real engine: TS/s at 1, 2, 4, and
+ * the machine-default thread count, per benchmark. This is in-core
+ * threading of the hot kernels, distinct from the simulated MPI-rank
+ * scaling of the ranked tables below.
+ */
+void
+emitThreadScaling(std::ostream &os)
+{
+    Table table({"bench", "threads", "TS/s", "speedup"});
+    for (BenchmarkId id : {BenchmarkId::LJ, BenchmarkId::EAM}) {
+        double baseline = 0.0;
+        for (int threads : {1, 2, 4, 0}) {
+            ExperimentSpec spec;
+            spec.mode = ExperimentMode::NativeSerial;
+            spec.benchmark = id;
+            spec.natoms = 4000;
+            spec.steps = id == BenchmarkId::EAM ? 40 : 100;
+            spec.threads = threads == 0 ? ThreadPool::threads() : threads;
+            const ExperimentRecord record = runExperiment(spec);
+            if (threads == 1)
+                baseline = record.timestepsPerSecond;
+            table.addRow({benchmarkName(id), std::to_string(spec.threads),
+                          formatDouble(record.timestepsPerSecond, 2),
+                          formatDouble(baseline > 0.0
+                                           ? record.timestepsPerSecond /
+                                                 baseline
+                                           : 0.0,
+                                       2)});
+        }
+    }
+    emitTable(os, table, "native_thread_scaling");
+}
+
+} // namespace
 
 int
 main()
@@ -42,6 +92,8 @@ main()
     }
     emitTable(std::cout, makeBreakdownTable(records, "procs(=1)"),
               "native_serial");
+
+    emitThreadScaling(std::cout);
 
     // Decomposed runs with simulated MPI (LJ / Chain / Chute).
     std::vector<ExperimentRecord> ranked;

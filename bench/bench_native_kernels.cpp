@@ -12,14 +12,25 @@
 #include "kspace/fft3d.h"
 #include "md/simulation.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace mdbench;
 
+// Thread-count sweep used by the *Threads benchmarks below: 1, 2, 4,
+// and the machine default (0 = MDBENCH_THREADS / hardware_concurrency).
+#define MDBENCH_THREAD_SWEEP(bench, cells)                                   \
+    BENCHMARK(bench)                                                         \
+        ->Args({cells, 1})                                                   \
+        ->Args({cells, 2})                                                   \
+        ->Args({cells, 4})                                                   \
+        ->Args({cells, 0})
+
 void
 BM_PairLJCompute(benchmark::State &state)
 {
+    ThreadPool::setThreads(1); // serial reference
     auto sim = buildLJ(static_cast<int>(state.range(0)));
     sim->thermoEvery = 0;
     sim->setup();
@@ -34,8 +45,28 @@ BM_PairLJCompute(benchmark::State &state)
 BENCHMARK(BM_PairLJCompute)->Arg(5)->Arg(8)->Arg(12);
 
 void
+BM_PairLJComputeThreads(benchmark::State &state)
+{
+    ThreadPool::setThreads(static_cast<int>(state.range(1)));
+    auto sim = buildLJ(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state) {
+        sim->atoms.zeroForces();
+        sim->pair->compute(*sim, sim->neighbor.list());
+        benchmark::DoNotOptimize(sim->pair->energy());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim->neighbor.list().pairCount());
+    state.counters["threads"] = sim->threadCount();
+    ThreadPool::setThreads(1);
+}
+MDBENCH_THREAD_SWEEP(BM_PairLJComputeThreads, 8);
+
+void
 BM_PairEamCompute(benchmark::State &state)
 {
+    ThreadPool::setThreads(1); // serial reference
     auto sim = buildEAM(static_cast<int>(state.range(0)));
     sim->thermoEvery = 0;
     sim->setup();
@@ -50,8 +81,28 @@ BM_PairEamCompute(benchmark::State &state)
 BENCHMARK(BM_PairEamCompute)->Arg(5)->Arg(8);
 
 void
+BM_PairEamComputeThreads(benchmark::State &state)
+{
+    ThreadPool::setThreads(static_cast<int>(state.range(1)));
+    auto sim = buildEAM(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state) {
+        sim->atoms.zeroForces();
+        sim->pair->compute(*sim, sim->neighbor.list());
+        benchmark::DoNotOptimize(sim->pair->energy());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim->neighbor.list().pairCount());
+    state.counters["threads"] = sim->threadCount();
+    ThreadPool::setThreads(1);
+}
+MDBENCH_THREAD_SWEEP(BM_PairEamComputeThreads, 8);
+
+void
 BM_NeighborBuild(benchmark::State &state)
 {
+    ThreadPool::setThreads(1); // serial reference
     auto sim = buildLJ(static_cast<int>(state.range(0)));
     sim->thermoEvery = 0;
     sim->setup();
@@ -62,6 +113,23 @@ BM_NeighborBuild(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * sim->atoms.nlocal());
 }
 BENCHMARK(BM_NeighborBuild)->Arg(5)->Arg(8)->Arg(12);
+
+void
+BM_NeighborBuildThreads(benchmark::State &state)
+{
+    ThreadPool::setThreads(static_cast<int>(state.range(1)));
+    auto sim = buildLJ(static_cast<int>(state.range(0)));
+    sim->thermoEvery = 0;
+    sim->setup();
+    for (auto _ : state) {
+        sim->neighbor.build(*sim);
+        benchmark::DoNotOptimize(sim->neighbor.list().pairCount());
+    }
+    state.SetItemsProcessed(state.iterations() * sim->atoms.nlocal());
+    state.counters["threads"] = sim->threadCount();
+    ThreadPool::setThreads(1);
+}
+MDBENCH_THREAD_SWEEP(BM_NeighborBuildThreads, 8);
 
 void
 BM_Fft3d(benchmark::State &state)

@@ -5,6 +5,7 @@
 #include "perf/power.h"
 #include "util/error.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace mdbench {
@@ -52,11 +53,20 @@ runNativeSerial(const ExperimentSpec &spec)
     options.kspaceAccuracy = spec.kspaceAccuracy;
     auto sim = buildNative(spec.benchmark, spec.natoms, options);
     sim->thermoEvery = 0;
+
+    // Apply the requested shared-memory thread count for the duration of
+    // this experiment, restoring the pool afterwards so experiments in a
+    // sweep do not leak configuration into each other.
+    const int previousThreads = ThreadPool::threads();
+    if (spec.threads > 0)
+        ThreadPool::setThreads(spec.threads);
     sim->setup();
 
     WallTimer wall;
     sim->run(spec.steps);
     const double elapsed = wall.seconds();
+    if (spec.threads > 0)
+        ThreadPool::setThreads(previousThreads);
 
     ExperimentRecord record;
     record.spec = spec;

@@ -1,5 +1,6 @@
 #include "forcefield/pair_eam.h"
 
+#include <array>
 #include <cmath>
 
 #include "md/neighbor.h"
@@ -87,60 +88,96 @@ PairEAM::compute(Simulation &sim, const NeighborList &list)
     const std::size_t nall = atoms.nall();
     const double cutSq = tables_.cutoff * tables_.cutoff;
 
-    // Pass 1: host electron densities.
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange slices(0, nlocal, forceKernelGrain(nlocal));
+    std::array<double, SliceRange::kMaxSlices> energySlice{};
+    std::array<double, SliceRange::kMaxSlices> virialSlice{};
+
+    // Pass 1: host electron densities. Both sides of every pair go
+    // through the reduction scratch (see PairLJCut::compute);
+    // runAndReduce folds the per-slice partial sums into rhoBar_ in
+    // ascending slice order.
     rhoBar_.assign(nall, 0.0);
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const Vec3 xi = atoms.x[i];
-        const auto [begin, end] = list.range(i);
-        for (std::uint32_t k = begin; k < end; ++k) {
-            const std::uint32_t j = list.neighbors[k];
-            const double r2 = (xi - atoms.x[j]).normSq();
-            if (r2 >= cutSq)
-                continue;
-            const double contribution = tables_.rho.value(std::sqrt(r2));
-            rhoBar_[i] += contribution;
-            rhoBar_[j] += contribution;
+    const Vec3 *x = atoms.x.data();
+    rhoScratch_.runAndReduce(pool, slices, nall, rhoBar_.data(), [&](
+        std::size_t sliceBegin, std::size_t sliceEnd, int, int buffer) {
+        auto rho = rhoScratch_.acc(buffer);
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const Vec3 xi = x[i];
+            double rhoI = 0.0;
+            const auto [begin, end] = list.range(i);
+            for (std::uint32_t k = begin; k < end; ++k) {
+                const std::uint32_t j = list.neighbors[k];
+                const double r2 = (xi - x[j]).normSq();
+                if (r2 >= cutSq)
+                    continue;
+                const double contribution =
+                    tables_.rho.value(std::sqrt(r2));
+                rhoI += contribution;
+                rho.at(j) += contribution;
+            }
+            rho.at(i) += rhoI;
         }
-    }
+    });
     sim.comm->reverseScalar(sim, rhoBar_);
 
     // Embedding energies and derivatives for owned atoms, then share the
-    // derivatives with ghosts for the force pass.
+    // derivatives with ghosts for the force pass. Purely per-atom.
     fp_.assign(nall, 0.0);
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        double value;
-        double deriv;
-        tables_.embed.eval(rhoBar_[i], value, deriv);
-        energy_ += value;
-        fp_[i] = deriv;
-    }
+    pool.run(slices, [&](std::size_t sliceBegin, std::size_t sliceEnd,
+                         int s) {
+        double embedEnergy = 0.0;
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            double value;
+            double deriv;
+            tables_.embed.eval(rhoBar_[i], value, deriv);
+            embedEnergy += value;
+            fp_[i] = deriv;
+        }
+        energySlice[s] = embedEnergy;
+    });
+    for (int s = 0; s < slices.count(); ++s)
+        energy_ += energySlice[s];
     sim.comm->forwardScalar(sim, fp_);
 
     // Pass 2: forces from pair term + density-mediated embedding term.
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const Vec3 xi = atoms.x[i];
-        Vec3 fi{};
-        const auto [begin, end] = list.range(i);
-        for (std::uint32_t k = begin; k < end; ++k) {
-            const std::uint32_t j = list.neighbors[k];
-            const Vec3 delta = xi - atoms.x[j];
-            const double r2 = delta.normSq();
-            if (r2 >= cutSq)
-                continue;
-            const double r = std::sqrt(r2);
-            double phiV;
-            double phiD;
-            tables_.phi.eval(r, phiV, phiD);
-            const double rhoD = tables_.rho.derivative(r);
-            // -dE/dr along the pair axis.
-            const double fScalar = -((fp_[i] + fp_[j]) * rhoD + phiD);
-            const Vec3 fvec = delta * (fScalar / r);
-            fi += fvec;
-            atoms.f[j] -= fvec;
-            energy_ += phiV;
-            virial_ += fScalar * r;
+    const double *fp = fp_.data();
+    fscratch_.runAndReduce(pool, slices, nall, atoms.f.data(), [&](
+        std::size_t sliceBegin, std::size_t sliceEnd, int s, int buffer) {
+        auto fw = fscratch_.acc(buffer);
+        double energy = 0.0;
+        double virial = 0.0;
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const Vec3 xi = x[i];
+            Vec3 fi{};
+            const auto [begin, end] = list.range(i);
+            for (std::uint32_t k = begin; k < end; ++k) {
+                const std::uint32_t j = list.neighbors[k];
+                const Vec3 delta = xi - x[j];
+                const double r2 = delta.normSq();
+                if (r2 >= cutSq)
+                    continue;
+                const double r = std::sqrt(r2);
+                double phiV;
+                double phiD;
+                tables_.phi.eval(r, phiV, phiD);
+                const double rhoD = tables_.rho.derivative(r);
+                // -dE/dr along the pair axis.
+                const double fScalar = -((fp[i] + fp[j]) * rhoD + phiD);
+                const Vec3 fvec = delta * (fScalar / r);
+                fi += fvec;
+                fw.at(j) -= fvec;
+                energy += phiV;
+                virial += fScalar * r;
+            }
+            fw.at(i) += fi;
         }
-        atoms.f[i] += fi;
+        energySlice[s] = energy;
+        virialSlice[s] = virial;
+    });
+    for (int s = 0; s < slices.count(); ++s) {
+        energy_ += energySlice[s];
+        virial_ += virialSlice[s];
     }
 }
 

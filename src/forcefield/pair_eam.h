@@ -22,6 +22,8 @@
 
 #include "forcefield/spline.h"
 #include "md/styles.h"
+#include "md/vec3.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 
@@ -65,6 +67,10 @@ class PairEAM : public PairStyle
     EamTables tables_;
     std::vector<double> rhoBar_; ///< per-atom host density
     std::vector<double> fp_;     ///< per-atom embedding derivative F'(rho)
+
+    /** Per-slice j-side reduction buffers (half lists, Newton on). */
+    ReduceScratch<double> rhoScratch_;
+    ReduceScratch<Vec3> fscratch_;
 };
 
 } // namespace mdbench

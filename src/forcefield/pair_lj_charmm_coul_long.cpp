@@ -1,5 +1,6 @@
 #include "forcefield/pair_lj_charmm_coul_long.h"
 
+#include <array>
 #include <cmath>
 
 #include "md/neighbor.h"
@@ -89,58 +90,87 @@ PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
         std::pow(cutLJSq - cutLJInnerSq, 3);
 
     const std::size_t nlocal = atoms.nlocal();
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const Vec3 xi = atoms.x[i];
-        const int ti = atoms.type[i];
-        const double qi = atoms.q[i];
-        Vec3 fi{};
-        const auto [begin, end] = list.range(i);
-        for (std::uint32_t k = begin; k < end; ++k) {
-            const std::uint32_t j = list.neighbors[k];
-            const Vec3 delta = xi - atoms.x[j];
-            const double rsq = delta.normSq();
-            if (rsq >= cutAllSq)
-                continue;
-            const double r2inv = 1.0 / rsq;
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange slices(0, nlocal, forceKernelGrain(nlocal));
+    std::array<double, SliceRange::kMaxSlices> ecoulSlice{};
+    std::array<double, SliceRange::kMaxSlices> evdwlSlice{};
+    std::array<double, SliceRange::kMaxSlices> virialSlice{};
 
-            double forcecoul = 0.0;
-            if (rsq < cutCoulSq && qi != 0.0 && atoms.q[j] != 0.0) {
-                const double r = std::sqrt(rsq);
-                const double grij = g * r;
-                const double expm2 = std::exp(-grij * grij);
-                const double erfcVal = std::erfc(grij);
-                const double prefactor = qqr2e * qi * atoms.q[j] / r;
-                forcecoul =
-                    prefactor * (erfcVal + kSqrtPiInv2 * grij * expm2);
-                ecoul_ += prefactor * erfcVal;
-            }
+    const Vec3 *x = atoms.x.data();
+    const int *type = atoms.type.data();
+    const double *q = atoms.q.data();
+    // Every force write goes through the reduction scratch (see
+    // PairLJCut::compute); runAndReduce folds the per-slice partial
+    // sums into f in ascending slice order.
+    fscratch_.runAndReduce(pool, slices, atoms.nall(), atoms.f.data(), [&](
+        std::size_t sliceBegin, std::size_t sliceEnd, int s, int buffer) {
+        auto fw = fscratch_.acc(buffer);
+        double ecoul = 0.0;
+        double evdwl = 0.0;
+        double virial = 0.0;
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const Vec3 xi = x[i];
+            const int ti = type[i];
+            const double qi = q[i];
+            Vec3 fi{};
+            const auto [begin, end] = list.range(i);
+            for (std::uint32_t k = begin; k < end; ++k) {
+                const std::uint32_t j = list.neighbors[k];
+                const Vec3 delta = xi - x[j];
+                const double rsq = delta.normSq();
+                if (rsq >= cutAllSq)
+                    continue;
+                const double r2inv = 1.0 / rsq;
 
-            double forcelj = 0.0;
-            if (rsq < cutLJSq) {
-                const Coeff &c = coeff(ti, atoms.type[j]);
-                const double r6inv = r2inv * r2inv * r2inv;
-                forcelj = r6inv * (c.lj1 * r6inv - c.lj2);
-                double philj = r6inv * (c.lj3 * r6inv - c.lj4);
-                if (rsq > cutLJInnerSq) {
-                    const double rsw = cutLJSq - rsq;
-                    const double switch1 =
-                        rsw * rsw * (cutLJSq + 2.0 * rsq -
-                                     3.0 * cutLJInnerSq) / denomLJ;
-                    const double switch2 = 12.0 * rsq * rsw *
-                                           (rsq - cutLJInnerSq) / denomLJ;
-                    forcelj = forcelj * switch1 + philj * switch2;
-                    philj *= switch1;
+                double forcecoul = 0.0;
+                if (rsq < cutCoulSq && qi != 0.0 && q[j] != 0.0) {
+                    const double r = std::sqrt(rsq);
+                    const double grij = g * r;
+                    const double expm2 = std::exp(-grij * grij);
+                    const double erfcVal = std::erfc(grij);
+                    const double prefactor = qqr2e * qi * q[j] / r;
+                    forcecoul =
+                        prefactor * (erfcVal + kSqrtPiInv2 * grij * expm2);
+                    ecoul += prefactor * erfcVal;
                 }
-                evdwl_ += philj;
-            }
 
-            const double fpair = (forcecoul + forcelj) * r2inv;
-            const Vec3 fvec = delta * fpair;
-            fi += fvec;
-            atoms.f[j] -= fvec;
-            virial_ += fpair * rsq;
+                double forcelj = 0.0;
+                if (rsq < cutLJSq) {
+                    const Coeff &c = coeff(ti, type[j]);
+                    const double r6inv = r2inv * r2inv * r2inv;
+                    forcelj = r6inv * (c.lj1 * r6inv - c.lj2);
+                    double philj = r6inv * (c.lj3 * r6inv - c.lj4);
+                    if (rsq > cutLJInnerSq) {
+                        const double rsw = cutLJSq - rsq;
+                        const double switch1 =
+                            rsw * rsw * (cutLJSq + 2.0 * rsq -
+                                         3.0 * cutLJInnerSq) / denomLJ;
+                        const double switch2 = 12.0 * rsq * rsw *
+                                               (rsq - cutLJInnerSq) /
+                                               denomLJ;
+                        forcelj = forcelj * switch1 + philj * switch2;
+                        philj *= switch1;
+                    }
+                    evdwl += philj;
+                }
+
+                const double fpair = (forcecoul + forcelj) * r2inv;
+                const Vec3 fvec = delta * fpair;
+                fi += fvec;
+                fw.at(j) -= fvec;
+                virial += fpair * rsq;
+            }
+            fw.at(i) += fi;
         }
-        atoms.f[i] += fi;
+        ecoulSlice[s] = ecoul;
+        evdwlSlice[s] = evdwl;
+        virialSlice[s] = virial;
+    });
+
+    for (int s = 0; s < slices.count(); ++s) {
+        ecoul_ += ecoulSlice[s];
+        evdwl_ += evdwlSlice[s];
+        virial_ += virialSlice[s];
     }
     energy_ = ecoul_ + evdwl_;
 }

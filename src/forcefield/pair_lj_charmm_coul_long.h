@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "md/styles.h"
+#include "md/vec3.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 
@@ -69,6 +71,9 @@ class PairLJCharmmCoulLong : public PairStyle
     bool coeffsBuilt_ = false;
     double ecoul_ = 0.0;
     double evdwl_ = 0.0;
+
+    /** Per-slice j-side force buffers (half lists, Newton on). */
+    ReduceScratch<Vec3> fscratch_;
 
     void buildCoeffs();
 };

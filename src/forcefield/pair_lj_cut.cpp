@@ -1,5 +1,6 @@
 #include "forcefield/pair_lj_cut.h"
 
+#include <array>
 #include <cmath>
 
 #include "md/neighbor.h"
@@ -87,35 +88,74 @@ PairLJCut::compute(Simulation &sim, const NeighborList &list)
     const double cutSq = cutoff_ * cutoff_;
     const std::size_t nlocal = atoms.nlocal();
     // Full lists visit each pair twice; halve shared accumulators and
-    // skip the j-side force update.
+    // skip the j-side force update (f[i] is then the only force write,
+    // so no reduction scratch is needed).
     const bool half = !list.full;
     const double pairScale = half ? 1.0 : 0.5;
 
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const Vec3 xi = atoms.x[i];
-        const int ti = atoms.type[i];
-        Vec3 fi{};
-        const auto [begin, end] = list.range(i);
-        for (std::uint32_t k = begin; k < end; ++k) {
-            const std::uint32_t j = list.neighbors[k];
-            const Vec3 delta = xi - atoms.x[j];
-            const double r2 = delta.normSq();
-            if (r2 >= cutSq)
-                continue;
-            const Coeff &c = coeff(ti, atoms.type[j]);
-            const double r2inv = 1.0 / r2;
-            const double r6inv = r2inv * r2inv * r2inv;
-            const double forcelj =
-                r6inv * (c.lj1 * r6inv - c.lj2) * r2inv;
-            const Vec3 fpair = delta * forcelj;
-            fi += fpair;
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange slices(0, nlocal, forceKernelGrain(nlocal));
+    std::array<double, SliceRange::kMaxSlices> energySlice{};
+    std::array<double, SliceRange::kMaxSlices> virialSlice{};
+
+    const Vec3 *x = atoms.x.data();
+    const int *type = atoms.type.data();
+    Vec3 *f = atoms.f.data();
+    // For half lists every force write — the i-side row sums as well as
+    // the j-side pair terms — goes through the reduction scratch, so
+    // each f entry receives exactly the per-slice partial sums that
+    // runAndReduce folds in ascending slice order. buffer is -1 on the
+    // full-list path, where f[i] is the only write and needs no
+    // scratch.
+    auto kernel = [&](std::size_t sliceBegin, std::size_t sliceEnd, int s,
+                      int buffer) {
+        ReduceScratch<Vec3>::Accumulator fw;
+        if (half)
+            fw = fscratch_.acc(buffer);
+        double energy = 0.0;
+        double virial = 0.0;
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const Vec3 xi = x[i];
+            const int ti = type[i];
+            Vec3 fi{};
+            const auto [begin, end] = list.range(i);
+            for (std::uint32_t k = begin; k < end; ++k) {
+                const std::uint32_t j = list.neighbors[k];
+                const Vec3 delta = xi - x[j];
+                const double r2 = delta.normSq();
+                if (r2 >= cutSq)
+                    continue;
+                const Coeff &c = coeff(ti, type[j]);
+                const double r2inv = 1.0 / r2;
+                const double r6inv = r2inv * r2inv * r2inv;
+                const double forcelj =
+                    r6inv * (c.lj1 * r6inv - c.lj2) * r2inv;
+                const Vec3 fpair = delta * forcelj;
+                fi += fpair;
+                if (half)
+                    fw.at(j) -= fpair;
+                energy += pairScale *
+                          (r6inv * (c.lj3 * r6inv - c.lj4) - c.eshift);
+                virial += pairScale * forcelj * r2;
+            }
             if (half)
-                atoms.f[j] -= fpair;
-            energy_ += pairScale *
-                       (r6inv * (c.lj3 * r6inv - c.lj4) - c.eshift);
-            virial_ += pairScale * forcelj * r2;
+                fw.at(i) += fi;
+            else
+                f[i] += fi;
         }
-        atoms.f[i] += fi;
+        energySlice[s] = energy;
+        virialSlice[s] = virial;
+    };
+    if (half) {
+        fscratch_.runAndReduce(pool, slices, atoms.nall(), f, kernel);
+    } else {
+        pool.run(slices, [&](std::size_t begin, std::size_t end, int s) {
+            kernel(begin, end, s, -1);
+        });
+    }
+    for (int s = 0; s < slices.count(); ++s) {
+        energy_ += energySlice[s];
+        virial_ += virialSlice[s];
     }
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "md/styles.h"
+#include "md/vec3.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 
@@ -61,6 +63,9 @@ class PairLJCut : public PairStyle
     double cutoff_;
     bool shift_;
     std::vector<Coeff> coeffs_; ///< (ntypes+1)^2 row-major table
+
+    /** Per-slice j-side force buffers (half lists, Newton on). */
+    ReduceScratch<Vec3> fscratch_;
 };
 
 } // namespace mdbench

@@ -37,6 +37,13 @@ struct ExperimentSpec
     Precision precision = Precision::Mixed;
     long steps = 10000; ///< modeled run length / native step count
 
+    /**
+     * Shared-memory threads for native modes (0 = leave the process-wide
+     * pool as configured; see ThreadPool::setThreads / MDBENCH_THREADS).
+     * Orthogonal to `resources`, which counts simulated MPI ranks.
+     */
+    int threads = 0;
+
     /** "<bench>-<size>k" label as the paper's plots use. */
     std::string label() const;
 };

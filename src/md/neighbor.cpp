@@ -1,12 +1,21 @@
 #include "md/neighbor.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "md/simulation.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
+
+namespace {
+
+/** Grain for the per-atom neighbor loops (no reduction scratch). */
+constexpr std::size_t kNeighborGrain = 128;
+
+} // namespace
 
 double
 NeighborList::neighborsPerAtom() const
@@ -29,8 +38,29 @@ Neighbor::checkTrigger(const Simulation &sim) const
         return true;
     const double trigger = triggerDistance();
     const double triggerSq = trigger * trigger;
-    for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
-        if ((atoms.x[i] - lastBuildPos_[i]).normSq() > triggerSq)
+
+    ThreadPool &pool = ThreadPool::global();
+    if (pool.size() == 1) {
+        // Serial fast path keeps the early exit.
+        for (std::size_t i = 0; i < atoms.nlocal(); ++i) {
+            if ((atoms.x[i] - lastBuildPos_[i]).normSq() > triggerSq)
+                return true;
+        }
+        return false;
+    }
+
+    // Parallel max-displacement reduction; the boolean outcome is
+    // independent of slicing.
+    const SliceRange slices(0, atoms.nlocal(), kNeighborGrain);
+    std::array<double, SliceRange::kMaxSlices> maxSq{};
+    pool.run(slices, [&](std::size_t begin, std::size_t end, int s) {
+        double m = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            m = std::max(m, (atoms.x[i] - lastBuildPos_[i]).normSq());
+        maxSq[s] = m;
+    });
+    for (int s = 0; s < slices.count(); ++s) {
+        if (maxSq[s] > triggerSq)
             return true;
     }
     return false;
@@ -74,15 +104,25 @@ Neighbor::build(Simulation &sim)
         return (static_cast<std::size_t>(bz) * nb[1] + by) * nb[0] + bx;
     };
 
-    // Linked-cell lists: head per bin, next per atom.
-    std::vector<std::int32_t> head(nbins, -1);
-    std::vector<std::int32_t> next(nall, -1);
+    // Counting-sort binning: bin counts -> prefix sum -> scatter into a
+    // contiguous per-bin atom array. Within a bin atoms end up in
+    // ascending index order (the scatter walks atoms in order), and the
+    // contiguous layout streams better than chasing head/next chains.
+    binOf_.resize(nall);
+    binStart_.assign(nbins + 1, 0);
     for (std::size_t i = 0; i < nall; ++i) {
         const auto b = binIndex(atoms.x[i]);
-        const std::size_t flat = flatten(b[0], b[1], b[2]);
-        next[i] = head[flat];
-        head[flat] = static_cast<std::int32_t>(i);
+        const std::uint32_t flat =
+            static_cast<std::uint32_t>(flatten(b[0], b[1], b[2]));
+        binOf_[i] = flat;
+        ++binStart_[flat + 1];
     }
+    for (std::size_t b = 0; b < nbins; ++b)
+        binStart_[b + 1] += binStart_[b];
+    binAtoms_.resize(nall);
+    binCursor_.assign(binStart_.begin(), binStart_.end() - 1);
+    for (std::size_t i = 0; i < nall; ++i)
+        binAtoms_[binCursor_[binOf_[i]]++] = static_cast<std::uint32_t>(i);
 
     const bool checkExclusions = !sim.topology.bonds.empty() ||
                                  !sim.topology.angles.empty();
@@ -90,11 +130,19 @@ Neighbor::build(Simulation &sim)
     list_.full = full;
     list_.buildCutoff = cut;
     list_.offsets.assign(nlocal + 1, 0);
-    list_.neighbors.clear();
-    list_.neighbors.reserve(list_.neighbors.capacity());
 
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const Vec3 xi = atoms.x[i];
+    // Raw pointers into the bin structures: the fill loops below append
+    // to a member vector, so indexing the members directly would force
+    // the compiler to re-load their data pointers every iteration.
+    const std::uint32_t *binStart = binStart_.data();
+    const std::uint32_t *binAtoms = binAtoms_.data();
+    const Vec3 *x = atoms.x.data();
+
+    // Stencil walk shared by every fill strategy: emit(j) for each
+    // neighbor of i, in a traversal order that depends only on the
+    // binning (never on threading), so all paths build identical lists.
+    auto visitNeighbors = [&](std::size_t i, auto &&emit) {
+        const Vec3 xi = x[i];
         const auto bi = binIndex(xi);
         for (int dz = -1; dz <= 1; ++dz) {
             const int bz = bi[2] + dz;
@@ -108,49 +156,92 @@ Neighbor::build(Simulation &sim)
                     const int bx = bi[0] + dx;
                     if (bx < 0 || bx >= nb[0])
                         continue;
-                    for (std::int32_t j = head[flatten(bx, by, bz)]; j >= 0;
-                         j = next[j]) {
-                        const std::size_t ju = static_cast<std::size_t>(j);
+                    const std::size_t bin = flatten(bx, by, bz);
+                    const std::uint32_t binEnd = binStart[bin + 1];
+                    for (std::uint32_t idx = binStart[bin]; idx < binEnd;
+                         ++idx) {
+                        const std::size_t ju = binAtoms[idx];
                         if (ju == i)
                             continue;
-                        if (!full) {
-                            // Half-list inclusion rule (Newton on): local
-                            // pairs once by index order; pairs with ghosts
-                            // once by a coordinate tie-break, so that of the
-                            // two mirrored boundary pairs exactly one side
-                            // stores it.
-                            if (ju < nlocal) {
-                                if (ju < i)
+                        // Half-list inclusion rule (Newton on): local
+                        // pairs once by index order (rejected before
+                        // the position load); pairs with ghosts once by
+                        // a coordinate tie-break, so that of the two
+                        // mirrored boundary pairs exactly one side
+                        // stores it.
+                        if (!full && ju < nlocal && ju < i)
+                            continue;
+                        // One load serves both the ghost tie-break and
+                        // the distance check below.
+                        const Vec3 xj = x[ju];
+                        if (!full && ju >= nlocal) {
+                            if (xj.z != xi.z) {
+                                if (xj.z < xi.z)
                                     continue;
-                            } else {
-                                const Vec3 &xj = atoms.x[ju];
-                                if (xj.z != xi.z) {
-                                    if (xj.z < xi.z)
-                                        continue;
-                                } else if (xj.y != xi.y) {
-                                    if (xj.y < xi.y)
-                                        continue;
-                                } else if (xj.x < xi.x) {
+                            } else if (xj.y != xi.y) {
+                                if (xj.y < xi.y)
                                     continue;
-                                }
+                            } else if (xj.x < xi.x) {
+                                continue;
                             }
                         }
-                        if ((atoms.x[ju] - xi).normSq() >= cutSq)
+                        if ((xj - xi).normSq() >= cutSq)
                             continue;
                         if (checkExclusions &&
                             sim.topology.excluded(atoms.tag[i],
                                                   atoms.tag[ju])) {
                             continue;
                         }
-                        list_.neighbors.push_back(
-                            static_cast<std::uint32_t>(ju));
+                        emit(static_cast<std::uint32_t>(ju));
                     }
                 }
             }
         }
-        list_.offsets[i + 1] = static_cast<std::uint32_t>(
-            list_.neighbors.size());
+    };
+
+    ThreadPool &pool = ThreadPool::global();
+    if (pool.size() == 1 || nlocal < 2 * kNeighborGrain) {
+        // Serial single-pass fill. Sizing the payload from the previous
+        // build (plus slack for density fluctuations) makes the first
+        // fill after a rebuild allocation-free in steady state.
+        list_.neighbors.clear();
+        list_.neighbors.reserve(prevNeighborCount_ +
+                                prevNeighborCount_ / 16 + 64);
+        for (std::size_t i = 0; i < nlocal; ++i) {
+            visitNeighbors(i, [&](std::uint32_t ju) {
+                list_.neighbors.push_back(ju);
+            });
+            list_.offsets[i + 1] =
+                static_cast<std::uint32_t>(list_.neighbors.size());
+        }
+    } else {
+        // Two-pass count-then-fill: after the exclusive prefix sum each
+        // thread writes the disjoint range [offsets[i], offsets[i+1]),
+        // so the fill needs no synchronization.
+        pool.parallelFor(0, nlocal, kNeighborGrain,
+                         [&](std::size_t begin, std::size_t end, int) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                                 std::uint32_t count = 0;
+                                 visitNeighbors(i, [&](std::uint32_t) {
+                                     ++count;
+                                 });
+                                 list_.offsets[i + 1] = count;
+                             }
+                         });
+        for (std::size_t i = 0; i < nlocal; ++i)
+            list_.offsets[i + 1] += list_.offsets[i];
+        list_.neighbors.resize(list_.offsets[nlocal]);
+        pool.parallelFor(0, nlocal, kNeighborGrain,
+                         [&](std::size_t begin, std::size_t end, int) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                                 std::uint32_t cursor = list_.offsets[i];
+                                 visitNeighbors(i, [&](std::uint32_t ju) {
+                                     list_.neighbors[cursor++] = ju;
+                                 });
+                             }
+                         });
     }
+    prevNeighborCount_ = list_.neighbors.size();
 
     lastBuildPos_.assign(atoms.x.begin(), atoms.x.begin() + nlocal);
     ++buildCount_;

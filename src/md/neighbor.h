@@ -87,6 +87,17 @@ class Neighbor
   private:
     NeighborList list_;
     std::vector<Vec3> lastBuildPos_;
+
+    // Counting-sort binning state, persistent across builds so the
+    // arrays are allocation-free in steady state.
+    std::vector<std::uint32_t> binOf_;     ///< flat bin of each atom
+    std::vector<std::uint32_t> binStart_;  ///< CSR bin offsets (nbins + 1)
+    std::vector<std::uint32_t> binCursor_; ///< scatter cursors (scratch)
+    std::vector<std::uint32_t> binAtoms_;  ///< atoms grouped by bin
+
+    /** Payload size of the previous build (sizes the serial reserve). */
+    std::size_t prevNeighborCount_ = 0;
+
     long buildCount_ = 0;
     long lastBuildStep_ = 0;
     long firstBuildStep_ = -1;

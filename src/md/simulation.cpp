@@ -3,12 +3,19 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 
 Simulation::Simulation()
 {
     comm = std::make_unique<SerialComm>();
+}
+
+int
+Simulation::threadCount() const
+{
+    return ThreadPool::threads();
 }
 
 double

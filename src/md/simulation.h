@@ -122,6 +122,12 @@ class Simulation
     /** Number of reneighbor events during run(). */
     long reneighborCount() const { return reneighborCount_; }
 
+    /**
+     * Threads of the shared pool executing this simulation's pair and
+     * neighbor kernels (process-wide; see ThreadPool::setThreads).
+     */
+    int threadCount() const;
+
     /** True when setup() has run. */
     bool isSetup() const { return setupDone_; }
 

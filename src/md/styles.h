@@ -11,12 +11,26 @@
 #ifndef MDBENCH_MD_STYLES_H
 #define MDBENCH_MD_STYLES_H
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 
 namespace mdbench {
 
 class Simulation;
 struct NeighborList;
+
+/**
+ * Slice grain for force kernels that reduce through per-slice scratch
+ * buffers: at most 8 slices per compute (scratch memory and the serial
+ * fraction of the reduction both scale with the slice count), at least
+ * 64 atoms per slice so tiny systems stay single-slice.
+ */
+inline std::size_t
+forceKernelGrain(std::size_t nlocal)
+{
+    return std::max<std::size_t>(64, nlocal / 8);
+}
 
 /** Common bookkeeping for all interaction styles. */
 class StyleBase

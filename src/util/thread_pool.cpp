@@ -1,0 +1,212 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mdbench {
+
+namespace {
+
+/** True on any thread currently executing inside a parallel region. */
+thread_local bool tlInParallelRegion = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("MDBENCH_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+SliceRange::SliceRange(std::size_t begin, std::size_t end, std::size_t grain)
+    : begin_(begin), range_(end > begin ? end - begin : 0)
+{
+    if (range_ == 0) {
+        count_ = 0;
+        return;
+    }
+    const std::size_t g = std::max<std::size_t>(grain, 1);
+    // At least `grain` elements per slice, at most kMaxSlices slices.
+    count_ = static_cast<int>(
+        std::min<std::size_t>(std::max<std::size_t>(range_ / g, 1),
+                              static_cast<std::size_t>(kMaxSlices)));
+}
+
+ThreadPool::ThreadPool(int nthreads)
+{
+    resize(nthreads);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::resize(int nthreads)
+{
+    if (nthreads <= 0)
+        nthreads = defaultThreadCount();
+    if (nthreads == nthreads_ && nthreads_ == 1 + static_cast<int>(workers_.size()))
+        return;
+
+    // Join the existing crew, then (re)hire.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = false;
+        nthreads_ = nthreads;
+    }
+    workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+    for (int t = 1; t < nthreads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        SliceRange slices(0, 0, 1);
+        const SliceFn *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seenGeneration;
+            });
+            if (stop_)
+                return;
+            seenGeneration = generation_;
+            // A stale wakeup can land after the region already drained
+            // and the caller tore it down; there is nothing to do then.
+            if (fn_ == nullptr)
+                continue;
+            slices = jobSlices_; // by value: outlives the caller's copy
+            fn = fn_;
+        }
+        // Dereferencing fn is safe even if the region completes
+        // concurrently: claiming a valid slice keeps pendingSlices_
+        // above zero until this thread's own decrement, and an
+        // exhausted claim never touches fn.
+        runSlices(slices, *fn);
+    }
+}
+
+void
+ThreadPool::runSlices(const SliceRange &slices, const SliceFn &fn)
+{
+    tlInParallelRegion = true;
+    int completed = 0;
+    std::exception_ptr error;
+    for (;;) {
+        const int s = nextSlice_.fetch_add(1, std::memory_order_relaxed);
+        if (s >= slices.count())
+            break;
+        if (!error) {
+            try {
+                fn(slices.begin(s), slices.end(s), s);
+            } catch (...) {
+                // Record and drain the remaining slices without running
+                // them, so the region still terminates promptly.
+                error = std::current_exception();
+            }
+        }
+        ++completed;
+    }
+    tlInParallelRegion = false;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !firstError_)
+        firstError_ = error;
+    pendingSlices_ -= completed;
+    if (pendingSlices_ == 0)
+        done_.notify_all();
+}
+
+void
+ThreadPool::run(const SliceRange &slices, const SliceFn &fn)
+{
+    if (slices.count() == 0)
+        return;
+    // Inline execution: single-threaded pools, single-slice ranges, and
+    // nested calls from inside a region (workers must not block on
+    // their own pool).
+    if (nthreads_ == 1 || slices.count() == 1 || tlInParallelRegion) {
+        for (int s = 0; s < slices.count(); ++s)
+            fn(slices.begin(s), slices.end(s), s);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobSlices_ = slices;
+        fn_ = &fn;
+        nextSlice_.store(0, std::memory_order_relaxed);
+        pendingSlices_ = slices.count();
+        firstError_ = nullptr;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller is thread 0 of the crew.
+    runSlices(slices, fn);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pendingSlices_ == 0; });
+        fn_ = nullptr;
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                        const SliceFn &fn)
+{
+    run(SliceRange(begin, end, grain), fn);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::setThreads(int nthreads)
+{
+    global().resize(nthreads);
+}
+
+int
+ThreadPool::threads()
+{
+    return global().size();
+}
+
+} // namespace mdbench

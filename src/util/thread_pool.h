@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Shared-memory parallel execution layer: a persistent worker pool with
+ * static-chunked parallelFor, plus the per-slice scratch buffers the
+ * force kernels use for deterministic reductions.
+ *
+ * Determinism contract: parallelFor partitions a range into *slices*
+ * whose count and boundaries depend only on (range, grain) — never on
+ * the number of worker threads. A kernel that accumulates into
+ * per-slice buffers and folds them in ascending slice order therefore
+ * produces bitwise-identical results at any thread count (slices are
+ * merely *scheduled* onto threads; the summation tree is fixed).
+ */
+
+#ifndef MDBENCH_UTIL_THREAD_POOL_H
+#define MDBENCH_UTIL_THREAD_POOL_H
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdbench {
+
+/**
+ * Fixed partition of [begin, end) into at most kMaxSlices contiguous
+ * slices of at least @p grain elements each. The partition is a pure
+ * function of (begin, end, grain) so reduction trees built over slices
+ * are independent of the executing thread count.
+ */
+class SliceRange
+{
+  public:
+    /** Upper bound on slices per range (bounds reduction scratch). */
+    static constexpr int kMaxSlices = 64;
+
+    SliceRange(std::size_t begin, std::size_t end, std::size_t grain);
+
+    /** Number of slices (0 only for an empty range). */
+    int count() const { return count_; }
+
+    /** First element of slice @p s. */
+    std::size_t
+    begin(int s) const
+    {
+        return begin_ + range_ * static_cast<std::size_t>(s) /
+                            static_cast<std::size_t>(count_);
+    }
+
+    /** One past the last element of slice @p s. */
+    std::size_t
+    end(int s) const
+    {
+        return begin_ + range_ * (static_cast<std::size_t>(s) + 1) /
+                            static_cast<std::size_t>(count_);
+    }
+
+  private:
+    std::size_t begin_ = 0;
+    std::size_t range_ = 0;
+    int count_ = 0;
+};
+
+/**
+ * Persistent worker pool. Workers park on a condition variable between
+ * parallel regions; no thread is spawned per call. The calling thread
+ * participates in the work, so a pool of size 1 executes inline with no
+ * synchronization at all.
+ *
+ * The process-wide pool is reached through global()/setThreads(); the
+ * default size comes from the MDBENCH_THREADS environment variable or,
+ * absent that, std::thread::hardware_concurrency().
+ */
+class ThreadPool
+{
+  public:
+    using SliceFn = std::function<void(std::size_t, std::size_t, int)>;
+
+    /** @param nthreads Total threads including the caller (0 = default). */
+    explicit ThreadPool(int nthreads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total executing threads (caller + workers), always >= 1. */
+    int size() const { return nthreads_; }
+
+    /** Re-size the pool (joins or spawns workers as needed; 0 = default). */
+    void resize(int nthreads);
+
+    /**
+     * Run @p fn(sliceBegin, sliceEnd, sliceIndex) over every slice of
+     * the fixed partition of [begin, end) with the given grain. Slices
+     * are claimed dynamically by the participating threads; the call
+     * returns when all slices have completed. The first exception thrown
+     * by @p fn is rethrown on the calling thread (remaining slices are
+     * skipped). Calls from inside a parallel region execute inline.
+     */
+    void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                     const SliceFn &fn);
+
+    /** Same, over an existing partition (for kernels that size scratch). */
+    void run(const SliceRange &slices, const SliceFn &fn);
+
+    // -- process-wide pool -------------------------------------------------
+
+    /** The shared pool used by the MD kernels. */
+    static ThreadPool &global();
+
+    /** Resize the shared pool (0 restores the environment default). */
+    static void setThreads(int nthreads);
+
+    /** Current size of the shared pool. */
+    static int threads();
+
+  private:
+    void workerLoop();
+    void runSlices(const SliceRange &slices, const SliceFn &fn);
+
+    std::vector<std::thread> workers_;
+    int nthreads_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;
+
+    // State of the in-flight parallel region.
+    SliceRange jobSlices_{0, 0, 1};
+    const SliceFn *fn_ = nullptr;
+    std::atomic<int> nextSlice_{0};
+    int pendingSlices_ = 0;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Per-slice accumulation buffers for deterministic force/density
+ * reductions over half neighbor lists.
+ *
+ * Usage: hand the sliced kernel to runAndReduce(), routing every
+ * accumulation through the Accumulator handle it receives; the folds
+ * into the destination array happen in ascending slice order and
+ * re-zero the buffers as they go (fused, so a buffer is touched once
+ * per step). Buffers persist across calls to amortize allocation.
+ *
+ * Each write marks its 64-entry block in a per-buffer byte map, and the
+ * folds skip unmarked blocks. Atom indices are spatially coherent, so a
+ * slice touches only entries near its own index range plus a few ghost
+ * patches — skipping the rest is what keeps the scratch scheme cheap.
+ * The touched pattern is a pure function of the slice partition, never
+ * of the thread count, so the folds remain bitwise reproducible.
+ */
+template <typename T>
+class ReduceScratch
+{
+  public:
+    /** log2 of the touched-block granularity in entries. */
+    static constexpr std::size_t kBlockShift = 6;
+    static constexpr std::size_t kBlock = std::size_t{1} << kBlockShift;
+
+    /** Touched-block flag. Deliberately not a char type: a store
+     * through (unsigned) char may alias any object, which would force
+     * the kernels to reload their hoisted pointers after every mark. */
+    enum class Mark : std::uint8_t { clear = 0, set = 1 };
+
+    /** Writer handle for one buffer: marks the block of every entry it
+     * hands out so the folds can skip untouched blocks. */
+    class Accumulator
+    {
+      public:
+        Accumulator() = default;
+        Accumulator(T *data, Mark *touched) : data_(data), touched_(touched)
+        {
+        }
+
+        T &
+        at(std::size_t j)
+        {
+            touched_[j >> kBlockShift] = Mark::set;
+            return data_[j];
+        }
+
+      private:
+        T *data_ = nullptr;
+        Mark *touched_ = nullptr;
+    };
+
+    /** Ensure @p count zeroed buffers of @p n entries each. */
+    void
+    prepare(int count, std::size_t n)
+    {
+        if (buffers_.size() < static_cast<std::size_t>(count))
+            buffers_.resize(count);
+        const std::size_t nblocks = blockCount(n);
+        for (int s = 0; s < count; ++s) {
+            auto &buffer = buffers_[static_cast<std::size_t>(s)];
+            // reduceAndClear re-zeroes buffers as it folds them, so a
+            // clean buffer of the right size needs no touch here.
+            if (buffer.data.size() != n || dirty_) {
+                buffer.data.assign(n, T{});
+                buffer.touched.assign(nblocks, Mark::clear);
+            }
+        }
+        n_ = n;
+        dirty_ = true;
+    }
+
+    /** Writer handle for buffer @p s. */
+    Accumulator
+    acc(int s)
+    {
+        auto &buffer = buffers_[static_cast<std::size_t>(s)];
+        return Accumulator(buffer.data.data(), buffer.touched.data());
+    }
+
+    /**
+     * Run @p fn(sliceBegin, sliceEnd, slice, buffer) over every slice
+     * and fold the scratch into @p dst. The kernel routes every
+     * cross-slice accumulation through acc(buffer).
+     *
+     * Serially a single buffer serves every slice and is folded right
+     * after each slice finishes, while its working set is still
+     * cache-hot; in parallel each slice gets a private buffer and the
+     * fold happens once at the end. Per destination element both
+     * orders compute dst += P_0 + P_1 + ... over the per-slice partial
+     * sums in ascending slice order, so the two paths are bitwise
+     * identical at any thread count.
+     */
+    template <typename Fn>
+    void
+    runAndReduce(ThreadPool &pool, const SliceRange &slices, std::size_t n,
+                 T *dst, Fn &&fn)
+    {
+        if (pool.size() == 1) {
+            prepare(1, n);
+            for (int s = 0; s < slices.count(); ++s) {
+                fn(slices.begin(s), slices.end(s), s, 0);
+                foldBuffer(dst, 0, 0, blockCount(n_));
+            }
+            dirty_ = false;
+        } else {
+            prepare(slices.count(), n);
+            pool.run(slices,
+                     [&](std::size_t begin, std::size_t end, int s) {
+                         fn(begin, end, s, s);
+                     });
+            reduceAndClear(dst, slices, pool);
+        }
+    }
+
+    /**
+     * dst[j] += sum over slices s (ascending) of buffer(s)[j], zeroing
+     * buffers and touched marks as they are read. @p slices must be the
+     * partition the accumulation ran over.
+     */
+    void
+    reduceAndClear(T *dst, const SliceRange &slices)
+    {
+        foldBlocks(dst, slices, 0, blockCount(n_));
+        dirty_ = false;
+    }
+
+    /**
+     * Parallel variant: each thread folds a disjoint block range, every
+     * destination entry over ascending slice index, so the result is
+     * bitwise identical to the serial overload regardless of how blocks
+     * are chunked across threads.
+     */
+    void
+    reduceAndClear(T *dst, const SliceRange &slices, ThreadPool &pool)
+    {
+        pool.parallelFor(0, blockCount(n_), 64,
+                         [&](std::size_t b0, std::size_t b1, int) {
+                             foldBlocks(dst, slices, b0, b1);
+                         });
+        dirty_ = false;
+    }
+
+  private:
+    struct SliceBuffer
+    {
+        std::vector<T> data;
+        std::vector<Mark> touched;
+    };
+
+    static std::size_t
+    blockCount(std::size_t n)
+    {
+        return (n + kBlock - 1) >> kBlockShift;
+    }
+
+    void
+    foldBlocks(T *dst, const SliceRange &slices, std::size_t b0,
+               std::size_t b1)
+    {
+        for (int s = 0; s < slices.count(); ++s)
+            foldBuffer(dst, s, b0, b1);
+    }
+
+    /** dst[j] += buffer(s)[j] over the touched blocks in [b0, b1),
+     * zeroing entries and marks as they are read. */
+    void
+    foldBuffer(T *dst, int s, std::size_t b0, std::size_t b1)
+    {
+        auto &buffer = buffers_[static_cast<std::size_t>(s)];
+        T *buf = buffer.data.data();
+        for (std::size_t b = b0; b < b1; ++b) {
+            if (buffer.touched[b] == Mark::clear)
+                continue;
+            buffer.touched[b] = Mark::clear;
+            const std::size_t j1 = std::min(n_, (b + 1) << kBlockShift);
+            for (std::size_t j = b << kBlockShift; j < j1; ++j) {
+                dst[j] += buf[j];
+                buf[j] = T{};
+            }
+        }
+    }
+
+    std::vector<SliceBuffer> buffers_;
+    std::size_t n_ = 0;
+    bool dirty_ = false;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_THREAD_POOL_H

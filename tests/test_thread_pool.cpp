@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests of the shared-memory execution layer: SliceRange partition
+ * invariants, ThreadPool::parallelFor semantics (coverage, exceptions,
+ * nesting), and the deterministic ReduceScratch fold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace mdbench {
+namespace {
+
+TEST(SliceRange, CoversRangeWithDisjointOrderedSlices)
+{
+    const SliceRange slices(10, 1010, 64);
+    ASSERT_GT(slices.count(), 1);
+    ASSERT_LE(slices.count(), SliceRange::kMaxSlices);
+    EXPECT_EQ(slices.begin(0), 10u);
+    EXPECT_EQ(slices.end(slices.count() - 1), 1010u);
+    for (int s = 0; s + 1 < slices.count(); ++s) {
+        EXPECT_EQ(slices.end(s), slices.begin(s + 1));
+        EXPECT_GE(slices.end(s) - slices.begin(s), 64u);
+    }
+}
+
+TEST(SliceRange, PartitionIsPureFunctionOfRangeAndGrain)
+{
+    // The determinism contract: the partition must not depend on any
+    // global state (thread count in particular).
+    const SliceRange a(0, 5000, 128);
+    ThreadPool::setThreads(4);
+    const SliceRange b(0, 5000, 128);
+    ThreadPool::setThreads(1);
+    ASSERT_EQ(a.count(), b.count());
+    for (int s = 0; s < a.count(); ++s) {
+        EXPECT_EQ(a.begin(s), b.begin(s));
+        EXPECT_EQ(a.end(s), b.end(s));
+    }
+}
+
+TEST(SliceRange, EmptyRangeHasNoSlices)
+{
+    const SliceRange slices(42, 42, 16);
+    EXPECT_EQ(slices.count(), 0);
+}
+
+TEST(SliceRange, GrainLargerThanRangeYieldsSingleSlice)
+{
+    const SliceRange slices(0, 10, 1000);
+    ASSERT_EQ(slices.count(), 1);
+    EXPECT_EQ(slices.begin(0), 0u);
+    EXPECT_EQ(slices.end(0), 10u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(997);
+    pool.parallelFor(0, visits.size(), 32,
+                     [&](std::size_t begin, std::size_t end, int) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             visits[i].fetch_add(1);
+                     });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForOnEmptyRangeNeverCalls)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(7, 7, 1,
+                     [&](std::size_t, std::size_t, int) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    auto boom = [&] {
+        pool.parallelFor(0, 1000, 10,
+                         [&](std::size_t begin, std::size_t, int) {
+                             if (begin == 0)
+                                 throw std::runtime_error("slice failed");
+                         });
+    };
+    EXPECT_THROW(boom(), std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<int> sum{0};
+    pool.parallelFor(0, 100, 10,
+                     [&](std::size_t begin, std::size_t end, int) {
+                         sum += static_cast<int>(end - begin);
+                     });
+    EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner{0};
+    pool.parallelFor(0, 4, 1, [&](std::size_t, std::size_t, int) {
+        pool.parallelFor(0, 8, 1, [&](std::size_t begin, std::size_t end,
+                                      int) {
+            inner += static_cast<int>(end - begin);
+        });
+    });
+    EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, GlobalSetThreadsResizes)
+{
+    const int before = ThreadPool::threads();
+    ThreadPool::setThreads(3);
+    EXPECT_EQ(ThreadPool::threads(), 3);
+    ThreadPool::setThreads(1);
+    EXPECT_EQ(ThreadPool::threads(), 1);
+    ThreadPool::setThreads(before);
+}
+
+TEST(ReduceScratch, SerialAndParallelFoldsAreBitwiseIdentical)
+{
+    // A synthetic scattered accumulation with values chosen so that
+    // different summation orders would round differently.
+    const std::size_t n = 1000;
+    const SliceRange slices(0, n, 100);
+    auto accumulate = [&](ThreadPool &pool, std::vector<double> &dst) {
+        ReduceScratch<double> scratch;
+        scratch.runAndReduce(
+            pool, slices, n, dst.data(),
+            [&](std::size_t begin, std::size_t end, int, int buffer) {
+                auto acc = scratch.acc(buffer);
+                for (std::size_t i = begin; i < end; ++i) {
+                    acc.at(i) += 0.1 * static_cast<double>(i + 1);
+                    // Scatter across slice boundaries like the j-side
+                    // of a half neighbor list does.
+                    acc.at((i * 7 + 13) % n) += 1.0 / (i + 3.0);
+                    acc.at((i + n / 2) % n) -= 1e-7 * i;
+                }
+            });
+    };
+    ThreadPool serial(1);
+    std::vector<double> expected(n, 0.5);
+    accumulate(serial, expected);
+    for (int nthreads : {2, 4, 8}) {
+        ThreadPool pool(nthreads);
+        std::vector<double> got(n, 0.5);
+        accumulate(pool, got);
+        ASSERT_EQ(got, expected) << nthreads << " threads";
+    }
+}
+
+TEST(ReduceScratch, BuffersAreCleanAcrossCalls)
+{
+    const std::size_t n = 300;
+    const SliceRange slices(0, n, 64);
+    ThreadPool pool(4);
+    ReduceScratch<double> scratch;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        std::vector<double> dst(n, 0.0);
+        scratch.runAndReduce(
+            pool, slices, n, dst.data(),
+            [&](std::size_t begin, std::size_t end, int, int buffer) {
+                auto acc = scratch.acc(buffer);
+                for (std::size_t i = begin; i < end; ++i)
+                    acc.at(i) += 2.0;
+            });
+        const double total = std::accumulate(dst.begin(), dst.end(), 0.0);
+        EXPECT_DOUBLE_EQ(total, 2.0 * n) << repeat;
+    }
+}
+
+} // namespace
+} // namespace mdbench
