@@ -12,13 +12,15 @@
 
 #include "gpusim/gpu_model.h"
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_ablation_gpu_offload");
     printFigureHeader(std::cout, "Ablation: GPU-package what-ifs",
                       "projected effect of the paper's suggested GPU "
                       "optimizations (rhodo, 8 V100s)");

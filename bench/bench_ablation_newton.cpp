@@ -10,14 +10,16 @@
 #include <iostream>
 
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "perf/cpu_model.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_ablation_newton");
     printFigureHeader(std::cout, "Ablation: Newton's third law",
                       "half vs full neighbor lists on the modeled CPU "
                       "instance (64 ranks)");

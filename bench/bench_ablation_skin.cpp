@@ -10,14 +10,16 @@
 
 #include "core/suite.h"
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 #include "util/timer.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_ablation_skin");
     printFigureHeader(std::cout, "Ablation: neighbor skin",
                       "cutoff+skin list size vs rebuild frequency "
                       "(native LJ melt, 4000 atoms, 400 steps)");

@@ -10,14 +10,16 @@
 #include <iostream>
 
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "perf/cpu_model.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_ext_weak_scaling");
     printFigureHeader(std::cout, "Extension: weak scaling",
                       "32k atoms per rank on the modeled CPU instance "
                       "(compare the strong-scaling Fig. 6)");

@@ -9,12 +9,14 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig03_cpu_breakdown");
     printFigureHeader(std::cout, "Figure 3",
                       "CPU-instance execution-time breakdown by task "
                       "(one row per benchmark/size/process count)");

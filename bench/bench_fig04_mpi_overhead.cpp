@@ -8,12 +8,14 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig04_mpi_overhead");
     printFigureHeader(std::cout, "Figure 4",
                       "Total MPI overhead and MPI imbalance percentage, "
                       "averaged over ranks (10k-step runs)");

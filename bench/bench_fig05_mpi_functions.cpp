@@ -8,12 +8,14 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig05_mpi_functions");
     printFigureHeader(std::cout, "Figure 5",
                       "Breakdown of the MPI overhead by function "
                       "(10k-step runs)");

@@ -9,12 +9,14 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig06_cpu_scaling");
     printFigureHeader(std::cout, "Figure 6",
                       "CPU-instance performance, energy efficiency, and "
                       "parallel efficiency");

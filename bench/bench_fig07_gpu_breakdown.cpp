@@ -8,12 +8,14 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig07_gpu_breakdown");
     printFigureHeader(std::cout, "Figure 7",
                       "GPU-instance execution-time breakdown by task "
                       "(Chute unsupported by the reference GPU package)");

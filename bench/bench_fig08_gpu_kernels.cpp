@@ -8,13 +8,15 @@
 
 #include "gpusim/gpu_model.h"
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig08_gpu_kernels");
     printFigureHeader(std::cout, "Figure 8",
                       "GPU kernels and data-movement share of device "
                       "activity (one row per benchmark/size/devices)");

@@ -9,12 +9,14 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig09_gpu_scaling");
     printFigureHeader(std::cout, "Figure 9",
                       "GPU-instance performance, energy efficiency, and "
                       "parallel efficiency (1-8 V100s)");

@@ -8,13 +8,15 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig11_kspace_breakdown");
     printFigureHeader(std::cout, "Figure 11",
                       "rhodo CPU task breakdown vs kspace error "
                       "threshold (rhodo-e-*)");

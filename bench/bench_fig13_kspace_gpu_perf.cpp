@@ -9,13 +9,15 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig13_kspace_gpu_perf");
     printFigureHeader(std::cout, "Figure 13",
                       "rhodo GPU performance and parallel efficiency vs "
                       "kspace error threshold");

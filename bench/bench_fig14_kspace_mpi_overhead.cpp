@@ -9,13 +9,15 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig14_kspace_mpi_overhead");
     printFigureHeader(std::cout, "Figure 14",
                       "rhodo total MPI overhead (top) and imbalance "
                       "(bottom) vs kspace error threshold");

@@ -9,13 +9,15 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig15_precision_cpu");
     printFigureHeader(std::cout, "Figure 15",
                       "LJ and rhodo CPU performance vs floating-point "
                       "precision");

@@ -9,13 +9,15 @@
 
 #include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_fig16_precision_gpu");
     printFigureHeader(std::cout, "Figure 16",
                       "LJ and rhodo GPU performance vs floating-point "
                       "precision");

@@ -11,6 +11,7 @@
 
 #include "core/experiment.h"
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -64,8 +65,9 @@ emitThreadScaling(std::ostream &os)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_native_breakdown");
     printFigureHeader(std::cout, "Native breakdown",
                       "Real-engine task breakdown on the reproduction "
                       "host (small instances; validates the Fig. 2 "

@@ -11,6 +11,7 @@
 #include "core/suite.h"
 #include "kspace/fft3d.h"
 #include "md/simulation.h"
+#include "obs/bench_options.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -175,4 +176,17 @@ BENCHMARK(BM_ChuteStep);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the shared mdbench flags stripped
+// first, so --trace/--manifest coexist with google-benchmark's own
+// command line.
+int
+main(int argc, char **argv)
+{
+    mdbench::BenchRun run(argc, argv, "bench_native_kernels");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,13 +8,15 @@
 
 #include "core/suite.h"
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_table2_suite");
     printFigureHeader(std::cout, "Table 2",
                       "Main characteristics of the benchmark suite "
                       "(neighbors/atom measured on native instances)");

@@ -7,14 +7,16 @@
 #include <iostream>
 
 #include "harness/report.h"
+#include "obs/bench_options.h"
 #include "perf/platform.h"
 #include "util/string_utils.h"
 
 using namespace mdbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRun run(argc, argv, "bench_table3_platforms");
     printFigureHeader(std::cout, "Table 3",
                       "CPU and GPU instance descriptions (model inputs)");
 

@@ -5,6 +5,8 @@
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mdbench {
@@ -82,6 +84,9 @@ void
 PairEAM::compute(Simulation &sim, const NeighborList &list)
 {
     ensure(!list.full, "eam requires a half neighbor list");
+    TraceScope trace("pair", "eam");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
     resetAccumulators();
     AtomStore &atoms = sim.atoms;
     const std::size_t nlocal = atoms.nlocal();

@@ -4,6 +4,8 @@
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mdbench {
@@ -29,6 +31,9 @@ void
 PairGranHookeHistory::compute(Simulation &sim, const NeighborList &list)
 {
     ensure(list.full, "gran/hooke/history requires a full neighbor list");
+    TraceScope trace("pair", "gran/hooke/history");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
     resetAccumulators();
     AtomStore &atoms = sim.atoms;
     const std::size_t nlocal = atoms.nlocal();

@@ -5,6 +5,8 @@
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mdbench {
@@ -73,6 +75,9 @@ void
 PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
 {
     ensure(!list.full, "lj/charmm/coul/long requires a half list");
+    TraceScope trace("pair", "lj/charmm/coul/long");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
     if (!coeffsBuilt_)
         buildCoeffs();
     resetAccumulators();

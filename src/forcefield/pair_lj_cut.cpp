@@ -5,6 +5,8 @@
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mdbench {
@@ -83,6 +85,9 @@ PairLJCut::mix(MixRule rule)
 void
 PairLJCut::compute(Simulation &sim, const NeighborList &list)
 {
+    TraceScope trace("pair", "lj/cut");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
     resetAccumulators();
     AtomStore &atoms = sim.atoms;
     const double cutSq = cutoff_ * cutoff_;

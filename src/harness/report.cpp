@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/manifest.h"
 #include "util/string_utils.h"
 
 namespace mdbench {
@@ -146,6 +147,10 @@ emitTable(std::ostream &os, const Table &table, const std::string &csvTag)
     os << "\n[csv:" << csvTag << "]\n";
     table.printCsv(os);
     os << "[/csv]\n";
+    // Every emitted result table also lands in the run manifest (when a
+    // bench installed one), keyed by the same tag as the CSV block.
+    if (RunManifest *manifest = activeManifest())
+        manifest->addTable(csvTag, table);
 }
 
 } // namespace mdbench

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -60,6 +62,8 @@ Ewald::setup(Simulation &sim)
 void
 Ewald::compute(Simulation &sim)
 {
+    TraceScope trace("kspace", "ewald");
+    counterAdd(Counter::KspaceSolves);
     resetAccumulators();
     AtomStore &atoms = sim.atoms;
     const std::size_t nlocal = atoms.nlocal();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mdbench {
@@ -136,12 +138,16 @@ Fft3d::transform(std::vector<Complex> &data, int sign) const
 void
 Fft3d::forward(std::vector<Complex> &data) const
 {
+    TraceScope trace("kspace", "fft_forward");
+    counterAdd(Counter::KspaceFfts);
     transform(data, -1);
 }
 
 void
 Fft3d::inverse(std::vector<Complex> &data) const
 {
+    TraceScope trace("kspace", "fft_inverse");
+    counterAdd(Counter::KspaceFfts);
     transform(data, 1);
     const double norm = 1.0 / static_cast<double>(size());
     for (Complex &value : data)

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -164,6 +166,14 @@ void
 Pppm::compute(Simulation &sim)
 {
     ensure(fft_ != nullptr, "pppm compute before setup");
+    TraceScope trace("kspace", "pppm");
+    counterAdd(Counter::KspaceSolves);
+    computeImpl(sim);
+}
+
+void
+Pppm::computeImpl(Simulation &sim)
+{
     resetAccumulators();
     stats_ = Stats{};
 

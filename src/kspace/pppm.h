@@ -65,6 +65,14 @@ class Pppm : public KspaceStyle
     };
     AxisWeights weightsFor(double u) const;
 
+    /**
+     * The solve proper, out of line behind the traced compute()
+     * wrapper: probe calls in the same function push gcc's size
+     * estimate over its large-function limit and the charge-mapping
+     * and interpolation loops lose their unrolling.
+     */
+    [[gnu::noinline]] void computeImpl(Simulation &sim);
+
     void buildInfluence(const Vec3 &boxLength);
 
     double accuracy_;

@@ -1,6 +1,8 @@
 #include "md/comm.h"
 
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mdbench {
@@ -8,6 +10,8 @@ namespace mdbench {
 void
 SerialComm::exchange(Simulation &sim)
 {
+    TraceScope trace("comm", "exchange");
+    counterAdd(Counter::CommExchanges);
     AtomStore &atoms = sim.atoms;
     atoms.clearGhosts();
     ghosts_.clear();
@@ -18,6 +22,7 @@ SerialComm::exchange(Simulation &sim)
 void
 SerialComm::borders(Simulation &sim)
 {
+    TraceScope trace("comm", "borders");
     AtomStore &atoms = sim.atoms;
     const Box &box = sim.box;
     const double cut = sim.commCutoff();
@@ -69,11 +74,13 @@ SerialComm::borders(Simulation &sim)
             }
         }
     }
+    counterAdd(Counter::CommGhostAtoms, ghosts_.size());
 }
 
 void
 SerialComm::forwardPositions(Simulation &sim)
 {
+    TraceScope trace("comm", "forward_positions");
     AtomStore &atoms = sim.atoms;
     const Vec3 len = sim.box.lengths();
     const std::size_t nlocal = atoms.nlocal();
@@ -90,6 +97,7 @@ SerialComm::forwardPositions(Simulation &sim)
 void
 SerialComm::reverseForces(Simulation &sim)
 {
+    TraceScope trace("comm", "reverse_forces");
     AtomStore &atoms = sim.atoms;
     const std::size_t nlocal = atoms.nlocal();
     for (std::size_t g = 0; g < ghosts_.size(); ++g) {

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "md/simulation.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -33,6 +35,8 @@ NeighborList::neighborsPerAtom() const
 bool
 Neighbor::checkTrigger(const Simulation &sim) const
 {
+    TraceScope trace("neigh", "trigger_check");
+    counterAdd(Counter::NeighTriggerChecks);
     const AtomStore &atoms = sim.atoms;
     if (lastBuildPos_.size() != atoms.nlocal())
         return true;
@@ -68,6 +72,13 @@ Neighbor::checkTrigger(const Simulation &sim) const
 
 void
 Neighbor::build(Simulation &sim)
+{
+    TraceScope trace("neigh", "build");
+    buildImpl(sim);
+}
+
+void
+Neighbor::buildImpl(Simulation &sim)
 {
     const AtomStore &atoms = sim.atoms;
     const Box &box = sim.box;
@@ -242,6 +253,8 @@ Neighbor::build(Simulation &sim)
                          });
     }
     prevNeighborCount_ = list_.neighbors.size();
+    counterAdd(Counter::NeighBuilds);
+    counterAdd(Counter::NeighPairs, list_.neighbors.size());
 
     lastBuildPos_.assign(atoms.x.begin(), atoms.x.begin() + nlocal);
     ++buildCount_;

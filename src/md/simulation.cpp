@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "obs/task_scope.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -31,13 +32,13 @@ void
 Simulation::reneighbor()
 {
     {
-        ScopedTask scope(timer, Task::Comm);
+        TaskScope scope(timer, Task::Comm);
         comm->exchange(*this);
         comm->borders(*this);
         topology.buildTagMap(atoms);
     }
     {
-        ScopedTask scope(timer, Task::Neigh);
+        TaskScope scope(timer, Task::Neigh);
         neighbor.build(*this);
     }
     ++reneighborCount_;
@@ -53,18 +54,18 @@ void
 Simulation::computeLocalForces()
 {
     if (pair) {
-        ScopedTask scope(timer, Task::Pair);
+        TaskScope scope(timer, Task::Pair);
         pair->compute(*this, neighbor.list());
     }
     if (bondStyle || angleStyle) {
-        ScopedTask scope(timer, Task::Bond);
+        TaskScope scope(timer, Task::Bond);
         if (bondStyle)
             bondStyle->compute(*this);
         if (angleStyle)
             angleStyle->compute(*this);
     }
     if (kspace) {
-        ScopedTask scope(timer, Task::Kspace);
+        TaskScope scope(timer, Task::Kspace);
         kspace->compute(*this);
     }
 }
@@ -72,7 +73,7 @@ Simulation::computeLocalForces()
 void
 Simulation::reverseForceComm()
 {
-    ScopedTask scope(timer, Task::Comm);
+    TaskScope scope(timer, Task::Comm);
     comm->reverseForces(*this);
 }
 
@@ -106,13 +107,13 @@ Simulation::setup()
     reneighbor();
     computeForces();
     for (auto &fix : fixes) {
-        ScopedTask scope(timer, Task::Modify);
+        TaskScope scope(timer, Task::Modify);
         fix->setup(*this);
     }
     setupDone_ = true;
 
     if (thermoEvery > 0) {
-        ScopedTask scope(timer, Task::Output);
+        TaskScope scope(timer, Task::Output);
         thermoLog_.push_back(sampleThermo());
     }
 }
@@ -120,7 +121,7 @@ Simulation::setup()
 void
 Simulation::integrateInitial()
 {
-    ScopedTask scope(timer, Task::Modify);
+    TaskScope scope(timer, Task::Modify);
     for (auto &fix : fixes)
         fix->preIntegrate(*this);
     for (auto &fix : fixes)
@@ -130,7 +131,7 @@ Simulation::integrateInitial()
 void
 Simulation::integrateFinal()
 {
-    ScopedTask scope(timer, Task::Modify);
+    TaskScope scope(timer, Task::Modify);
     for (auto &fix : fixes)
         fix->postForce(*this);
     for (auto &fix : fixes)
@@ -144,7 +145,7 @@ Simulation::needsReneighbor()
 {
     // Distance check runs at most every `neighbor.every` steps,
     // mirroring LAMMPS's neigh_modify every/check semantics.
-    ScopedTask scope(timer, Task::Other);
+    TaskScope scope(timer, Task::Other);
     if (neighbor.every > 0 &&
         (step - neighbor.lastBuildStep_) >= neighbor.every) {
         return neighbor.checkTrigger(*this);
@@ -156,7 +157,7 @@ void
 Simulation::maybeSampleThermo()
 {
     if (thermoEvery > 0 && step % thermoEvery == 0) {
-        ScopedTask scope(timer, Task::Output);
+        TaskScope scope(timer, Task::Output);
         thermoLog_.push_back(sampleThermo());
     }
 }
@@ -172,7 +173,7 @@ Simulation::run(long nsteps)
         if (needsReneighbor()) {
             reneighbor();
         } else {
-            ScopedTask scope(timer, Task::Comm);
+            TaskScope scope(timer, Task::Comm);
             comm->forwardPositions(*this);
         }
 

@@ -1,0 +1,415 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace mdbench {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// -- JsonWriter -------------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted the comma
+    }
+    if (!hasSibling_.empty()) {
+        if (hasSibling_.back())
+            os_ << ',';
+        hasSibling_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    hasSibling_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    ensure(!hasSibling_.empty(), "JsonWriter::endObject without begin");
+    hasSibling_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    hasSibling_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    ensure(!hasSibling_.empty(), "JsonWriter::endArray without begin");
+    hasSibling_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    os_ << '"' << jsonEscape(name) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    separate();
+    os_ << '"' << jsonEscape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    separate();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+// -- JsonValue --------------------------------------------------------------
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::Array)
+        return elements_.size();
+    if (type_ == Type::Object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[key, member] : members_) {
+        if (key == name)
+            return &member;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    ensure(type_ == Type::Array && index < elements_.size(),
+           "JsonValue::at out of range");
+    return elements_[index];
+}
+
+/** Recursive-descent parser over a string view of the document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    std::optional<JsonValue>
+    run()
+    {
+        JsonValue value;
+        if (!parseValue(value))
+            return std::nullopt;
+        skipSpace();
+        if (pos_ != text_.size())
+            return std::nullopt; // trailing garbage
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0') {
+            if (pos_ + n >= text_.size() || text_[pos_ + n] != word[n])
+                return false;
+            ++n;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return false;
+                    const std::string hex = text_.substr(pos_, 4);
+                    pos_ += 4;
+                    const long code = std::strtol(hex.c_str(), nullptr, 16);
+                    // Non-BMP escapes are not needed by our documents;
+                    // encode the BMP code point as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default: return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type_ = JsonValue::Type::String;
+            return parseString(out.string_);
+        }
+        if (c == 't') {
+            out.type_ = JsonValue::Type::Bool;
+            out.boolean_ = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.type_ = JsonValue::Type::Bool;
+            out.boolean_ = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.type_ = JsonValue::Type::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        // strtod is laxer than JSON (hex, inf, leading zeros, ".5"); check
+        // the token against the JSON number grammar before converting.
+        const char *p = start;
+        if (*p == '-')
+            ++p;
+        if (*p == '0') {
+            ++p;
+        } else if (*p >= '1' && *p <= '9') {
+            while (*p >= '0' && *p <= '9')
+                ++p;
+        } else {
+            return false;
+        }
+        if (*p == '.') {
+            ++p;
+            if (*p < '0' || *p > '9')
+                return false;
+            while (*p >= '0' && *p <= '9')
+                ++p;
+        }
+        if (*p == 'e' || *p == 'E') {
+            ++p;
+            if (*p == '+' || *p == '-')
+                ++p;
+            if (*p < '0' || *p > '9')
+                return false;
+            while (*p >= '0' && *p <= '9')
+                ++p;
+        }
+        char *end = nullptr;
+        const double number = std::strtod(start, &end);
+        if (end != p)
+            return false;
+        pos_ += static_cast<std::size_t>(end - start);
+        out.type_ = JsonValue::Type::Number;
+        out.number_ = number;
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type_ = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string name;
+            if (pos_ >= text_.size() || !parseString(name))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return false;
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.members_.emplace_back(std::move(name), std::move(member));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            const char next = text_[pos_++];
+            if (next == '}')
+                return true;
+            if (next != ',')
+                return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type_ = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue element;
+            if (!parseValue(element))
+                return false;
+            out.elements_.push_back(std::move(element));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            const char next = text_[pos_++];
+            if (next == ']')
+                return true;
+            if (next != ',')
+                return false;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue>
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).run();
+}
+
+} // namespace mdbench

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * (manifests, trace export) and a small recursive-descent parser used
+ * to validate emitted documents in tests.
+ *
+ * Deliberately tiny — no external dependency, no DOM mutation API.
+ * The parser accepts the JSON this repository emits (objects, arrays,
+ * strings with standard escapes, numbers, booleans, null) and is strict
+ * about structure (trailing garbage or malformed literals fail).
+ */
+
+#ifndef MDBENCH_OBS_JSON_H
+#define MDBENCH_OBS_JSON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdbench {
+
+/** Escape @p text for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Streaming JSON writer with automatic comma placement. Calls must
+ * form a well-nested document: a value (or key+value inside objects)
+ * at a time, beginObject/endObject and beginArray/endArray balanced.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must emit its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+
+  private:
+    /** Emit the separating comma, if a sibling value precedes. */
+    void separate();
+
+    std::ostream &os_;
+    std::vector<bool> hasSibling_; ///< per open scope
+    bool pendingKey_ = false;
+};
+
+/**
+ * Parsed JSON value (immutable once parsed). Object member order is
+ * preserved.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /** Parse @p text; std::nullopt on any syntax error. */
+    static std::optional<JsonValue> parse(const std::string &text);
+
+    Type type() const { return type_; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+
+    bool asBool() const { return boolean_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+
+    /** Array length or object member count (0 for scalars). */
+    std::size_t size() const;
+
+    /** Object lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** Array element access (must be an array, index in range). */
+    const JsonValue &at(std::size_t index) const;
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+  private:
+    Type type_ = Type::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+
+    friend class JsonParser;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_OBS_JSON_H

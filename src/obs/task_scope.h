@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Instrumented replacement for util's ScopedTask: charges the enclosing
+ * scope's wall time to a Simulation-local TaskTimer *and* to the
+ * process-global task accumulator (obs/counters), and brackets it with
+ * a "task"-category trace event pair.
+ *
+ * Disabled-tracer cost per scope: the TaskTimer bookkeeping it replaces,
+ * one relaxed atomic load, and one relaxed fetch_add.
+ */
+
+#ifndef MDBENCH_OBS_TASK_SCOPE_H
+#define MDBENCH_OBS_TASK_SCOPE_H
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace mdbench {
+
+class TaskScope
+{
+  public:
+    TaskScope(TaskTimer &timer, Task task) : timer_(timer), task_(task)
+    {
+        timer_.start(task);
+        if (traceEnabled()) {
+            traced_ = true;
+            traceBegin("task", taskName(task));
+        }
+        wall_.reset();
+    }
+
+    ~TaskScope()
+    {
+        // Inclusive wall time: a nested TaskScope charges its full
+        // extent here, while TaskTimer's stack charges self-time only.
+        chargeGlobalTask(task_, wall_.seconds());
+        timer_.stop();
+        if (traced_)
+            traceEnd("task", taskName(task_));
+    }
+
+    TaskScope(const TaskScope &) = delete;
+    TaskScope &operator=(const TaskScope &) = delete;
+
+  private:
+    TaskTimer &timer_;
+    Task task_;
+    WallTimer wall_;
+    bool traced_ = false;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_OBS_TASK_SCOPE_H

@@ -1,0 +1,252 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mdbench {
+
+namespace detail {
+std::atomic<bool> gTraceEnabled{false};
+} // namespace detail
+
+namespace {
+
+/** Event phases, matching the Chrome trace_event "ph" field. */
+enum class Phase : std::uint8_t { Begin, End, Instant };
+
+struct TraceEvent
+{
+    const char *category;
+    const char *name;
+    std::uint64_t tsNs; ///< nanoseconds since the tracer epoch
+    Phase phase;
+};
+
+/**
+ * One thread's event ring. Single writer (the owning thread); the
+ * exporter reads under the registry mutex after acquiring `appended`.
+ * `appended` counts every event ever recorded; the live window is the
+ * last min(appended, capacity) slots, so wrap drops the oldest events.
+ */
+struct EventRing
+{
+    explicit EventRing(int tid, std::size_t capacity)
+        : tid(tid), events(capacity)
+    {
+    }
+
+    int tid;
+    std::vector<TraceEvent> events;
+    std::atomic<std::uint64_t> appended{0};
+
+    std::uint64_t
+    dropped() const
+    {
+        const std::uint64_t n = appended.load(std::memory_order_acquire);
+        return n > events.size() ? n - events.size() : 0;
+    }
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<EventRing>> rings;
+    std::size_t capacity = 1 << 15; ///< events per thread (~1 MB)
+    int nextTid = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+/** The calling thread's ring, created and registered on first use. */
+EventRing &
+threadRing()
+{
+    // The registry holds a shared_ptr so rings survive thread exit and
+    // their events still appear in the export.
+    thread_local std::shared_ptr<EventRing> ring = [] {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        auto created =
+            std::make_shared<EventRing>(reg.nextTid++, reg.capacity);
+        reg.rings.push_back(created);
+        return created;
+    }();
+    return *ring;
+}
+
+void
+record(const char *category, const char *name, Phase phase)
+{
+    EventRing &ring = threadRing();
+    const std::uint64_t n = ring.appended.load(std::memory_order_relaxed);
+    TraceEvent &slot = ring.events[n % ring.events.size()];
+    slot.category = category;
+    slot.name = name;
+    slot.tsNs = nowNs();
+    slot.phase = phase;
+    // Release so the exporter's acquire on `appended` sees the slot.
+    ring.appended.store(n + 1, std::memory_order_release);
+}
+
+char
+phaseChar(Phase phase)
+{
+    switch (phase) {
+      case Phase::Begin: return 'B';
+      case Phase::End: return 'E';
+      default: return 'i';
+    }
+}
+
+} // namespace
+
+void
+traceEnable()
+{
+    epoch(); // pin the timestamp origin before the first event
+    detail::gTraceEnabled.store(true);
+}
+
+void
+traceDisable()
+{
+    detail::gTraceEnabled.store(false);
+}
+
+void
+traceClear()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &ring : reg.rings)
+        ring->appended.store(0, std::memory_order_release);
+}
+
+void
+traceBegin(const char *category, const char *name) noexcept
+{
+    if (traceEnabled())
+        record(category, name, Phase::Begin);
+}
+
+void
+traceEnd(const char *category, const char *name) noexcept
+{
+    if (traceEnabled())
+        record(category, name, Phase::End);
+}
+
+void
+traceInstant(const char *category, const char *name) noexcept
+{
+    if (traceEnabled())
+        record(category, name, Phase::Instant);
+}
+
+std::size_t
+traceRecordedEvents()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::size_t total = 0;
+    for (const auto &ring : reg.rings) {
+        const std::uint64_t n =
+            ring->appended.load(std::memory_order_acquire);
+        total += static_cast<std::size_t>(
+            std::min<std::uint64_t>(n, ring->events.size()));
+    }
+    return total;
+}
+
+std::uint64_t
+traceDroppedEvents()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::uint64_t total = 0;
+    for (const auto &ring : reg.rings)
+        total += ring->dropped();
+    return total;
+}
+
+void
+traceSetBufferCapacity(std::size_t events)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.capacity = events > 0 ? events : 1;
+    for (auto &ring : reg.rings) {
+        ring->events.assign(reg.capacity, TraceEvent{});
+        ring->appended.store(0, std::memory_order_release);
+    }
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &ring : reg.rings) {
+        const std::uint64_t appended =
+            ring->appended.load(std::memory_order_acquire);
+        const std::uint64_t capacity = ring->events.size();
+        const std::uint64_t window = std::min(appended, capacity);
+        for (std::uint64_t k = appended - window; k < appended; ++k) {
+            const TraceEvent &event = ring->events[k % capacity];
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"name\":\"" << event.name << "\",\"cat\":\""
+               << event.category << "\",\"ph\":\""
+               << phaseChar(event.phase) << "\",\"pid\":1,\"tid\":"
+               << ring->tid << ",\"ts\":"
+               << static_cast<double>(event.tsNs) / 1000.0;
+            if (event.phase == Phase::Instant)
+                os << ",\"s\":\"t\"";
+            os << '}';
+        }
+    }
+    os << "]}\n";
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("trace: cannot open " + path + " for writing");
+        return false;
+    }
+    writeChromeTrace(file);
+    return file.good();
+}
+
+} // namespace mdbench

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Low-overhead event tracer: per-thread ring buffers of begin/end/instant
+ * events, exported as Chrome `trace_event` JSON (loadable in
+ * chrome://tracing or Perfetto).
+ *
+ * Design constraints (DESIGN.md §9):
+ *  - Compiled in but disabled, the cost at every instrumentation point is
+ *    a single relaxed atomic load (TraceScope checks traceEnabled() and
+ *    does nothing else).
+ *  - Enabled, each event is a timestamp plus two pointer stores into the
+ *    calling thread's private ring buffer — no locks, no allocation on
+ *    the hot path (the ring is allocated once per thread on first use).
+ *  - Rings wrap: when a thread records more events than its capacity the
+ *    oldest events are overwritten and counted as dropped.
+ *
+ * Category and name strings must be string literals (or otherwise outlive
+ * the tracer): events store the pointers, not copies.
+ *
+ * Export contract: stop tracing (traceDisable()) and let in-flight
+ * parallel regions drain before calling writeChromeTrace(); rings are
+ * single-writer and the exporter does not synchronize with writers beyond
+ * an acquire on each ring's append index.
+ */
+
+#ifndef MDBENCH_OBS_TRACE_H
+#define MDBENCH_OBS_TRACE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace mdbench {
+
+namespace detail {
+/** Process-wide tracing switch; read relaxed on every hot path. */
+extern std::atomic<bool> gTraceEnabled;
+} // namespace detail
+
+/** True when event recording is on (one relaxed atomic load). */
+inline bool
+traceEnabled() noexcept
+{
+    return detail::gTraceEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn event recording on (rings keep any prior events). */
+void traceEnable();
+
+/** Turn event recording off. */
+void traceDisable();
+
+/** Drop all buffered events and reset the dropped-event count. */
+void traceClear();
+
+// The per-event entry points are noexcept so instrumented hot
+// functions need no exception-handling paths for them.
+
+/** Record a begin ("B") event on the calling thread. */
+void traceBegin(const char *category, const char *name) noexcept;
+
+/** Record an end ("E") event on the calling thread. */
+void traceEnd(const char *category, const char *name) noexcept;
+
+/** Record an instant ("i") event on the calling thread. */
+void traceInstant(const char *category, const char *name) noexcept;
+
+/** Events currently buffered across all threads. */
+std::size_t traceRecordedEvents();
+
+/** Events overwritten by ring wrap since the last traceClear(). */
+std::uint64_t traceDroppedEvents();
+
+/**
+ * Ring capacity (events per thread) used for rings created after this
+ * call; existing rings are resized in place. Call only while no thread
+ * is recording (used by tests to exercise the wrap path cheaply).
+ */
+void traceSetBufferCapacity(std::size_t events);
+
+/** Serialize all buffered events as Chrome trace_event JSON. */
+void writeChromeTrace(std::ostream &os);
+
+/**
+ * Write the Chrome trace JSON to @p path.
+ * @return false (with a warning) when the file cannot be opened.
+ */
+bool writeChromeTrace(const std::string &path);
+
+/**
+ * RAII begin/end pair. The enabled check is hoisted into the
+ * constructor so a scope that starts disabled records nothing even if
+ * tracing is switched on mid-scope (keeps B/E events paired).
+ */
+class TraceScope
+{
+  public:
+    TraceScope(const char *category, const char *name) noexcept
+    {
+        if (traceEnabled()) {
+            category_ = category;
+            name_ = name;
+            traceBegin(category, name);
+        }
+    }
+
+    ~TraceScope() noexcept
+    {
+        if (category_ != nullptr)
+            traceEnd(category_, name_);
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *category_ = nullptr;
+    const char *name_ = nullptr;
+};
+
+} // namespace mdbench
+
+#endif // MDBENCH_OBS_TRACE_H

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/counters.h"
+#include "obs/task_scope.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -163,6 +166,10 @@ RankedSimulation::chargeComm(int rank, MpiFunction fn, std::size_t bytes,
     const double time =
         messages * machine_.latency +
         static_cast<double>(bytes) / machine_.bandwidth;
+    counterAdd(Counter::MpiMessages, static_cast<std::uint64_t>(messages));
+    counterAdd(Counter::MpiModeledBytes, bytes);
+    if (traceEnabled())
+        traceInstant("mpi", mpiFunctionName(fn));
     mpiStats_.add(rank, fn, time);
     clocks_[rank] += time;
     commBytes_ += bytes;
@@ -333,7 +340,7 @@ void
 RankedSimulation::forwardAll()
 {
     for (int r = 0; r < nranks(); ++r) {
-        ScopedTask scope(sims_[r]->timer, Task::Comm);
+        TaskScope scope(sims_[r]->timer, Task::Comm);
         comms_[r]->forwardPositions(*sims_[r]);
     }
 }
@@ -364,7 +371,7 @@ RankedSimulation::setup()
         Simulation &sim = *sims_[r];
         WallTimer wall;
         {
-            ScopedTask scope(sim.timer, Task::Neigh);
+            TaskScope scope(sim.timer, Task::Neigh);
             sim.neighbor.build(sim);
         }
         sim.zeroForceAccumulators();
@@ -382,7 +389,7 @@ RankedSimulation::setup()
         WallTimer wall;
         sim.reverseForceComm();
         for (auto &fix : sim.fixes) {
-            ScopedTask scope(sim.timer, Task::Modify);
+            TaskScope scope(sim.timer, Task::Modify);
             fix->setup(sim);
         }
         clocks_[r] += wall.seconds();
@@ -424,7 +431,7 @@ RankedSimulation::run(long nsteps)
             for (int r = 0; r < nranks(); ++r) {
                 Simulation &sim = *sims_[r];
                 WallTimer wall;
-                ScopedTask scope(sim.timer, Task::Neigh);
+                TaskScope scope(sim.timer, Task::Neigh);
                 sim.neighbor.build(sim);
                 clocks_[r] += wall.seconds();
             }

@@ -1,43 +1,93 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace mdbench {
 
 namespace {
-LogLevel gLevel = LogLevel::Warn;
+
+LogLevel
+environmentLevel()
+{
+    if (const char *env = std::getenv("MDBENCH_LOG_LEVEL")) {
+        if (const auto level = parseLogLevel(env))
+            return *level;
+        std::fprintf(stderr,
+                     "warn: ignoring invalid MDBENCH_LOG_LEVEL '%s' "
+                     "(want silent|warn|inform|debug or 0-3)\n",
+                     env);
+    }
+    return LogLevel::Warn;
+}
+
+/** Function-local static so the env read happens on first use. */
+LogLevel &
+levelRef()
+{
+    static LogLevel level = environmentLevel();
+    return level;
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    levelRef() = level;
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return levelRef();
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &text)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "silent" || lower == "0")
+        return LogLevel::Silent;
+    if (lower == "warn" || lower == "1")
+        return LogLevel::Warn;
+    if (lower == "inform" || lower == "2")
+        return LogLevel::Inform;
+    if (lower == "debug" || lower == "3")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
+
+LogLevel
+refreshLogLevelFromEnvironment()
+{
+    levelRef() = environmentLevel();
+    return levelRef();
 }
 
 void
 inform(const std::string &msg)
 {
-    if (gLevel >= LogLevel::Inform)
+    if (logLevel() >= LogLevel::Inform)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 warn(const std::string &msg)
 {
-    if (gLevel >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 debugLog(const std::string &msg)
 {
-    if (gLevel >= LogLevel::Debug)
+    if (logLevel() >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

@@ -5,11 +5,21 @@
  * Messages go to stderr so they never pollute the structured output
  * (tables, CSV) that benches print on stdout. Verbosity is a process-wide
  * setting; the default prints warnings only.
+ *
+ * Precedence, lowest to highest:
+ *  1. built-in default (Warn);
+ *  2. the MDBENCH_LOG_LEVEL environment variable, read once on first
+ *     use ("silent"|"warn"|"inform"|"debug", case-insensitive, or 0-3);
+ *  3. setLogLevel() — an explicit call always wins over the
+ *     environment (bench binaries route --log-level through it).
+ * refreshLogLevelFromEnvironment() re-applies rule 2, discarding any
+ * prior setLogLevel().
  */
 
 #ifndef MDBENCH_UTIL_LOGGING_H
 #define MDBENCH_UTIL_LOGGING_H
 
+#include <optional>
 #include <string>
 
 namespace mdbench {
@@ -17,11 +27,24 @@ namespace mdbench {
 /** Logging verbosity levels, from quietest to noisiest. */
 enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
 
-/** Set the process-wide verbosity. */
+/** Set the process-wide verbosity (overrides MDBENCH_LOG_LEVEL). */
 void setLogLevel(LogLevel level);
 
 /** Current process-wide verbosity. */
 LogLevel logLevel();
+
+/**
+ * Parse a level name ("silent"|"warn"|"inform"|"debug", any case) or
+ * numeral ("0".."3"); std::nullopt when @p text matches neither.
+ */
+std::optional<LogLevel> parseLogLevel(const std::string &text);
+
+/**
+ * Re-read MDBENCH_LOG_LEVEL and make it the current level (the default
+ * when the variable is unset or unparsable). Returns the level now in
+ * effect.
+ */
+LogLevel refreshLogLevelFromEnvironment();
 
 /** Informative message the user should see but not worry about. */
 void inform(const std::string &msg);

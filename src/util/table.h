@@ -31,6 +31,16 @@ class Table
     /** Number of data rows. */
     std::size_t rows() const { return rows_.size(); }
 
+    /** Column headers (for machine-readable re-emission). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Raw cell data, row-major (for machine-readable re-emission). */
+    const std::vector<std::vector<std::string>> &
+    rowData() const
+    {
+        return rows_;
+    }
+
     /** Render as an aligned ASCII table. */
     void printAscii(std::ostream &os) const;
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace mdbench {
 
 namespace {
@@ -115,6 +118,9 @@ ThreadPool::workerLoop()
 void
 ThreadPool::runSlices(const SliceRange &slices, const SliceFn &fn)
 {
+    // One scope per participating thread per region, so a trace shows
+    // which thread worked (and stalled) in every parallel region.
+    TraceScope trace("pool", "slices");
     tlInParallelRegion = true;
     int completed = 0;
     std::exception_ptr error;
@@ -134,6 +140,7 @@ ThreadPool::runSlices(const SliceRange &slices, const SliceFn &fn)
         ++completed;
     }
     tlInParallelRegion = false;
+    counterAdd(Counter::PoolSlices, static_cast<std::uint64_t>(completed));
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (error && !firstError_)
@@ -148,15 +155,20 @@ ThreadPool::run(const SliceRange &slices, const SliceFn &fn)
 {
     if (slices.count() == 0)
         return;
+    counterAdd(Counter::PoolRegions);
     // Inline execution: single-threaded pools, single-slice ranges, and
     // nested calls from inside a region (workers must not block on
     // their own pool).
     if (nthreads_ == 1 || slices.count() == 1 || tlInParallelRegion) {
+        TraceScope trace("pool", "region_inline");
+        counterAdd(Counter::PoolSlices,
+                   static_cast<std::uint64_t>(slices.count()));
         for (int s = 0; s < slices.count(); ++s)
             fn(slices.begin(s), slices.end(s), s);
         return;
     }
 
+    TraceScope trace("pool", "region");
     {
         std::lock_guard<std::mutex> lock(mutex_);
         jobSlices_ = slices;
@@ -207,6 +219,22 @@ int
 ThreadPool::threads()
 {
     return global().size();
+}
+
+ThreadPool::InlineRegionScope::InlineRegionScope(int slices) noexcept
+{
+    counterAdd(Counter::PoolRegions);
+    counterAdd(Counter::PoolSlices, static_cast<std::uint64_t>(slices));
+    if (traceEnabled()) {
+        traced_ = true;
+        traceBegin("pool", "region_inline");
+    }
+}
+
+ThreadPool::InlineRegionScope::~InlineRegionScope() noexcept
+{
+    if (traced_)
+        traceEnd("pool", "region_inline");
 }
 
 } // namespace mdbench

@@ -109,6 +109,26 @@ class ThreadPool
     /** Same, over an existing partition (for kernels that size scratch). */
     void run(const SliceRange &slices, const SliceFn &fn);
 
+    /**
+     * Observability bracket for a region a templated caller executes
+     * inline (runAndReduce's serial path): counts the region and its
+     * slices and emits the same "pool" trace scope run() would, while
+     * the kernel call itself stays a direct template call — routing
+     * through run()'s SliceFn would block inlining of the hot kernels.
+     */
+    class InlineRegionScope
+    {
+      public:
+        explicit InlineRegionScope(int slices) noexcept;
+        ~InlineRegionScope() noexcept;
+
+        InlineRegionScope(const InlineRegionScope &) = delete;
+        InlineRegionScope &operator=(const InlineRegionScope &) = delete;
+
+      private:
+        bool traced_ = false;
+    };
+
     // -- process-wide pool -------------------------------------------------
 
     /** The shared pool used by the MD kernels. */
@@ -241,6 +261,7 @@ class ReduceScratch
     {
         if (pool.size() == 1) {
             prepare(1, n);
+            ThreadPool::InlineRegionScope obs(slices.count());
             for (int s = 0; s < slices.count(); ++s) {
                 fn(slices.begin(s), slices.end(s), s, 0);
                 foldBuffer(dst, 0, 0, blockCount(n_));

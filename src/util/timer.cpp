@@ -24,24 +24,28 @@ void
 TaskTimer::reset()
 {
     acc_.fill(0.0);
-    active_ = false;
+    depth_ = 0;
 }
 
 void
 TaskTimer::start(Task task)
 {
-    ensure(!active_, "TaskTimer::start while another task is running");
-    current_ = task;
-    active_ = true;
+    ensure(depth_ < kMaxNesting, "TaskTimer::start nested too deeply");
+    // Exclusive semantics: charge the suspended task up to this point
+    // so nested intervals are never counted twice.
+    if (depth_ > 0)
+        acc_[static_cast<std::size_t>(stack_[depth_ - 1])] +=
+            running_.seconds();
+    stack_[depth_++] = task;
     running_.reset();
 }
 
 void
 TaskTimer::stop()
 {
-    ensure(active_, "TaskTimer::stop without a running task");
-    acc_[static_cast<std::size_t>(current_)] += running_.seconds();
-    active_ = false;
+    ensure(depth_ > 0, "TaskTimer::stop without a running task");
+    acc_[static_cast<std::size_t>(stack_[--depth_])] += running_.seconds();
+    running_.reset(); // the parent task resumes accumulating from here
 }
 
 void

@@ -69,19 +69,27 @@ const char *taskName(Task task);
  * Supports both measured accumulation (start/stop around real work) and
  * direct charging of modeled virtual time (add()), so the same breakdown
  * type serves the native engine and the platform-replay models.
+ *
+ * start()/stop() pairs may nest up to kMaxNesting deep, with exclusive
+ * (self-time) semantics: entering a nested task suspends the enclosing
+ * one, so total() never double-counts and always tracks real wall time.
+ * Deeper nesting, and stop() without a matching start(), panic.
  */
 class TaskTimer
 {
   public:
+    /** Maximum depth of nested start() calls. */
+    static constexpr int kMaxNesting = 8;
+
     TaskTimer() { reset(); }
 
-    /** Zero all accumulators. */
+    /** Zero all accumulators and abandon any running tasks. */
     void reset();
 
-    /** Begin measuring @p task (non-reentrant; one task at a time). */
+    /** Begin measuring @p task, suspending the enclosing task if any. */
     void start(Task task);
 
-    /** Stop measuring the task started last and accumulate its time. */
+    /** Stop the innermost running task, resuming its parent if any. */
     void stop();
 
     /** Charge @p seconds of (possibly virtual) time to @p task. */
@@ -101,9 +109,9 @@ class TaskTimer
 
   private:
     std::array<double, kNumTasks> acc_;
-    WallTimer running_;
-    Task current_ = Task::Other;
-    bool active_ = false;
+    WallTimer running_; ///< time since the innermost start/resume
+    std::array<Task, kMaxNesting> stack_;
+    int depth_ = 0;
 };
 
 /**

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/string_utils.h"
@@ -160,6 +162,93 @@ TEST(TaskTimer, TaskNamesMatchTable1)
     EXPECT_STREQ(taskName(Task::Output), "Output");
     EXPECT_STREQ(taskName(Task::Pair), "Pair");
     EXPECT_STREQ(taskName(Task::Other), "Other");
+}
+
+TEST(TaskTimer, NestedStartChargesBothTasks)
+{
+    TaskTimer timer;
+    const auto spin = [] {
+        volatile double x = 0.0;
+        for (int i = 0; i < 50000; ++i)
+            x = x + std::sqrt(static_cast<double>(i));
+        (void)x;
+    };
+    timer.start(Task::Pair);
+    spin();
+    timer.start(Task::Neigh); // suspends Pair
+    spin();
+    timer.stop();             // resumes Pair
+    spin();
+    timer.stop();
+    EXPECT_GT(timer.seconds(Task::Pair), 0.0);
+    EXPECT_GT(timer.seconds(Task::Neigh), 0.0);
+    // Exclusive semantics: the nested interval is charged once, so the
+    // per-task sum equals the total (no double counting).
+    EXPECT_DOUBLE_EQ(timer.total(), timer.seconds(Task::Pair) +
+                                        timer.seconds(Task::Neigh));
+}
+
+TEST(TaskTimer, StopWithoutStartPanics)
+{
+    TaskTimer timer;
+    EXPECT_THROW(timer.stop(), PanicError);
+}
+
+TEST(TaskTimer, NestingDeeperThanLimitPanics)
+{
+    TaskTimer timer;
+    for (int d = 0; d < TaskTimer::kMaxNesting; ++d)
+        timer.start(Task::Other);
+    EXPECT_THROW(timer.start(Task::Other), PanicError);
+    for (int d = 0; d < TaskTimer::kMaxNesting; ++d)
+        timer.stop();
+    EXPECT_THROW(timer.stop(), PanicError);
+}
+
+TEST(TaskTimer, ResetAbandonsRunningTasks)
+{
+    TaskTimer timer;
+    timer.start(Task::Pair);
+    timer.reset();
+    EXPECT_DOUBLE_EQ(timer.total(), 0.0);
+    EXPECT_THROW(timer.stop(), PanicError);
+}
+
+TEST(Logging, ParseLogLevelNamesAndNumerals)
+{
+    EXPECT_EQ(parseLogLevel("silent"), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("WARN"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("Inform"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("0"), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("3"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("verbose"), std::nullopt);
+    EXPECT_EQ(parseLogLevel("7"), std::nullopt);
+    EXPECT_EQ(parseLogLevel(""), std::nullopt);
+}
+
+TEST(Logging, EnvironmentVariablePrecedence)
+{
+    const LogLevel before = logLevel();
+
+    // Environment beats the built-in default...
+    ::setenv("MDBENCH_LOG_LEVEL", "debug", 1);
+    EXPECT_EQ(refreshLogLevelFromEnvironment(), LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+
+    // ...but an explicit setLogLevel() beats the environment.
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+
+    // Unset (or unparsable) environment falls back to the default.
+    ::unsetenv("MDBENCH_LOG_LEVEL");
+    EXPECT_EQ(refreshLogLevelFromEnvironment(), LogLevel::Warn);
+
+    ::setenv("MDBENCH_LOG_LEVEL", "not-a-level", 1);
+    EXPECT_EQ(refreshLogLevelFromEnvironment(), LogLevel::Warn);
+
+    ::unsetenv("MDBENCH_LOG_LEVEL");
+    setLogLevel(before);
 }
 
 TEST(Table, AsciiHasAllCells)
