@@ -53,6 +53,8 @@ runNativeSerial(const ExperimentSpec &spec)
     options.kspaceAccuracy = spec.kspaceAccuracy;
     auto sim = buildNative(spec.benchmark, spec.natoms, options);
     sim->thermoEvery = 0;
+    if (spec.sortEvery >= 0)
+        sim->setSortEvery(spec.sortEvery);
 
     // Apply the requested shared-memory thread count for the duration of
     // this experiment, restoring the pool afterwards so experiments in a
@@ -93,6 +95,8 @@ runNativeRanked(const ExperimentSpec &spec)
         *global, spec.resources,
         [&](Simulation &sim) {
             configureRankFor(sim, spec.benchmark, options);
+            if (spec.sortEvery >= 0)
+                sim.setSortEvery(spec.sortEvery);
         });
     ranked.setup();
     ranked.run(spec.steps);

@@ -52,7 +52,10 @@ PairLJCharmmCoulLong::buildCoeffs()
             // Arithmetic (Lorentz-Berthelot) mixing.
             const double eps = std::sqrt(epsilon_[a] * epsilon_[b]);
             const double sigma = 0.5 * (sigma_[a] + sigma_[b]);
-            const double s6 = std::pow(sigma, 6);
+            // Explicit multiplies, not std::pow(x, 6): integer powers
+            // keep the coefficients bitwise-stable across libm versions.
+            const double s2 = sigma * sigma;
+            const double s6 = s2 * s2 * s2;
             const double s12 = s6 * s6;
             Coeff c;
             c.lj1 = 48.0 * eps * s12;
@@ -74,6 +77,16 @@ PairLJCharmmCoulLong::coeff(int typeA, int typeB) const
 void
 PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
 {
+    if (ntypes_ == 1)
+        computeImpl<true>(sim, list);
+    else
+        computeImpl<false>(sim, list);
+}
+
+template <bool kSingleType>
+void
+PairLJCharmmCoulLong::computeImpl(Simulation &sim, const NeighborList &list)
+{
     ensure(!list.full, "lj/charmm/coul/long requires a half list");
     TraceScope trace("pair", "lj/charmm/coul/long");
     counterAdd(Counter::PairComputes);
@@ -91,8 +104,8 @@ PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
     const double cutLJInnerSq = ljInner_ * ljInner_;
     const double cutCoulSq = coulCut_ * coulCut_;
     const double cutAllSq = std::max(cutLJSq, cutCoulSq);
-    const double denomLJ =
-        std::pow(cutLJSq - cutLJInnerSq, 3);
+    const double switchWidth = cutLJSq - cutLJInnerSq;
+    const double denomLJ = switchWidth * switchWidth * switchWidth;
 
     const std::size_t nlocal = atoms.nlocal();
     ThreadPool &pool = ThreadPool::global();
@@ -104,6 +117,8 @@ PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
     const Vec3 *x = atoms.x.data();
     const int *type = atoms.type.data();
     const double *q = atoms.q.data();
+    const Coeff *coeffs = coeffs_.data();
+    const Coeff cSingle = coeff(1, 1);
     // Every force write goes through the reduction scratch (see
     // PairLJCut::compute); runAndReduce folds the per-slice partial
     // sums into f in ascending slice order.
@@ -115,8 +130,13 @@ PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
         double virial = 0.0;
         for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
             const Vec3 xi = x[i];
-            const int ti = type[i];
             const double qi = q[i];
+            // One 2-D table row per i, not one lookup per pair (see
+            // PairLJCut::computeImpl).
+            const Coeff *row =
+                kSingleType ? nullptr
+                            : coeffs + static_cast<std::size_t>(type[i]) *
+                                           (ntypes_ + 1);
             Vec3 fi{};
             const auto [begin, end] = list.range(i);
             for (std::uint32_t k = begin; k < end; ++k) {
@@ -141,7 +161,7 @@ PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
 
                 double forcelj = 0.0;
                 if (rsq < cutLJSq) {
-                    const Coeff &c = coeff(ti, type[j]);
+                    const Coeff &c = kSingleType ? cSingle : row[type[j]];
                     const double r6inv = r2inv * r2inv * r2inv;
                     forcelj = r6inv * (c.lj1 * r6inv - c.lj2);
                     double philj = r6inv * (c.lj3 * r6inv - c.lj4);

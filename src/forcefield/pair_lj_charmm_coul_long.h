@@ -76,6 +76,15 @@ class PairLJCharmmCoulLong : public PairStyle
     ReduceScratch<Vec3> fscratch_;
 
     void buildCoeffs();
+
+    /**
+     * The kernel proper. kSingleType hoists the single LJ coefficient
+     * set out of both loops and skips the per-pair type lookup; the
+     * multi-type path uses one table-row pointer per i. Arithmetic is
+     * identical on both paths.
+     */
+    template <bool kSingleType>
+    void computeImpl(Simulation &sim, const NeighborList &list);
 };
 
 } // namespace mdbench

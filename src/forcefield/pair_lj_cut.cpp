@@ -34,14 +34,18 @@ PairLJCut::coeff(int typeA, int typeB) const
 void
 PairLJCut::precompute(Coeff &c) const
 {
-    const double s6 = std::pow(c.sigma, 6);
+    // Explicit multiplies, not std::pow(x, 6): integer powers keep the
+    // coefficients bitwise-stable across libm versions.
+    const double s2 = c.sigma * c.sigma;
+    const double s6 = s2 * s2 * s2;
     const double s12 = s6 * s6;
     c.lj1 = 48.0 * c.epsilon * s12;
     c.lj2 = 24.0 * c.epsilon * s6;
     c.lj3 = 4.0 * c.epsilon * s12;
     c.lj4 = 4.0 * c.epsilon * s6;
     if (shift_) {
-        const double rc6 = std::pow(cutoff_, 6);
+        const double rc2 = cutoff_ * cutoff_;
+        const double rc6 = rc2 * rc2 * rc2;
         c.eshift = c.lj3 / (rc6 * rc6) - c.lj4 / rc6;
     } else {
         c.eshift = 0.0;
@@ -85,6 +89,16 @@ PairLJCut::mix(MixRule rule)
 void
 PairLJCut::compute(Simulation &sim, const NeighborList &list)
 {
+    if (ntypes_ == 1)
+        computeImpl<true>(sim, list);
+    else
+        computeImpl<false>(sim, list);
+}
+
+template <bool kSingleType>
+void
+PairLJCut::computeImpl(Simulation &sim, const NeighborList &list)
+{
     TraceScope trace("pair", "lj/cut");
     counterAdd(Counter::PairComputes);
     counterAdd(Counter::PairInteractions, list.pairCount());
@@ -105,6 +119,8 @@ PairLJCut::compute(Simulation &sim, const NeighborList &list)
 
     const Vec3 *x = atoms.x.data();
     const int *type = atoms.type.data();
+    const Coeff *coeffs = coeffs_.data();
+    const Coeff cSingle = coeff(1, 1);
     Vec3 *f = atoms.f.data();
     // For half lists every force write — the i-side row sums as well as
     // the j-side pair terms — goes through the reduction scratch, so
@@ -121,7 +137,13 @@ PairLJCut::compute(Simulation &sim, const NeighborList &list)
         double virial = 0.0;
         for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
             const Vec3 xi = x[i];
-            const int ti = type[i];
+            // One 2-D table row per i, not one lookup per pair: the
+            // row base replaces the per-pair ti * (ntypes + 1) index
+            // arithmetic with a plain type[j] offset.
+            const Coeff *row =
+                kSingleType ? nullptr
+                            : coeffs + static_cast<std::size_t>(type[i]) *
+                                           (ntypes_ + 1);
             Vec3 fi{};
             const auto [begin, end] = list.range(i);
             for (std::uint32_t k = begin; k < end; ++k) {
@@ -130,7 +152,7 @@ PairLJCut::compute(Simulation &sim, const NeighborList &list)
                 const double r2 = delta.normSq();
                 if (r2 >= cutSq)
                     continue;
-                const Coeff &c = coeff(ti, type[j]);
+                const Coeff &c = kSingleType ? cSingle : row[type[j]];
                 const double r2inv = 1.0 / r2;
                 const double r6inv = r2inv * r2inv * r2inv;
                 const double forcelj =

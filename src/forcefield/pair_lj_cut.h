@@ -59,6 +59,16 @@ class PairLJCut : public PairStyle
     const Coeff &coeff(int typeA, int typeB) const;
     void precompute(Coeff &c) const;
 
+    /**
+     * The kernel proper. kSingleType skips the per-pair type lookup
+     * entirely (one Coeff hoisted out of both loops) — all five paper
+     * workloads have 1-2 types, and LJ/Chain/EAM/Chute have one. The
+     * arithmetic is identical on both paths, so results are bitwise
+     * independent of which one runs.
+     */
+    template <bool kSingleType>
+    void computeImpl(Simulation &sim, const NeighborList &list);
+
     int ntypes_;
     double cutoff_;
     bool shift_;

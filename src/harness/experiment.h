@@ -44,6 +44,13 @@ struct ExperimentSpec
      */
     int threads = 0;
 
+    /**
+     * Spatial sort interval in neighbor rebuilds for native modes
+     * (-1 = engine default from MDBENCH_SORT_EVERY, 0 = disabled;
+     * see Simulation::setSortEvery).
+     */
+    int sortEvery = -1;
+
     /** "<bench>-<size>k" label as the paper's plots use. */
     std::string label() const;
 };

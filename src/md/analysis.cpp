@@ -65,8 +65,11 @@ MsdTracker::MsdTracker(const Simulation &sim)
     const std::size_t n = sim.atoms.nlocal();
     lastWrapped_.resize(n);
     displacement_.assign(n, Vec3{});
-    for (std::size_t i = 0; i < n; ++i)
+    slotOfTag_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
         lastWrapped_[i] = sim.box.wrap(sim.atoms.x[i]);
+        slotOfTag_[sim.atoms.tag[i]] = i;
+    }
 }
 
 double
@@ -76,11 +79,16 @@ MsdTracker::sample(const Simulation &sim)
            "MsdTracker: atom count changed");
     double sum = 0.0;
     for (std::size_t i = 0; i < lastWrapped_.size(); ++i) {
+        // Resolve by tag: spatial sorting may have moved the atom to a
+        // different local index since capture.
+        const auto it = slotOfTag_.find(sim.atoms.tag[i]);
+        ensure(it != slotOfTag_.end(), "MsdTracker: unknown atom tag");
+        const std::size_t slot = it->second;
         const Vec3 wrapped = sim.box.wrap(sim.atoms.x[i]);
-        displacement_[i] +=
-            sim.box.minimumImage(wrapped - lastWrapped_[i]);
-        lastWrapped_[i] = wrapped;
-        sum += displacement_[i].normSq();
+        displacement_[slot] +=
+            sim.box.minimumImage(wrapped - lastWrapped_[slot]);
+        lastWrapped_[slot] = wrapped;
+        sum += displacement_[slot].normSq();
     }
     msd_ = sum / static_cast<double>(lastWrapped_.size());
     return msd_;

@@ -9,6 +9,8 @@
 #ifndef MDBENCH_MD_ANALYSIS_H
 #define MDBENCH_MD_ANALYSIS_H
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "md/vec3.h"
@@ -42,7 +44,8 @@ Rdf computeRdf(const Simulation &sim, double rMax, int bins = 100);
  * (LAMMPS `compute msd`). Displacements are accumulated from wrapped
  * positions via minimum-image hops, so box wrapping does not corrupt
  * the measurement as long as sample() is called at least once per
- * half-box of motion.
+ * half-box of motion. Internal state is keyed by atom tag, so the
+ * tracker survives spatial reordering (Simulation::maybeSortAtoms).
  */
 class MsdTracker
 {
@@ -57,6 +60,8 @@ class MsdTracker
     double value() const { return msd_; }
 
   private:
+    /** Slot of each tag; slots are fixed at capture time. */
+    std::unordered_map<std::int64_t, std::size_t> slotOfTag_;
     std::vector<Vec3> lastWrapped_;
     std::vector<Vec3> displacement_;
     double msd_ = 0.0;

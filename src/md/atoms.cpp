@@ -118,6 +118,55 @@ AtomStore::removeAtom(std::size_t i)
     --nlocal_;
 }
 
+namespace {
+
+/** arr[k] = arr[oldOf[k]] for all k, via a gather into @p scratch. */
+template <typename T>
+void
+gatherInto(std::vector<T> &arr, const std::vector<std::uint32_t> &oldOf,
+           std::vector<T> &scratch)
+{
+    scratch.resize(arr.size());
+    for (std::size_t k = 0; k < oldOf.size(); ++k)
+        scratch[k] = arr[oldOf[k]];
+    arr.swap(scratch);
+}
+
+} // namespace
+
+void
+AtomStore::applyPermutation(const std::vector<std::uint32_t> &oldOf)
+{
+    ensure(nghost() == 0, "cannot reorder owned atoms while ghosts exist");
+    ensure(oldOf.size() == nlocal_,
+           "permutation size does not match nlocal");
+    // Verify bijectivity: each old index must appear exactly once. The
+    // check is O(n) like the gathers below, and sorts are rare (every
+    // N neighbor rebuilds), so it stays on unconditionally.
+    std::vector<bool> seen(nlocal_, false);
+    for (const std::uint32_t old : oldOf) {
+        ensure(old < nlocal_ && !seen[old],
+               "applyPermutation: not a permutation of [0, nlocal)");
+        seen[old] = true;
+    }
+
+    std::vector<Vec3> vecScratch;
+    gatherInto(x, oldOf, vecScratch);
+    gatherInto(v, oldOf, vecScratch);
+    gatherInto(f, oldOf, vecScratch);
+    gatherInto(omega, oldOf, vecScratch);
+    gatherInto(torque, oldOf, vecScratch);
+    std::vector<double> dblScratch;
+    gatherInto(q, oldOf, dblScratch);
+    std::vector<int> intScratch;
+    gatherInto(type, oldOf, intScratch);
+    std::vector<std::int64_t> i64Scratch;
+    gatherInto(tag, oldOf, i64Scratch);
+    gatherInto(molecule, oldOf, i64Scratch);
+    std::vector<std::int32_t> i32Scratch;
+    gatherInto(ghostOf, oldOf, i32Scratch);
+}
+
 void
 AtomStore::zeroForces()
 {

@@ -76,6 +76,17 @@ class AtomStore
     /** Remove owned atom @p i by swapping the last owned atom into it. */
     void removeAtom(std::size_t i);
 
+    /**
+     * Reorder the owned atoms so that new index @p k holds the atom
+     * previously at oldOf[k]. Remaps every per-atom SoA array
+     * (positions through ghostOf). @p oldOf must be a permutation of
+     * [0, nlocal), and no ghosts may exist: any subsystem holding local
+     * indices (ghost records, neighbor lists, saved positions) must be
+     * rebuilt afterwards — see the permutation contract in DESIGN.md
+     * §10. Callers identify atoms across a reorder by tag.
+     */
+    void applyPermutation(const std::vector<std::uint32_t> &oldOf);
+
     /** Zero the force accumulators of all owned and ghost atoms. */
     void zeroForces();
 

@@ -11,7 +11,9 @@
 #ifndef MDBENCH_MD_FIX_H
 #define MDBENCH_MD_FIX_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mdbench {
 
@@ -45,6 +47,19 @@ class Fix
 
     /** Housekeeping at the very end of the step. */
     virtual void endOfStep(Simulation &) {}
+
+    /**
+     * The owned atoms were spatially reordered: new index k holds the
+     * atom previously at oldOf[k]. A fix that persists per-atom state
+     * indexed by local id across steps must remap it here (gather by
+     * oldOf) or key it by tag instead. State that is recaptured every
+     * step (e.g. SHAKE's saved positions) needs no action: the reorder
+     * happens during reneighboring, never inside a step phase.
+     */
+    virtual void onAtomsReordered(Simulation &,
+                                  const std::vector<std::uint32_t> &)
+    {
+    }
 
     /** Degrees of freedom removed by this fix (e.g. SHAKE constraints). */
     virtual long removedDof(const Simulation &) const { return 0; }

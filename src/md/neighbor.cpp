@@ -12,10 +12,88 @@
 
 namespace mdbench {
 
+#include <cstdlib>
+
 namespace {
 
 /** Grain for the per-atom neighbor loops (no reduction scratch). */
 constexpr std::size_t kNeighborGrain = 128;
+
+/** Uniform bin grid over the box plus a ghost shell of one cutoff. */
+struct BinGrid
+{
+    mdbench::Vec3 lo;
+    int nb[3];
+    double inv[3];
+    std::size_t nbins;
+
+    std::array<int, 3>
+    cellOf(const mdbench::Vec3 &pos) const
+    {
+        int bx = static_cast<int>((pos.x - lo.x) * inv[0]);
+        int by = static_cast<int>((pos.y - lo.y) * inv[1]);
+        int bz = static_cast<int>((pos.z - lo.z) * inv[2]);
+        bx = std::clamp(bx, 0, nb[0] - 1);
+        by = std::clamp(by, 0, nb[1] - 1);
+        bz = std::clamp(bz, 0, nb[2] - 1);
+        return {bx, by, bz};
+    }
+
+    std::size_t
+    flatten(int bx, int by, int bz) const
+    {
+        return (static_cast<std::size_t>(bz) * nb[1] + by) * nb[0] + bx;
+    }
+};
+
+BinGrid
+makeBinGrid(const mdbench::Box &box, double cut)
+{
+    BinGrid grid;
+    grid.lo = box.lo() - mdbench::Vec3{cut, cut, cut};
+    const mdbench::Vec3 hi = box.hi() + mdbench::Vec3{cut, cut, cut};
+    const mdbench::Vec3 len = hi - grid.lo;
+    const double lens[3] = {len.x, len.y, len.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        grid.nb[axis] = std::max(1, static_cast<int>(lens[axis] / cut));
+        grid.inv[axis] = grid.nb[axis] / lens[axis];
+    }
+    grid.nbins =
+        static_cast<std::size_t>(grid.nb[0]) * grid.nb[1] * grid.nb[2];
+    return grid;
+}
+
+/**
+ * Counting-sort binning: bin counts -> prefix sum -> scatter into a
+ * contiguous per-bin atom array. Within a bin atoms end up in ascending
+ * index order (the scatter walks atoms in order), and the contiguous
+ * layout streams better than chasing head/next chains. Shared by the
+ * list build (over owned + ghost atoms) and the spatial sort (over
+ * owned atoms only), so both traverse identical bin geometry.
+ */
+void
+countingSortBins(const BinGrid &grid, const mdbench::Vec3 *x, std::size_t n,
+                 std::vector<std::uint32_t> &binOf,
+                 std::vector<std::uint32_t> &binStart,
+                 std::vector<std::uint32_t> &binCursor,
+                 std::vector<std::uint32_t> &binAtoms)
+{
+    binOf.resize(n);
+    binStart.assign(grid.nbins + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto b = grid.cellOf(x[i]);
+        const std::uint32_t flat =
+            static_cast<std::uint32_t>(grid.flatten(b[0], b[1], b[2]));
+        binOf[i] = flat;
+        ++binStart[flat + 1];
+    }
+    for (std::size_t b = 0; b < grid.nbins; ++b)
+        binStart[b + 1] += binStart[b];
+    binAtoms.resize(n);
+    binCursor.assign(binStart.begin(), binStart.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        binAtoms[binCursor[binOf[i]]++] = static_cast<std::uint32_t>(i);
+}
 
 } // namespace
 
@@ -90,50 +168,10 @@ Neighbor::buildImpl(Simulation &sim)
     const double cutSq = cut * cut;
 
     // Bin the extended domain (box plus a ghost shell of one cutoff).
-    const Vec3 lo = box.lo() - Vec3{cut, cut, cut};
-    const Vec3 hi = box.hi() + Vec3{cut, cut, cut};
-    const Vec3 len = hi - lo;
-    int nb[3];
-    double inv[3];
-    const double lens[3] = {len.x, len.y, len.z};
-    for (int axis = 0; axis < 3; ++axis) {
-        nb[axis] = std::max(1, static_cast<int>(lens[axis] / cut));
-        inv[axis] = nb[axis] / lens[axis];
-    }
-    const std::size_t nbins = static_cast<std::size_t>(nb[0]) * nb[1] * nb[2];
-
-    auto binIndex = [&](const Vec3 &pos) {
-        int bx = static_cast<int>((pos.x - lo.x) * inv[0]);
-        int by = static_cast<int>((pos.y - lo.y) * inv[1]);
-        int bz = static_cast<int>((pos.z - lo.z) * inv[2]);
-        bx = std::clamp(bx, 0, nb[0] - 1);
-        by = std::clamp(by, 0, nb[1] - 1);
-        bz = std::clamp(bz, 0, nb[2] - 1);
-        return std::array<int, 3>{bx, by, bz};
-    };
-    auto flatten = [&](int bx, int by, int bz) {
-        return (static_cast<std::size_t>(bz) * nb[1] + by) * nb[0] + bx;
-    };
-
-    // Counting-sort binning: bin counts -> prefix sum -> scatter into a
-    // contiguous per-bin atom array. Within a bin atoms end up in
-    // ascending index order (the scatter walks atoms in order), and the
-    // contiguous layout streams better than chasing head/next chains.
-    binOf_.resize(nall);
-    binStart_.assign(nbins + 1, 0);
-    for (std::size_t i = 0; i < nall; ++i) {
-        const auto b = binIndex(atoms.x[i]);
-        const std::uint32_t flat =
-            static_cast<std::uint32_t>(flatten(b[0], b[1], b[2]));
-        binOf_[i] = flat;
-        ++binStart_[flat + 1];
-    }
-    for (std::size_t b = 0; b < nbins; ++b)
-        binStart_[b + 1] += binStart_[b];
-    binAtoms_.resize(nall);
-    binCursor_.assign(binStart_.begin(), binStart_.end() - 1);
-    for (std::size_t i = 0; i < nall; ++i)
-        binAtoms_[binCursor_[binOf_[i]]++] = static_cast<std::uint32_t>(i);
+    const BinGrid grid = makeBinGrid(box, cut);
+    const int *nb = grid.nb;
+    countingSortBins(grid, atoms.x.data(), nall, binOf_, binStart_,
+                     binCursor_, binAtoms_);
 
     const bool checkExclusions = !sim.topology.bonds.empty() ||
                                  !sim.topology.angles.empty();
@@ -154,7 +192,7 @@ Neighbor::buildImpl(Simulation &sim)
     // binning (never on threading), so all paths build identical lists.
     auto visitNeighbors = [&](std::size_t i, auto &&emit) {
         const Vec3 xi = x[i];
-        const auto bi = binIndex(xi);
+        const auto bi = grid.cellOf(xi);
         for (int dz = -1; dz <= 1; ++dz) {
             const int bz = bi[2] + dz;
             if (bz < 0 || bz >= nb[2])
@@ -167,7 +205,7 @@ Neighbor::buildImpl(Simulation &sim)
                     const int bx = bi[0] + dx;
                     if (bx < 0 || bx >= nb[0])
                         continue;
-                    const std::size_t bin = flatten(bx, by, bz);
+                    const std::size_t bin = grid.flatten(bx, by, bz);
                     const std::uint32_t binEnd = binStart[bin + 1];
                     for (std::uint32_t idx = binStart[bin]; idx < binEnd;
                          ++idx) {
@@ -258,9 +296,49 @@ Neighbor::buildImpl(Simulation &sim)
 
     lastBuildPos_.assign(atoms.x.begin(), atoms.x.begin() + nlocal);
     ++buildCount_;
+    ++buildsSinceSort_;
     if (firstBuildStep_ < 0)
         firstBuildStep_ = sim.step;
     lastBuildStep_ = sim.step;
+}
+
+int
+Neighbor::defaultSortEvery()
+{
+    if (const char *env = std::getenv("MDBENCH_SORT_EVERY")) {
+        const int every = std::atoi(env);
+        if (every > 0)
+            return every;
+    }
+    return 0;
+}
+
+void
+Neighbor::computeSortOrder(const Simulation &sim,
+                           std::vector<std::uint32_t> &order)
+{
+    const AtomStore &atoms = sim.atoms;
+    const double cut = cutoff + skin;
+    require(cut > 0.0, "sort order needs a positive neighbor cutoff");
+    // Same grid as the next build, restricted to the owned atoms: the
+    // neighbor ids of spatially close atoms become close indices, so
+    // the pair-kernel x[j] gathers walk the position array nearly
+    // monotonically (LAMMPS `atom_modify sort` / MD-Bench layout).
+    const BinGrid grid = makeBinGrid(sim.box, cut);
+    countingSortBins(grid, atoms.x.data(), atoms.nlocal(), binOf_,
+                     binStart_, binCursor_, binAtoms_);
+    order.assign(binAtoms_.begin(), binAtoms_.end());
+}
+
+void
+Neighbor::noteSortApplied()
+{
+    buildsSinceSort_ = 0;
+    ++sortCount_;
+    // Saved build positions are indexed by the pre-sort order; drop
+    // them so any trigger check before the next build forces a rebuild
+    // instead of comparing unrelated atoms.
+    lastBuildPos_.clear();
 }
 
 double

@@ -66,6 +66,51 @@ class Neighbor
     /** Rebuild at most every this many steps (0 = purely distance based). */
     int every = 1;
 
+    /**
+     * Spatially reorder the owned atoms every this many neighbor
+     * rebuilds (0 = never). Initialized from the MDBENCH_SORT_EVERY
+     * environment variable; see Simulation::setSortEvery for the
+     * programmatic knob and DESIGN.md §10 for the policy.
+     */
+    int sortEvery = defaultSortEvery();
+
+    /** MDBENCH_SORT_EVERY, or 0 (disabled) when unset/invalid. */
+    static int defaultSortEvery();
+
+    /**
+     * True when the sort policy asks for a reorder before the next
+     * build. The very first build is always due: the initial atom order
+     * is whatever the builder (or a restart file) produced, so an
+     * enabled policy establishes spatial order at setup and then
+     * re-sorts every sortEvery rebuilds.
+     */
+    bool
+    sortDue() const
+    {
+        return sortEvery > 0 &&
+               (buildCount_ == 0 || buildsSinceSort_ >= sortEvery);
+    }
+
+    /**
+     * Counting-sort bin ordering of the owned atoms: order[k] is the
+     * old index of the atom that belongs at index k when atoms are
+     * grouped by ascending spatial bin (ties by ascending old index).
+     * Reuses the build's binning arrays; the traversal depends only on
+     * positions, never on threading.
+     */
+    void computeSortOrder(const Simulation &sim,
+                          std::vector<std::uint32_t> &order);
+
+    /**
+     * Record that the owned atoms were reordered: resets the sort
+     * interval and invalidates lastBuildPos_ (its indices no longer
+     * match), so the next trigger check forces a rebuild.
+     */
+    void noteSortApplied();
+
+    /** Number of spatial sorts applied since construction. */
+    long sortCount() const { return sortCount_; }
+
     /** Distance the fastest atom may travel before a rebuild triggers. */
     double triggerDistance() const { return 0.5 * skin; }
 
@@ -106,6 +151,8 @@ class Neighbor
     /** Payload size of the previous build (sizes the serial reserve). */
     std::size_t prevNeighborCount_ = 0;
 
+    long buildsSinceSort_ = 0;
+    long sortCount_ = 0;
     long buildCount_ = 0;
     long lastBuildStep_ = 0;
     long firstBuildStep_ = -1;

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
-#include "util/error.h"
+#include "obs/counters.h"
 #include "obs/task_scope.h"
+#include "obs/trace.h"
+#include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -29,11 +31,46 @@ Simulation::commCutoff() const
 }
 
 void
+Simulation::setSortEvery(int every)
+{
+    require(every >= 0, "sort interval must be >= 0");
+    neighbor.sortEvery = every;
+}
+
+bool
+Simulation::maybeSortAtoms()
+{
+    if (neighbor.sortEvery <= 0)
+        return false;
+    if (!neighbor.sortDue() || atoms.nghost() != 0) {
+        counterAdd(Counter::SortSkipped);
+        return false;
+    }
+    TaskScope scope(timer, Task::Neigh);
+    TraceScope trace("neigh", "spatial_sort");
+    neighbor.computeSortOrder(*this, sortOrder_);
+    atoms.applyPermutation(sortOrder_);
+    for (auto &fix : fixes)
+        fix->onAtomsReordered(*this, sortOrder_);
+    neighbor.noteSortApplied();
+    counterAdd(Counter::SortApplied);
+    return true;
+}
+
+void
 Simulation::reneighbor()
 {
     {
         TaskScope scope(timer, Task::Comm);
         comm->exchange(*this);
+    }
+    // Between exchange and borders the owned atoms are wrapped and no
+    // ghosts exist: the only point in the step where a reorder cannot
+    // invalidate live indices (ghost records, neighbor list, tag map
+    // are all rebuilt below).
+    maybeSortAtoms();
+    {
+        TaskScope scope(timer, Task::Comm);
         comm->borders(*this);
         topology.buildTagMap(atoms);
     }

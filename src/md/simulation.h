@@ -134,6 +134,22 @@ class Simulation
     /** Force a reneighbor (exchange + borders + build) now. */
     void reneighbor();
 
+    /**
+     * Spatially reorder the owned atoms into neighbor-bin order if the
+     * sort policy is due (see Neighbor::sortEvery). May only run while
+     * no ghosts exist; reneighbor() and the ranked driver call it right
+     * after migration, before ghost/list rebuilds. Fixes are notified
+     * through Fix::onAtomsReordered.
+     * @return true when a reorder was applied.
+     */
+    bool maybeSortAtoms();
+
+    /** Spatial sort interval in neighbor rebuilds (0 = disabled). */
+    int sortEvery() const { return neighbor.sortEvery; }
+
+    /** Set the sort interval (programmatic MDBENCH_SORT_EVERY). */
+    void setSortEvery(int every);
+
     /** Evaluate all forces for the current positions. */
     void computeForces();
 
@@ -162,6 +178,7 @@ class Simulation
 
   private:
     std::vector<ThermoRow> thermoLog_;
+    std::vector<std::uint32_t> sortOrder_; ///< reusable sort scratch
     long reneighborCount_ = 0;
     bool setupDone_ = false;
 };

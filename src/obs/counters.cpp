@@ -16,6 +16,8 @@ counterName(Counter counter)
       case Counter::NeighBuilds: return "neigh.builds";
       case Counter::NeighTriggerChecks: return "neigh.trigger_checks";
       case Counter::NeighPairs: return "neigh.pairs";
+      case Counter::SortApplied: return "neigh.sorts_applied";
+      case Counter::SortSkipped: return "neigh.sorts_skipped";
       case Counter::PairComputes: return "pair.computes";
       case Counter::PairInteractions: return "pair.interactions";
       case Counter::CommExchanges: return "comm.exchanges";

@@ -30,6 +30,8 @@ enum class Counter : std::size_t {
     NeighBuilds = 0,    ///< neighbor-list builds
     NeighTriggerChecks, ///< displacement trigger evaluations
     NeighPairs,         ///< pairs stored by neighbor builds
+    SortApplied,        ///< spatial atom reorders applied
+    SortSkipped,        ///< sort-enabled rebuilds that did not reorder
     PairComputes,       ///< pair-style compute() calls
     PairInteractions,   ///< neighbor pairs visited by pair kernels
     CommExchanges,      ///< comm exchange/borders rebuilds

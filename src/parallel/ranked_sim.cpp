@@ -238,6 +238,19 @@ RankedSimulation::migrateAtoms()
 }
 
 void
+RankedSimulation::sortAtoms()
+{
+    // Safe only in this window: migrateAtoms() just dropped every ghost
+    // and every cross-rank ghost record, so no store holds indices into
+    // another rank's (about to be reordered) owned range.
+    for (int r = 0; r < nranks(); ++r) {
+        WallTimer wall;
+        sims_[r]->maybeSortAtoms();
+        clocks_[r] += wall.seconds();
+    }
+}
+
+void
 RankedSimulation::rebuildGhosts()
 {
     for (int r = 0; r < nranks(); ++r) {
@@ -357,6 +370,7 @@ RankedSimulation::setup()
     }
 
     migrateAtoms();
+    sortAtoms();
     assignTopology();
     for (auto &sim : sims_) {
         if (sim->pair) {
@@ -426,6 +440,7 @@ RankedSimulation::run(long nsteps)
 
         if (rebuild) {
             migrateAtoms();
+            sortAtoms();
             assignTopology();
             rebuildGhosts();
             for (int r = 0; r < nranks(); ++r) {

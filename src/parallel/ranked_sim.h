@@ -115,6 +115,7 @@ class RankedSimulation
     friend class RankComm;
 
     void migrateAtoms();
+    void sortAtoms();
     void rebuildGhosts();
     void assignTopology();
     void forwardAll();

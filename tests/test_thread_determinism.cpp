@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -100,6 +101,53 @@ TEST(ThreadDeterminism, GranularFullListIsBitwiseReproducible)
     // Chute uses full lists (no reduction scratch): the direct-write
     // path must be just as reproducible.
     expectBitwiseReproducible([] { return buildChute(4, 4, 3); }, 25);
+}
+
+// Spatial sorting recomputes the permutation serially from positions
+// that are themselves bitwise-identical across thread counts, so a
+// sorted run must stay exactly as reproducible as an unsorted one.
+
+TEST(ThreadDeterminism, LJMeltWithEnvSortingIsBitwiseReproducible)
+{
+    setenv("MDBENCH_SORT_EVERY", "5", 1);
+    expectBitwiseReproducible([] { return buildLJ(5); }, 80);
+    unsetenv("MDBENCH_SORT_EVERY");
+}
+
+TEST(ThreadDeterminism, LJMeltWithFrequentSortingIsBitwiseReproducible)
+{
+    expectBitwiseReproducible(
+        [] {
+            auto sim = buildLJ(5);
+            sim->setSortEvery(1);
+            return sim;
+        },
+        50);
+}
+
+TEST(ThreadDeterminism, GranularWithSortingIsBitwiseReproducible)
+{
+    // Shear-history contacts are keyed by tag pairs and must survive
+    // the reorder.
+    expectBitwiseReproducible(
+        [] {
+            auto sim = buildChute(4, 4, 3);
+            sim->setSortEvery(1);
+            return sim;
+        },
+        25);
+}
+
+TEST(ThreadDeterminism, RhodoProxyWithSortingIsBitwiseReproducible)
+{
+    // SHAKE clusters, PPPM charge maps, and NPT all see reordered atoms.
+    expectBitwiseReproducible(
+        [] {
+            auto sim = buildRhodoProxy(8);
+            sim->setSortEvery(1);
+            return sim;
+        },
+        10);
 }
 
 } // namespace
