@@ -74,30 +74,49 @@ Ewald::compute(Simulation &sim)
     for (std::size_t i = 0; i < nlocal; ++i)
         qsqsum += atoms.q[i] * atoms.q[i];
 
-    // Structure factors per k, then forces per atom.
-    std::vector<double> cosK(nlocal);
-    std::vector<double> sinK(nlocal);
-    for (std::size_t kk = 0; kk < kvecs_.size(); ++kk) {
-        const Vec3 &k = kvecs_[kk];
-        double sReal = 0.0;
-        double sImag = 0.0;
-        for (std::size_t i = 0; i < nlocal; ++i) {
-            const double phase = k.dot(atoms.x[i]);
-            cosK[i] = std::cos(phase);
-            sinK[i] = std::sin(phase);
-            sReal += atoms.q[i] * cosK[i];
-            sImag += atoms.q[i] * sinK[i];
-        }
-        // Factor 2 folds the -k half space.
-        const double pre = 2.0 * prefactor_[kk] * qqr2e / (2.0 * volume);
-        energy_ += pre * (sReal * sReal + sImag * sImag);
-        const double fpre = 2.0 * prefactor_[kk] * qqr2e / volume;
-        for (std::size_t i = 0; i < nlocal; ++i) {
-            const double coef =
-                fpre * atoms.q[i] * (sinK[i] * sReal - cosK[i] * sImag);
-            atoms.f[i] += k * coef;
-        }
-    }
+    // Structure factors and forces, parallel over k-vector slices. A
+    // slice computes each of its k's structure factor serially over
+    // atoms (ascending i, as before) and accumulates the per-atom
+    // forces into its private scratch buffer; runAndReduce folds the
+    // buffers into f in ascending slice order, so every atom's force
+    // sums its k contributions in ascending k order at any thread
+    // count. Energy folds the same way through per-slice partials.
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange kSlices(0, kvecs_.size(), 1);
+    SlicePartials<double> energyParts;
+    fscratch_.runAndReduce(
+        pool, kSlices, nlocal, atoms.f.data(),
+        [&](std::size_t kBegin, std::size_t kEnd, int s, int buffer) {
+            auto fw = fscratch_.acc(buffer);
+            std::vector<double> cosK(nlocal);
+            std::vector<double> sinK(nlocal);
+            double energy = 0.0;
+            for (std::size_t kk = kBegin; kk < kEnd; ++kk) {
+                const Vec3 &k = kvecs_[kk];
+                double sReal = 0.0;
+                double sImag = 0.0;
+                for (std::size_t i = 0; i < nlocal; ++i) {
+                    const double phase = k.dot(atoms.x[i]);
+                    cosK[i] = std::cos(phase);
+                    sinK[i] = std::sin(phase);
+                    sReal += atoms.q[i] * cosK[i];
+                    sImag += atoms.q[i] * sinK[i];
+                }
+                // Factor 2 folds the -k half space.
+                const double pre =
+                    2.0 * prefactor_[kk] * qqr2e / (2.0 * volume);
+                energy += pre * (sReal * sReal + sImag * sImag);
+                const double fpre = 2.0 * prefactor_[kk] * qqr2e / volume;
+                for (std::size_t i = 0; i < nlocal; ++i) {
+                    const double coef = fpre * atoms.q[i] *
+                                        (sinK[i] * sReal -
+                                         cosK[i] * sImag);
+                    fw.at(i) += k * coef;
+                }
+            }
+            energyParts[s] = energy;
+        });
+    energy_ = energyParts.fold(kSlices, energy_);
 
     // Self-energy correction.
     energy_ -= qqr2e * gEwald_ / std::sqrt(M_PI) * qsqsum;

@@ -12,6 +12,7 @@
 #include "kspace/plan.h"
 #include "md/styles.h"
 #include "md/vec3.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 
@@ -39,6 +40,9 @@ class Ewald : public KspaceStyle
     KspacePlan plan_;
     std::vector<Vec3> kvecs_;       ///< k vectors of the half space
     std::vector<double> prefactor_; ///< 4 pi exp(-k^2/4g^2)/k^2 per k
+    /// Deterministic per-slice force reduction over k-vector slices
+    /// (every atom's force sums contributions from all k).
+    ReduceScratch<Vec3> fscratch_;
 };
 
 } // namespace mdbench

@@ -1,73 +1,22 @@
 #include "kspace/fft3d.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
-
-namespace {
-
-/** Smallest prime-ish factor used by the mixed-radix decomposition. */
-int
-smallestFactor(int n)
-{
-    for (int r : {2, 3, 5})
-        if (n % r == 0)
-            return r;
-    for (int r = 7; r * r <= n; r += 2)
-        if (n % r == 0)
-            return r;
-    return n;
-}
-
-/**
- * Recursive mixed-radix decimation-in-time FFT.
- * data has @p n elements at unit stride; scratch has n elements too.
- */
-void
-fftRecursive(Complex *data, Complex *scratch, int n, int sign)
-{
-    if (n == 1)
-        return;
-    const int radix = smallestFactor(n);
-    const int m = n / radix;
-
-    // Split into radix interleaved subsequences and transform each.
-    for (int q = 0; q < radix; ++q)
-        for (int i = 0; i < m; ++i)
-            scratch[q * m + i] = data[q + i * radix];
-    for (int q = 0; q < radix; ++q)
-        fftRecursive(scratch + q * m, data, m, sign);
-
-    // Combine: X[k + s m] = sum_q w^(q (k + s m)) Xq[k].
-    const double unit = sign * 2.0 * M_PI / n;
-    for (int k = 0; k < m; ++k) {
-        for (int s = 0; s < radix; ++s) {
-            const int out = k + s * m;
-            Complex acc = scratch[k];
-            for (int q = 1; q < radix; ++q) {
-                const double angle = unit * q * out;
-                acc += scratch[q * m + k] *
-                       Complex(std::cos(angle), std::sin(angle));
-            }
-            data[out] = acc;
-        }
-    }
-}
-
-} // namespace
 
 void
 fft1d(Complex *data, int n, int sign)
 {
     require(n >= 1, "fft length must be positive");
     ensure(sign == 1 || sign == -1, "fft sign must be +-1");
+    const FftPlan &plan = fftPlanFor(n);
     std::vector<Complex> scratch(static_cast<std::size_t>(n));
-    fftRecursive(data, scratch.data(), n, sign);
+    plan.execute(data, sign, scratch.data());
 }
 
 bool
@@ -90,49 +39,72 @@ nextSmooth235(int n)
     return candidate;
 }
 
-Fft3d::Fft3d(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz)
+Fft3d::Fft3d(int nx, int ny, int nz)
+    : nx_(nx), ny_(ny), nz_(nz), planX_(&fftPlanFor(nx)),
+      planY_(&fftPlanFor(ny)), planZ_(&fftPlanFor(nz))
 {
     require(nx >= 1 && ny >= 1 && nz >= 1, "fft grid dims must be positive");
 }
 
+/**
+ * Each axis pass transforms its batch of independent 1-D lines in
+ * parallel; a line is read and written only by the slice that owns it
+ * and the passes are separated by the pool's region barrier, so the
+ * result is bitwise identical at any thread count.
+ */
 void
 Fft3d::transform(std::vector<Complex> &data, int sign) const
 {
     ensure(data.size() == size(), "fft3d data size mismatch");
-    std::vector<Complex> scratch(
-        static_cast<std::size_t>(std::max({nx_, ny_, nz_})));
+    ThreadPool &pool = ThreadPool::global();
+    Complex *grid = data.data();
+    const std::size_t nx = static_cast<std::size_t>(nx_);
+    const std::size_t ny = static_cast<std::size_t>(ny_);
+    const std::size_t nz = static_cast<std::size_t>(nz_);
+    counterAdd(Counter::KspaceFft1dLines, ny * nz + nx * nz + nx * ny);
 
-    // X axis: contiguous rows.
-    for (int z = 0; z < nz_; ++z)
-        for (int y = 0; y < ny_; ++y)
-            fft1d(&data[(static_cast<std::size_t>(z) * ny_ + y) * nx_], nx_,
-                  sign);
+    // X axis: contiguous rows, line r covers z = r / ny, y = r % ny.
+    pool.parallelFor(0, ny * nz, 1,
+                     [&](std::size_t begin, std::size_t end, int) {
+                         std::vector<Complex> scratch(nx);
+                         for (std::size_t r = begin; r < end; ++r)
+                             planX_->execute(grid + r * nx, sign,
+                                             scratch.data());
+                     });
 
-    // Y axis: gather strided columns.
-    for (int z = 0; z < nz_; ++z) {
-        for (int x = 0; x < nx_; ++x) {
-            for (int y = 0; y < ny_; ++y)
-                scratch[y] = data[(static_cast<std::size_t>(z) * ny_ + y) *
-                                      nx_ + x];
-            fft1d(scratch.data(), ny_, sign);
-            for (int y = 0; y < ny_; ++y)
-                data[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x] =
-                    scratch[y];
-        }
-    }
+    // Y axis: strided columns, line r covers z = r / nx, x = r % nx.
+    pool.parallelFor(0, nx * nz, 1,
+                     [&](std::size_t begin, std::size_t end, int) {
+                         std::vector<Complex> line(ny);
+                         std::vector<Complex> scratch(ny);
+                         for (std::size_t r = begin; r < end; ++r) {
+                             const std::size_t z = r / nx;
+                             const std::size_t x = r % nx;
+                             Complex *base = grid + z * ny * nx + x;
+                             for (std::size_t y = 0; y < ny; ++y)
+                                 line[y] = base[y * nx];
+                             planY_->execute(line.data(), sign,
+                                             scratch.data());
+                             for (std::size_t y = 0; y < ny; ++y)
+                                 base[y * nx] = line[y];
+                         }
+                     });
 
-    // Z axis.
-    for (int y = 0; y < ny_; ++y) {
-        for (int x = 0; x < nx_; ++x) {
-            for (int z = 0; z < nz_; ++z)
-                scratch[z] = data[(static_cast<std::size_t>(z) * ny_ + y) *
-                                      nx_ + x];
-            fft1d(scratch.data(), nz_, sign);
-            for (int z = 0; z < nz_; ++z)
-                data[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x] =
-                    scratch[z];
-        }
-    }
+    // Z axis: strided columns, line r covers y = r / nx, x = r % nx.
+    pool.parallelFor(0, nx * ny, 1,
+                     [&](std::size_t begin, std::size_t end, int) {
+                         std::vector<Complex> line(nz);
+                         std::vector<Complex> scratch(nz);
+                         for (std::size_t r = begin; r < end; ++r) {
+                             Complex *base = grid + r;
+                             for (std::size_t z = 0; z < nz; ++z)
+                                 line[z] = base[z * ny * nx];
+                             planZ_->execute(line.data(), sign,
+                                             scratch.data());
+                             for (std::size_t z = 0; z < nz; ++z)
+                                 base[z * ny * nx] = line[z];
+                         }
+                     });
 }
 
 void
@@ -150,8 +122,13 @@ Fft3d::inverse(std::vector<Complex> &data) const
     counterAdd(Counter::KspaceFfts);
     transform(data, 1);
     const double norm = 1.0 / static_cast<double>(size());
-    for (Complex &value : data)
-        value *= norm;
+    Complex *grid = data.data();
+    ThreadPool::global().parallelFor(
+        0, data.size(), 4096,
+        [&](std::size_t begin, std::size_t end, int) {
+            for (std::size_t i = begin; i < end; ++i)
+                grid[i] *= norm;
+        });
 }
 
 } // namespace mdbench

@@ -5,7 +5,11 @@
  *
  * This is the computational core of the PPPM long-range solver — the
  * O(N log N) step the paper identifies as the poorly-scaling part of the
- * Rhodopsin timestep.
+ * Rhodopsin timestep. The 1-D transforms execute against cached FftPlan
+ * twiddle tables (kspace/fft_plan.h), and the 3-D transform runs its
+ * independent line batches on the shared ThreadPool: every 1-D line is
+ * owned by exactly one slice, so the result is bitwise identical at any
+ * thread count.
  */
 
 #ifndef MDBENCH_KSPACE_FFT3D_H
@@ -14,14 +18,16 @@
 #include <complex>
 #include <vector>
 
-namespace mdbench {
+#include "kspace/fft_plan.h"
 
-using Complex = std::complex<double>;
+namespace mdbench {
 
 /**
  * In-place 1-D FFT of @p data (length @p n), sign -1 forward / +1 inverse.
  * The inverse is unnormalized (caller divides by n).
  * Works for any n, fastest when n factors into 2, 3, and 5.
+ * Resolves the cached plan for @p n on every call; transform loops that
+ * fix n should resolve the plan once via fftPlanFor() instead.
  */
 void fft1d(Complex *data, int n, int sign);
 
@@ -33,6 +39,10 @@ int nextSmooth235(int n);
 
 /**
  * 3-D FFT over a contiguous array indexed data[(z * ny + y) * nx + x].
+ *
+ * Construction resolves (and caches) the per-axis FftPlans; transforms
+ * batch the nx*ny / ny*nz / nx*nz independent 1-D lines of each axis
+ * across the global ThreadPool.
  */
 class Fft3d
 {
@@ -59,6 +69,9 @@ class Fft3d
     int nx_;
     int ny_;
     int nz_;
+    const FftPlan *planX_; ///< cached process-wide, never invalidated
+    const FftPlan *planY_;
+    const FftPlan *planZ_;
 };
 
 } // namespace mdbench

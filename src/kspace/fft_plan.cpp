@@ -1,0 +1,113 @@
+#include "kspace/fft_plan.h"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/counters.h"
+#include "util/error.h"
+
+namespace mdbench {
+
+namespace {
+
+/** Smallest prime-ish factor used by the mixed-radix decomposition. */
+int
+smallestFactor(int n)
+{
+    for (int r : {2, 3, 5})
+        if (n % r == 0)
+            return r;
+    for (int r = 7; r * r <= n; r += 2)
+        if (n % r == 0)
+            return r;
+    return n;
+}
+
+} // namespace
+
+FftPlan::FftPlan(int n) : n_(n)
+{
+    require(n >= 1, "fft length must be positive");
+    for (int rest = n; rest > 1;) {
+        const int radix = smallestFactor(rest);
+        factors_.push_back(radix);
+        rest /= radix;
+    }
+    roots_.resize(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+        const double angle = -2.0 * M_PI * k / n;
+        roots_[static_cast<std::size_t>(k)] =
+            Complex(std::cos(angle), std::sin(angle));
+    }
+}
+
+void
+FftPlan::execute(Complex *data, int sign, Complex *scratch) const
+{
+    ensure(sign == 1 || sign == -1, "fft sign must be +-1");
+    executeRecursive(data, scratch, n_, 0, sign);
+}
+
+/**
+ * Recursive mixed-radix decimation in time over the planned factor
+ * sequence: every subtransform at recursion depth @p level has length
+ * n / (factors[0] * ... * factors[level-1]), so one linear factor list
+ * serves the whole tree, and any level's twiddle exp(+-2 pi i m / len)
+ * is roots_[(m mod len) * (n / len)] (conjugated for the inverse).
+ */
+void
+FftPlan::executeRecursive(Complex *data, Complex *scratch, int len,
+                          int level, int sign) const
+{
+    if (len == 1)
+        return;
+    const int radix = factors_[static_cast<std::size_t>(level)];
+    const int m = len / radix;
+
+    // Split into radix interleaved subsequences and transform each.
+    for (int q = 0; q < radix; ++q)
+        for (int i = 0; i < m; ++i)
+            scratch[q * m + i] = data[q + i * radix];
+    for (int q = 0; q < radix; ++q)
+        executeRecursive(scratch + q * m, data, m, level + 1, sign);
+
+    // Combine: X[k + s m] = sum_q w^(q (k + s m)) Xq[k].
+    const std::size_t stride = static_cast<std::size_t>(n_ / len);
+    for (int k = 0; k < m; ++k) {
+        for (int s = 0; s < radix; ++s) {
+            const int out = k + s * m;
+            Complex acc = scratch[k];
+            for (int q = 1; q < radix; ++q) {
+                const std::size_t turn =
+                    static_cast<std::size_t>(q) * out %
+                    static_cast<std::size_t>(len);
+                const Complex &w = roots_[turn * stride];
+                acc += scratch[q * m + k] *
+                       (sign < 0 ? w : std::conj(w));
+            }
+            data[out] = acc;
+        }
+    }
+}
+
+const FftPlan &
+fftPlanFor(int n)
+{
+    require(n >= 1, "fft length must be positive");
+    static std::mutex mutex;
+    // Leaked on purpose: callers hold references until process exit and
+    // plan memory is bounded by the distinct lengths ever requested.
+    static auto &cache =
+        *new std::unordered_map<int, std::unique_ptr<FftPlan>>;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = cache.try_emplace(n);
+    if (inserted)
+        it->second = std::make_unique<FftPlan>(n);
+    else
+        counterAdd(Counter::KspacePlanCacheHits);
+    return *it->second;
+}
+
+} // namespace mdbench

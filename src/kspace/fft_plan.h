@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reusable 1-D FFT plans: the radix factorization and twiddle-factor
+ * table for one transform length, computed once and shared by every
+ * transform of that length (LAMMPS/FFTW-style planning, scaled down).
+ *
+ * Before planning, every fft1d call re-derived its factor chain and
+ * evaluated cos/sin per butterfly — at a fixed PPPM grid that work is
+ * identical every step. A plan folds it into a table of the n-th roots
+ * of unity (any level's twiddle is a strided lookup) plus the radix
+ * sequence, and the process-wide cache hands the same immutable plan to
+ * every caller, so repeated setups and the three field FFTs per step
+ * all share one table per axis length.
+ *
+ * Plans are immutable after construction and therefore safe to execute
+ * from any number of threads concurrently (each execution only needs a
+ * caller-provided scratch line). The cache itself is mutex-guarded;
+ * hot paths should resolve their plans once (Fft3d does so per axis at
+ * construction) rather than per transform.
+ */
+
+#ifndef MDBENCH_KSPACE_FFT_PLAN_H
+#define MDBENCH_KSPACE_FFT_PLAN_H
+
+#include <complex>
+#include <vector>
+
+namespace mdbench {
+
+using Complex = std::complex<double>;
+
+/**
+ * Factorization and twiddle table for length-@p n 1-D transforms.
+ */
+class FftPlan
+{
+  public:
+    explicit FftPlan(int n);
+
+    /** Transform length the plan was built for. */
+    int length() const { return n_; }
+
+    /** Mixed-radix factor sequence (product equals length()). */
+    const std::vector<int> &factors() const { return factors_; }
+
+    /**
+     * In-place transform of @p data (length() elements, unit stride);
+     * sign -1 forward / +1 unnormalized inverse. @p scratch must hold
+     * length() elements and is clobbered. Reentrant: concurrent calls
+     * on distinct data/scratch are safe.
+     */
+    void execute(Complex *data, int sign, Complex *scratch) const;
+
+  private:
+    void executeRecursive(Complex *data, Complex *scratch, int len,
+                          int level, int sign) const;
+
+    int n_;
+    std::vector<int> factors_;   ///< radix per recursion level
+    std::vector<Complex> roots_; ///< exp(-2 pi i k / n), k in [0, n)
+};
+
+/**
+ * The process-wide plan for length @p n, built on first request and
+ * cached for the life of the process (plans are small: ~16 bytes per
+ * grid point). Counts `kspace.plan_cache_hits` on reuse. The returned
+ * reference is never invalidated.
+ */
+const FftPlan &fftPlanFor(int n);
+
+} // namespace mdbench
+
+#endif // MDBENCH_KSPACE_FFT_PLAN_H

@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 
@@ -102,30 +103,39 @@ Pppm::buildInfluence(const Vec3 &boxLength)
     influence_.assign(size_t(nx) * ny * nz, 0.0);
     kvec_.assign(size_t(nx) * ny * nz, Vec3{});
     const double gsqInv4 = 1.0 / (4.0 * gEwald_ * gEwald_);
-    for (int mz = 0; mz < nz; ++mz) {
-        const int sz = mz <= nz / 2 ? mz : mz - nz;
-        for (int my = 0; my < ny; ++my) {
-            const int sy = my <= ny / 2 ? my : my - ny;
-            for (int mx = 0; mx < nx; ++mx) {
-                const int sx = mx <= nx / 2 ? mx : mx - nx;
-                const std::size_t idx =
-                    (static_cast<std::size_t>(mz) * ny + my) * nx + mx;
-                if (sx == 0 && sy == 0 && sz == 0)
-                    continue;
-                const Vec3 k{2.0 * M_PI * sx / lengths[0],
-                             2.0 * M_PI * sy / lengths[1],
-                             2.0 * M_PI * sz / lengths[2]};
-                const double ksq = k.normSq();
-                const double d =
-                    denom[0][mx] * denom[1][my] * denom[2][mz];
-                if (d < 1e-12)
-                    continue; // Nyquist-degenerate mode
-                kvec_[idx] = k;
-                influence_[idx] =
-                    4.0 * M_PI * std::exp(-ksq * gsqInv4) / (ksq * d);
+    // Each z-plane of the table is written by exactly one slice, so the
+    // parallel build is trivially identical at any thread count.
+    ThreadPool::global().parallelFor(
+        0, static_cast<std::size_t>(nz), 1,
+        [&](std::size_t mzBegin, std::size_t mzEnd, int) {
+            for (std::size_t mz = mzBegin; mz < mzEnd; ++mz) {
+                const int sz = static_cast<int>(mz) <= nz / 2
+                                   ? static_cast<int>(mz)
+                                   : static_cast<int>(mz) - nz;
+                for (int my = 0; my < ny; ++my) {
+                    const int sy = my <= ny / 2 ? my : my - ny;
+                    for (int mx = 0; mx < nx; ++mx) {
+                        const int sx = mx <= nx / 2 ? mx : mx - nx;
+                        const std::size_t idx =
+                            (mz * ny + my) * nx + mx;
+                        if (sx == 0 && sy == 0 && sz == 0)
+                            continue;
+                        const Vec3 k{2.0 * M_PI * sx / lengths[0],
+                                     2.0 * M_PI * sy / lengths[1],
+                                     2.0 * M_PI * sz / lengths[2]};
+                        const double ksq = k.normSq();
+                        const double d =
+                            denom[0][mx] * denom[1][my] * denom[2][mz];
+                        if (d < 1e-12)
+                            continue; // Nyquist-degenerate mode
+                        kvec_[idx] = k;
+                        influence_[idx] = 4.0 * M_PI *
+                                          std::exp(-ksq * gsqInv4) /
+                                          (ksq * d);
+                    }
+                }
             }
-        }
-    }
+        });
     setupBoxLength_ = boxLength;
 }
 
@@ -194,87 +204,196 @@ Pppm::computeImpl(Simulation &sim)
     const int nz = plan_.grid[2];
     const double invH[3] = {nx / len.x, ny / len.y, nz / len.z};
 
-    // Map atoms to mesh coordinates and cache stencil weights
-    // (the particle_map / make_rho steps of the GPU package).
-    std::vector<AxisWeights> wx(nlocal);
-    std::vector<AxisWeights> wy(nlocal);
-    std::vector<AxisWeights> wz(nlocal);
-    std::fill(rho_.begin(), rho_.end(), Complex{});
-    double qsqsum = 0.0;
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const Vec3 pos = sim.box.wrap(atoms.x[i]);
-        wx[i] = weightsFor((pos.x - sim.box.lo().x) * invH[0]);
-        wy[i] = weightsFor((pos.y - sim.box.lo().y) * invH[1]);
-        wz[i] = weightsFor((pos.z - sim.box.lo().z) * invH[2]);
-        const double q = atoms.q[i];
-        qsqsum += q * q;
-        for (int c = 0; c < order_; ++c) {
-            const int gz = ((wz[i].firstNode + c) % nz + nz) % nz;
-            const double qz = q * wz[i].w[c];
-            for (int b = 0; b < order_; ++b) {
-                const int gy = ((wy[i].firstNode + b) % ny + ny) % ny;
-                const double qyz = qz * wy[i].w[b];
-                for (int a = 0; a < order_; ++a) {
-                    const int gx = ((wx[i].firstNode + a) % nx + nx) % nx;
-                    rho_[(static_cast<std::size_t>(gz) * ny + gy) * nx +
-                         gx] += qyz * wx[i].w[a];
-                }
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange atomSlices(0, nlocal, forceKernelGrain(nlocal));
+
+    // particle_map: per-atom stencil weights along each axis, plus the
+    // q^2 sum via per-slice partials (fixed slice partition + ascending
+    // fold = the summation tree is independent of the thread count).
+    wx_.resize(nlocal);
+    wy_.resize(nlocal);
+    wz_.resize(nlocal);
+    SlicePartials<double> qsqParts;
+    {
+        TraceScope map("kspace", "particle_map");
+        pool.run(atomSlices,
+                 [&](std::size_t begin, std::size_t end, int s) {
+                     double qsq = 0.0;
+                     for (std::size_t i = begin; i < end; ++i) {
+                         const Vec3 pos = sim.box.wrap(atoms.x[i]);
+                         wx_[i] = weightsFor((pos.x - sim.box.lo().x) *
+                                             invH[0]);
+                         wy_[i] = weightsFor((pos.y - sim.box.lo().y) *
+                                             invH[1]);
+                         wz_[i] = weightsFor((pos.z - sim.box.lo().z) *
+                                             invH[2]);
+                         qsq += atoms.q[i] * atoms.q[i];
+                     }
+                     qsqParts[s] = qsq;
+                 });
+    }
+    const double qsqsum = qsqParts.fold(atomSlices);
+
+    // make_rho: scatter charges to the mesh with exclusive z-plane
+    // ownership. A serial counting pass buckets every (atom, z-offset)
+    // contribution by its wrapped plane in ascending (atom, offset)
+    // order; the parallel scatter then walks plane slabs, so each grid
+    // cell is written by exactly one slice and accumulates its
+    // contributions in the same ascending atom order as a serial
+    // scatter — bitwise identical at any thread count.
+    {
+        TraceScope scatter("kspace", "make_rho");
+        Complex *rho = rho_.data();
+        pool.parallelFor(0, rho_.size(), 4096,
+                         [&](std::size_t begin, std::size_t end, int) {
+                             for (std::size_t m = begin; m < end; ++m)
+                                 rho[m] = Complex{};
+                         });
+
+        planeStart_.assign(static_cast<std::size_t>(nz) + 1, 0);
+        for (std::size_t i = 0; i < nlocal; ++i) {
+            if (atoms.q[i] == 0.0)
+                continue;
+            for (int c = 0; c < order_; ++c) {
+                const int gz = ((wz_[i].firstNode + c) % nz + nz) % nz;
+                ++planeStart_[static_cast<std::size_t>(gz) + 1];
             }
         }
-    }
+        for (int z = 0; z < nz; ++z)
+            planeStart_[static_cast<std::size_t>(z) + 1] +=
+                planeStart_[static_cast<std::size_t>(z)];
+        planeCursor_.assign(planeStart_.begin(), planeStart_.end() - 1);
+        planeEntries_.resize(
+            planeStart_[static_cast<std::size_t>(nz)]);
+        for (std::size_t i = 0; i < nlocal; ++i) {
+            if (atoms.q[i] == 0.0)
+                continue;
+            for (int c = 0; c < order_; ++c) {
+                const int gz = ((wz_[i].firstNode + c) % nz + nz) % nz;
+                planeEntries_[planeCursor_[static_cast<std::size_t>(
+                    gz)]++] = (static_cast<std::uint64_t>(i) << 3) |
+                              static_cast<std::uint64_t>(c);
+            }
+        }
 
-    fft_->forward(rho_);
-    ++stats_.fftCount;
+        const SliceRange slabs(0, static_cast<std::size_t>(nz), 1);
+        pool.run(slabs, [&](std::size_t zBegin, std::size_t zEnd, int) {
+            for (std::size_t z = zBegin; z < zEnd; ++z) {
+                Complex *plane = rho + z * ny * nx;
+                for (std::uint32_t e = planeStart_[z];
+                     e < planeStart_[z + 1]; ++e) {
+                    const std::uint64_t entry = planeEntries_[e];
+                    const std::size_t i =
+                        static_cast<std::size_t>(entry >> 3);
+                    const int c = static_cast<int>(entry & 7);
+                    const double qz =
+                        atoms.q[i] * wz_[i].w[c];
+                    for (int b = 0; b < order_; ++b) {
+                        const int gy =
+                            ((wy_[i].firstNode + b) % ny + ny) % ny;
+                        const double qyz = qz * wy_[i].w[b];
+                        Complex *row =
+                            plane + static_cast<std::size_t>(gy) * nx;
+                        for (int a = 0; a < order_; ++a) {
+                            const int gx =
+                                ((wx_[i].firstNode + a) % nx + nx) % nx;
+                            row[gx] += qyz * wx_[i].w[a];
+                        }
+                    }
+                }
+            }
+        });
+    }
 
     const double qqr2e = sim.units.qqr2e;
     const double volume = sim.box.volume();
 
-    // Energy and ik-differentiated field spectra.
-    const double fieldScale =
-        static_cast<double>(fft_->size()) / volume; // unnormalized inverse
-    for (std::size_t m = 0; m < influence_.size(); ++m) {
-        const Complex rhoK = rho_[m];
-        const double g = influence_[m];
-        if (g == 0.0) {
-            field_[0][m] = field_[1][m] = field_[2][m] = Complex{};
-            continue;
-        }
-        energy_ += 0.5 * qqr2e / volume * g * std::norm(rhoK);
-        const Complex phi = rhoK * (g * fieldScale);
-        const Complex minusI(0.0, -1.0);
-        field_[0][m] = minusI * kvec_[m].x * phi;
-        field_[1][m] = minusI * kvec_[m].y * phi;
-        field_[2][m] = minusI * kvec_[m].z * phi;
-    }
-
-    for (auto &grid : field_) {
-        fft_->inverse(grid);
+    // poisson: forward FFT, influence multiply with ik-differentiated
+    // field spectra (independent per mode; energy via per-slice
+    // partials), then the three inverse field FFTs. The FFTs batch
+    // their 1-D lines across the pool internally.
+    {
+        TraceScope poisson("kspace", "poisson");
+        fft_->forward(rho_);
         ++stats_.fftCount;
+
+        const double fieldScale =
+            static_cast<double>(fft_->size()) / volume; // unnorm. inverse
+        const Complex *rho = rho_.data();
+        const double *influence = influence_.data();
+        const Vec3 *kvec = kvec_.data();
+        Complex *fieldX = field_[0].data();
+        Complex *fieldY = field_[1].data();
+        Complex *fieldZ = field_[2].data();
+        const SliceRange modeSlices(0, influence_.size(), 2048);
+        SlicePartials<double> energyParts;
+        pool.run(modeSlices,
+                 [&](std::size_t begin, std::size_t end, int s) {
+                     double energy = 0.0;
+                     const Complex minusI(0.0, -1.0);
+                     for (std::size_t m = begin; m < end; ++m) {
+                         const Complex rhoK = rho[m];
+                         const double g = influence[m];
+                         if (g == 0.0) {
+                             fieldX[m] = fieldY[m] = fieldZ[m] =
+                                 Complex{};
+                             continue;
+                         }
+                         energy += 0.5 * qqr2e / volume * g *
+                                   std::norm(rhoK);
+                         const Complex phi = rhoK * (g * fieldScale);
+                         fieldX[m] = minusI * kvec[m].x * phi;
+                         fieldY[m] = minusI * kvec[m].y * phi;
+                         fieldZ[m] = minusI * kvec[m].z * phi;
+                     }
+                     energyParts[s] = energy;
+                 });
+        energy_ = energyParts.fold(modeSlices, energy_);
+
+        for (auto &grid : field_) {
+            fft_->inverse(grid);
+            ++stats_.fftCount;
+        }
     }
 
-    // Interpolate fields back to the particles (the interp step).
-    for (std::size_t i = 0; i < nlocal; ++i) {
-        const double q = atoms.q[i];
-        if (q == 0.0)
-            continue;
-        Vec3 e{};
-        for (int c = 0; c < order_; ++c) {
-            const int gz = ((wz[i].firstNode + c) % nz + nz) % nz;
-            for (int b = 0; b < order_; ++b) {
-                const int gy = ((wy[i].firstNode + b) % ny + ny) % ny;
-                const double wyz = wz[i].w[c] * wy[i].w[b];
-                for (int a = 0; a < order_; ++a) {
-                    const int gx = ((wx[i].firstNode + a) % nx + nx) % nx;
-                    const double weight = wyz * wx[i].w[a];
-                    const std::size_t cell =
-                        (static_cast<std::size_t>(gz) * ny + gy) * nx + gx;
-                    e.x += weight * field_[0][cell].real();
-                    e.y += weight * field_[1][cell].real();
-                    e.z += weight * field_[2][cell].real();
+    // interp: fields back to the particles. Embarrassingly parallel —
+    // atom i only reads the meshes and writes f[i].
+    {
+        TraceScope interp("kspace", "interp");
+        const Complex *fieldX = field_[0].data();
+        const Complex *fieldY = field_[1].data();
+        const Complex *fieldZ = field_[2].data();
+        pool.run(atomSlices, [&](std::size_t begin, std::size_t end,
+                                 int) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double q = atoms.q[i];
+                if (q == 0.0)
+                    continue;
+                Vec3 e{};
+                for (int c = 0; c < order_; ++c) {
+                    const int gz =
+                        ((wz_[i].firstNode + c) % nz + nz) % nz;
+                    for (int b = 0; b < order_; ++b) {
+                        const int gy =
+                            ((wy_[i].firstNode + b) % ny + ny) % ny;
+                        const double wyz = wz_[i].w[c] * wy_[i].w[b];
+                        for (int a = 0; a < order_; ++a) {
+                            const int gx =
+                                ((wx_[i].firstNode + a) % nx + nx) % nx;
+                            const double weight = wyz * wx_[i].w[a];
+                            const std::size_t cell =
+                                (static_cast<std::size_t>(gz) * ny + gy) *
+                                    nx +
+                                gx;
+                            e.x += weight * fieldX[cell].real();
+                            e.y += weight * fieldY[cell].real();
+                            e.z += weight * fieldZ[cell].real();
+                        }
+                    }
                 }
+                atoms.f[i] += e * (q * qqr2e);
             }
-        }
-        atoms.f[i] += e * (q * qqr2e);
+        });
     }
 
     // Self-energy correction; virial via the 1/r homogeneity argument

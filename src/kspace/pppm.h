@@ -14,6 +14,7 @@
 #ifndef MDBENCH_KSPACE_PPPM_H
 #define MDBENCH_KSPACE_PPPM_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -86,6 +87,17 @@ class Pppm : public KspaceStyle
     std::vector<Complex> field_[3];   ///< E-field meshes
     Stats stats_;
     Vec3 setupBoxLength_{0, 0, 0};
+
+    // Per-step scratch, persistent to amortize allocation.
+    std::vector<AxisWeights> wx_;     ///< per-atom stencil, x axis
+    std::vector<AxisWeights> wy_;     ///< per-atom stencil, y axis
+    std::vector<AxisWeights> wz_;     ///< per-atom stencil, z axis
+    /// CSR of charge contributions keyed by wrapped z-plane: the scatter
+    /// parallelizes over plane slabs with exclusive grid ownership (see
+    /// computeImpl). Entries encode (atom << 3 | stencil offset).
+    std::vector<std::uint32_t> planeStart_;
+    std::vector<std::uint32_t> planeCursor_;
+    std::vector<std::uint64_t> planeEntries_;
 };
 
 } // namespace mdbench

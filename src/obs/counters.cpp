@@ -23,6 +23,8 @@ counterName(Counter counter)
       case Counter::CommExchanges: return "comm.exchanges";
       case Counter::CommGhostAtoms: return "comm.ghost_atoms";
       case Counter::KspaceFfts: return "kspace.ffts";
+      case Counter::KspaceFft1dLines: return "kspace.fft1d_lines";
+      case Counter::KspacePlanCacheHits: return "kspace.plan_cache_hits";
       case Counter::KspaceSolves: return "kspace.solves";
       case Counter::PoolRegions: return "pool.regions";
       case Counter::PoolSlices: return "pool.slices";

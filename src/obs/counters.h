@@ -37,6 +37,8 @@ enum class Counter : std::size_t {
     CommExchanges,      ///< comm exchange/borders rebuilds
     CommGhostAtoms,     ///< ghost atoms created by borders()
     KspaceFfts,         ///< 3-D FFT transforms executed
+    KspaceFft1dLines,   ///< 1-D line transforms batched by 3-D FFTs
+    KspacePlanCacheHits,///< FFT plan cache lookups served from cache
     KspaceSolves,       ///< k-space solver compute() calls
     PoolRegions,        ///< thread-pool parallel regions dispatched
     PoolSlices,         ///< slices executed across all regions

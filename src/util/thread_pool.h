@@ -16,6 +16,7 @@
 #define MDBENCH_UTIL_THREAD_POOL_H
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -159,6 +160,35 @@ class ThreadPool
     std::atomic<int> nextSlice_{0};
     int pendingSlices_ = 0;
     std::exception_ptr firstError_;
+};
+
+/**
+ * Per-slice scalar partial sums folded in ascending slice order — the
+ * deterministic-reduction idiom for energies/virials/charge sums, named
+ * (kernels were open-coding a kMaxSlices array + fold loop each).
+ *
+ * The kernel writes partial s from the slice that executes it; fold()
+ * adds the partials in ascending slice index, so the summation tree
+ * depends only on the SliceRange partition, never on the thread count.
+ */
+template <typename T>
+class SlicePartials
+{
+  public:
+    /** Partial owned by slice @p s (zero-initialized). */
+    T &operator[](int s) { return parts_[static_cast<std::size_t>(s)]; }
+
+    /** total + partials of @p slices, added in ascending slice order. */
+    T
+    fold(const SliceRange &slices, T total = T{}) const
+    {
+        for (int s = 0; s < slices.count(); ++s)
+            total += parts_[static_cast<std::size_t>(s)];
+        return total;
+    }
+
+  private:
+    std::array<T, SliceRange::kMaxSlices> parts_{};
 };
 
 /**

@@ -9,7 +9,9 @@
 #include <cmath>
 
 #include "kspace/fft3d.h"
+#include "obs/counters.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 namespace {
@@ -180,6 +182,123 @@ TEST(SmoothSizes, NextSmooth)
     EXPECT_EQ(nextSmooth235(31), 32);
     EXPECT_EQ(nextSmooth235(121), 125);
     EXPECT_EQ(nextSmooth235(16), 16);
+}
+
+TEST(SmoothSizes, EdgeCases)
+{
+    // n = 1 is the empty product of {2, 3, 5}.
+    EXPECT_TRUE(isSmooth235(1));
+    EXPECT_EQ(nextSmooth235(1), 1);
+    // Non-positive inputs: not smooth; next rounds up to 1.
+    EXPECT_FALSE(isSmooth235(-3));
+    EXPECT_EQ(nextSmooth235(0), 1);
+    EXPECT_EQ(nextSmooth235(-10), 1);
+    // Primes outside {2, 3, 5} and numbers carrying them as factors.
+    for (int prime : {7, 11, 13, 9973})
+        EXPECT_FALSE(isSmooth235(prime)) << prime;
+    EXPECT_FALSE(isSmooth235(2 * 3 * 5 * 7));
+    // Large smooth values are fixed points of nextSmooth235.
+    const int large = 1024 * 243 * 125; // 2^10 3^5 5^3 = 31,104,000
+    EXPECT_TRUE(isSmooth235(large));
+    EXPECT_EQ(nextSmooth235(large), large);
+    // 10007 is prime; the next 2/3/5-smooth integer is 3^4 5^3.
+    EXPECT_EQ(nextSmooth235(10007), 10125);
+}
+
+// The paper's Section 7 thresholds produce non-power-of-two PPPM grids
+// (any 2/3/5-smooth axis), so the transform quality guarantees must
+// hold there too, not only at the power-of-two sizes.
+
+TEST(Fft3d, NonPowerOfTwoRoundTrip)
+{
+    Fft3d fft(12, 15, 10);
+    Rng rng(91);
+    std::vector<Complex> data(fft.size());
+    for (auto &value : data)
+        value = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const auto original = data;
+    fft.forward(data);
+    fft.inverse(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+        EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft3d, NonPowerOfTwoParseval)
+{
+    Fft3d fft(9, 20, 6);
+    Rng rng(92);
+    std::vector<Complex> data(fft.size());
+    double timeEnergy = 0.0;
+    for (auto &value : data) {
+        value = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        timeEnergy += std::norm(value);
+    }
+    fft.forward(data);
+    double freqEnergy = 0.0;
+    for (const auto &value : data)
+        freqEnergy += std::norm(value);
+    const double n = static_cast<double>(fft.size());
+    EXPECT_NEAR(freqEnergy, n * timeEnergy, 1e-8 * n * timeEnergy);
+}
+
+TEST(Fft3d, ThreadedTransformIsBitwiseIdenticalToSerial)
+{
+    const int before = ThreadPool::threads();
+    Fft3d fft(12, 9, 10);
+    Rng rng(93);
+    std::vector<Complex> original(fft.size());
+    for (auto &value : original)
+        value = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+    ThreadPool::setThreads(1);
+    auto serial = original;
+    fft.forward(serial);
+    for (int nthreads : {2, 4, 8}) {
+        SCOPED_TRACE(nthreads);
+        ThreadPool::setThreads(nthreads);
+        auto threaded = original;
+        fft.forward(threaded);
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(threaded[i].real(), serial[i].real()) << i;
+            EXPECT_EQ(threaded[i].imag(), serial[i].imag()) << i;
+        }
+    }
+    ThreadPool::setThreads(before);
+}
+
+TEST(FftPlan, CacheReusesPlansAtFixedLength)
+{
+    // Generic-radix length (prime 19): before planning, every call
+    // re-derived the factorization and twiddles; now the second lookup
+    // must be served from the cache.
+    const FftPlan &first = fftPlanFor(19);
+    const auto hitsBefore = counterValue(Counter::KspacePlanCacheHits);
+    const FftPlan &second = fftPlanFor(19);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(counterValue(Counter::KspacePlanCacheHits), hitsBefore + 1);
+
+    auto signal = randomSignal(19, 321);
+    const auto expected = naiveDft(signal, -1);
+    fft1d(signal.data(), 19, -1); // routes through the same cached plan
+    EXPECT_GT(counterValue(Counter::KspacePlanCacheHits), hitsBefore + 1);
+    for (int k = 0; k < 19; ++k) {
+        EXPECT_NEAR(signal[k].real(), expected[k].real(), 1e-9 * 19);
+        EXPECT_NEAR(signal[k].imag(), expected[k].imag(), 1e-9 * 19);
+    }
+}
+
+TEST(FftPlan, FactorsMultiplyBackToLength)
+{
+    for (int n : {1, 2, 12, 19, 60, 98, 121, 1000}) {
+        const FftPlan &plan = fftPlanFor(n);
+        EXPECT_EQ(plan.length(), n);
+        long product = 1;
+        for (int factor : plan.factors())
+            product *= factor;
+        EXPECT_EQ(product, n) << n;
+    }
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 #include "md/fix_nve.h"
 #include "md/simulation.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mdbench {
 namespace {
@@ -205,6 +206,53 @@ TEST(Pppm, TighterThresholdReducesActualError)
         rms[idx++] = std::sqrt(sum / reference.size());
     }
     EXPECT_LT(rms[1], rms[0]);
+}
+
+/**
+ * Solver-level determinism probe (finer-grained than the end-to-end
+ * trajectory checks in test_thread_determinism.cpp): one setup() —
+ * pair + kspace compute — per thread count, forces compared bitwise.
+ */
+void
+expectSolverForcesThreadInvariant(bool usePppm)
+{
+    const int before = ThreadPool::threads();
+    std::vector<Vec3> reference;
+    for (int nthreads : {1, 2, 4, 8}) {
+        SCOPED_TRACE(nthreads);
+        ThreadPool::setThreads(nthreads);
+        Simulation sim;
+        buildRandomCharges(sim, 40, 9.0, 5150);
+        attachCoulombPair(sim, 3.5);
+        if (usePppm)
+            sim.kspace = std::make_unique<Pppm>(1e-5);
+        else
+            sim.kspace = std::make_unique<Ewald>(1e-5);
+        sim.neighbor.skin = 0.2;
+        sim.setup();
+        if (nthreads == 1) {
+            reference.assign(sim.atoms.f.begin(),
+                             sim.atoms.f.begin() + sim.atoms.nlocal());
+            continue;
+        }
+        ASSERT_EQ(sim.atoms.nlocal(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(sim.atoms.f[i].x, reference[i].x) << i;
+            EXPECT_EQ(sim.atoms.f[i].y, reference[i].y) << i;
+            EXPECT_EQ(sim.atoms.f[i].z, reference[i].z) << i;
+        }
+    }
+    ThreadPool::setThreads(before);
+}
+
+TEST(Pppm, ForcesAreThreadCountInvariant)
+{
+    expectSolverForcesThreadInvariant(true);
+}
+
+TEST(Ewald, ForcesAreThreadCountInvariant)
+{
+    expectSolverForcesThreadInvariant(false);
 }
 
 TEST(KspacePlan, GridGrowsWithTighterThreshold)

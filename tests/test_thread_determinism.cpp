@@ -103,6 +103,38 @@ TEST(ThreadDeterminism, GranularFullListIsBitwiseReproducible)
     expectBitwiseReproducible([] { return buildChute(4, 4, 3); }, 25);
 }
 
+// The threaded k-space pipeline: make_rho's plane-slab scatter, the
+// line-parallel FFTs, the poisson mode loop, and interp must all keep
+// the trajectory bitwise identical at any thread count. The Rhodo proxy
+// test above covers PPPM at the default 1e-4 threshold; these pin the
+// denser-grid and Ewald paths explicitly.
+
+TEST(ThreadDeterminism, PppmTightAccuracyIsBitwiseReproducible)
+{
+    // Tighter threshold -> denser mesh -> more FFT lines and plane
+    // slabs than the default-accuracy proxy run exercises.
+    expectBitwiseReproducible(
+        [] {
+            SuiteOptions options;
+            options.kspaceAccuracy = 1e-6;
+            return buildRhodoProxy(8, options);
+        },
+        5);
+}
+
+TEST(ThreadDeterminism, EwaldIsBitwiseReproducible)
+{
+    // The k-sliced structure-factor loop reduces every atom's force
+    // over all k vectors through the shared ReduceScratch.
+    expectBitwiseReproducible(
+        [] {
+            SuiteOptions options;
+            options.useEwaldInsteadOfPppm = true;
+            return buildRhodoProxy(8, options);
+        },
+        3);
+}
+
 // Spatial sorting recomputes the permutation serially from positions
 // that are themselves bitwise-identical across thread counts, so a
 // sorted run must stay exactly as reproducible as an unsorted one.
