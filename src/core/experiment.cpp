@@ -4,6 +4,7 @@
 #include "parallel/ranked_sim.h"
 #include "perf/power.h"
 #include "util/error.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -56,17 +57,21 @@ runNativeSerial(const ExperimentSpec &spec)
     if (spec.sortEvery >= 0)
         sim->setSortEvery(spec.sortEvery);
 
-    // Apply the requested shared-memory thread count for the duration of
-    // this experiment, restoring the pool afterwards so experiments in a
-    // sweep do not leak configuration into each other.
+    // Apply the requested shared-memory thread count and SIMD width for
+    // the duration of this experiment, restoring both afterwards so
+    // experiments in a sweep do not leak configuration into each other.
     const int previousThreads = ThreadPool::threads();
     if (spec.threads > 0)
         ThreadPool::setThreads(spec.threads);
+    if (spec.simdWidth >= 0)
+        setSimdWidth(spec.simdWidth);
     sim->setup();
 
     WallTimer wall;
     sim->run(spec.steps);
     const double elapsed = wall.seconds();
+    if (spec.simdWidth >= 0)
+        setSimdWidth(-1);
     if (spec.threads > 0)
         ThreadPool::setThreads(previousThreads);
 
@@ -98,8 +103,12 @@ runNativeRanked(const ExperimentSpec &spec)
             if (spec.sortEvery >= 0)
                 sim.setSortEvery(spec.sortEvery);
         });
+    if (spec.simdWidth >= 0)
+        setSimdWidth(spec.simdWidth);
     ranked.setup();
     ranked.run(spec.steps);
+    if (spec.simdWidth >= 0)
+        setSimdWidth(-1);
 
     ExperimentRecord record;
     record.spec = spec;

@@ -1,6 +1,7 @@
 #include "forcefield/pair_eam.h"
 
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "md/neighbor.h"
@@ -8,8 +9,48 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/simd.h"
 
 namespace mdbench {
+
+namespace {
+
+/**
+ * W-wide CubicSpline::eval over gathered knots: the same clamp /
+ * locate / Hermite-basis expressions as the scalar eval, so each lane
+ * is bitwise-identical to a scalar eval at that abscissa. Out-of-range
+ * lanes (the sentinel's huge radius) clamp to the last interval and
+ * produce finite garbage that callers mask off.
+ */
+template <int W>
+inline void
+evalSplineSimd(const CubicSpline::View &sp, const Simd<double, W> &x,
+               Simd<double, W> &value, Simd<double, W> &derivative)
+{
+    using D = Simd<double, W>;
+    using I = SimdIndex<W>;
+    const D nMinus1(static_cast<double>(sp.n - 1));
+    D s = (x - D(sp.x0)) / D(sp.dx);
+    s = D::min(D::max(s, D(0.0)), nMinus1);
+    const I idx =
+        I::min(D::truncToIndex(s),
+               static_cast<std::uint32_t>(sp.n - 2));
+    const D t = s - D::fromIndex(idx);
+    const D a = D(1.0) - t;
+    const D yi = D::gather(sp.y, idx);
+    const D yi1 = D::gather(sp.y, idx + 1u);
+    const D mi = D::gather(sp.m, idx);
+    const D mi1 = D::gather(sp.m, idx + 1u);
+    const D h2 = D(sp.dx * sp.dx);
+    value = a * yi + t * yi1 +
+            ((a * a * a - a) * mi + (t * t * t - t) * mi1) * h2 / D(6.0);
+    derivative = (yi1 - yi) / D(sp.dx) +
+                 ((D(3.0) * t * t - D(1.0)) * mi1 -
+                  (D(3.0) * a * a - D(1.0)) * mi) *
+                     D(sp.dx) / D(6.0);
+}
+
+} // namespace
 
 EamTables
 EamTables::makeSyntheticCopper(double cutoff, int points)
@@ -82,6 +123,18 @@ PairEAM::PairEAM(EamTables tables) : tables_(std::move(tables))
 
 void
 PairEAM::compute(Simulation &sim, const NeighborList &list)
+{
+    switch (list.padWidth) {
+      case 1: return computeSimdImpl<1>(sim, list);
+      case 2: return computeSimdImpl<2>(sim, list);
+      case 4: return computeSimdImpl<4>(sim, list);
+      case 8: return computeSimdImpl<8>(sim, list);
+      default: return computeImpl(sim, list);
+    }
+}
+
+void
+PairEAM::computeImpl(Simulation &sim, const NeighborList &list)
 {
     ensure(!list.full, "eam requires a half neighbor list");
     TraceScope trace("pair", "eam");
@@ -179,6 +232,234 @@ PairEAM::compute(Simulation &sim, const NeighborList &list)
         }
         energySlice[s] = energy;
         virialSlice[s] = virial;
+    });
+    for (int s = 0; s < slices.count(); ++s) {
+        energy_ += energySlice[s];
+        virial_ += virialSlice[s];
+    }
+}
+
+template <int W>
+void
+PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
+{
+    static_assert(sizeof(Vec3) == 3 * sizeof(double));
+
+    ensure(!list.full, "eam requires a half neighbor list");
+    TraceScope trace("pair", "eam");
+    TraceScope simdTrace("pair", "simd");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
+    // Both radial passes traverse the packed list, so the SIMD lane
+    // accounting charges each pair (and each padded slot) twice.
+    counterAdd(Counter::PairSimdLanesActive, 2 * list.pairCount());
+    counterAdd(Counter::PairSimdPaddingWaste, 2 * list.paddedSlots);
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    const std::size_t nlocal = atoms.nlocal();
+    const std::size_t nall = atoms.nall();
+    const double cutSq = tables_.cutoff * tables_.cutoff;
+
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange slices(0, nlocal, forceKernelGrain(nlocal));
+    std::array<double, SliceRange::kMaxSlices> energySlice{};
+    std::array<double, SliceRange::kMaxSlices> virialSlice{};
+
+    using D = Simd<double, W>;
+    using I = SimdIndex<W>;
+    using M = SimdMask<double, W>;
+
+    const double *xd = reinterpret_cast<const double *>(atoms.x.data());
+    const std::uint32_t *packed = list.packedNeighbors.data();
+    const CubicSpline::View rhoTab = tables_.rho.view();
+    const CubicSpline::View phiTab = tables_.phi.view();
+    const CubicSpline::View embedTab = tables_.embed.view();
+    const D cutSqV(cutSq);
+    const D zero(0.0);
+    const D minusOne(-1.0);
+
+    // Stage positions as 4-double records so both radial passes use
+    // transpose loads instead of three hardware gathers per group; the
+    // base is rounded up to 64 bytes so no record straddles a cache
+    // line (see PairLJCut). The fourth lane starts 0 and is refilled
+    // with F'(rho) before pass 2, folding the fpJ gather into the
+    // same transpose.
+    const std::size_t nallPad = nall + atoms.npad();
+    xpack_.resize(4 * nallPad + 8);
+    double *xpackAligned = reinterpret_cast<double *>(
+        (reinterpret_cast<std::uintptr_t>(xpack_.data()) + 63) &
+        ~std::uintptr_t{63});
+    for (std::size_t a = 0; a < nallPad; ++a) {
+        xpackAligned[4 * a + 0] = xd[3 * a + 0];
+        xpackAligned[4 * a + 1] = xd[3 * a + 1];
+        xpackAligned[4 * a + 2] = xd[3 * a + 2];
+        xpackAligned[4 * a + 3] = 0.0;
+    }
+    const double *xpackPtr = xpackAligned;
+
+    // Pass 1: host electron densities, W pairs at a time. The masked
+    // contribution is an exact zero for rejected and sentinel lanes, so
+    // the lane-striped row accumulator matches the scalar rhoI at W = 1
+    // and the per-lane scatter skips exactly the lanes the scalar
+    // `continue` skips.
+    rhoBar_.assign(nall, 0.0);
+    rhoScratch_.runAndReduce(pool, slices, nall, rhoBar_.data(), [&](
+        std::size_t sliceBegin, std::size_t sliceEnd, int, int buffer) {
+        auto rho = rhoScratch_.acc(buffer);
+        // Lambda-locals so the rho scatters cannot force reloads of
+        // anything the inner loop keeps live (see PairLJCut).
+        const double *const xpack = xpackPtr;
+        const std::uint32_t *const pk = packed;
+        const CubicSpline::View rhoSp = rhoTab;
+        const D cutSqL(cutSq);
+        const D zeroL(0.0);
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const double *xiRec = xpack + 4 * i;
+            const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
+            D rhoI(0.0);
+            const auto [begin, end] = list.packedRange(i);
+            for (std::uint32_t k = begin; k < end; k += W) {
+                D xjX, xjY, xjZ, xjW;
+                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, xjW);
+                const D dx = xiX - xjX;
+                const D dy = xiY - xjY;
+                const D dz = xiZ - xjZ;
+                // fma association matches the scalar sum bitwise on the
+                // generic backend (addition order is commutative).
+                const D r2 = D::fma(dz, dz, D::fma(dy, dy, dx * dx));
+                const M mask = r2 < cutSqL;
+                const int active = mask.bits();
+                // All lanes rejected (or pure padding): the masked
+                // contribution would be an exact zero everywhere, so
+                // skipping the spline eval is bitwise free.
+                if (active == 0)
+                    continue;
+                const D r = D::sqrt(r2);
+                D rhoV, rhoD;
+                evalSplineSimd<W>(rhoSp, r, rhoV, rhoD);
+                const D contribution = D::select(mask, rhoV, zeroL);
+                rhoI += contribution;
+                // Set-bit walk ascending = the scalar ascending-k order.
+                alignas(64) double sc[W];
+                contribution.storeu(sc);
+                for (int rest = active; rest; rest &= rest - 1) {
+                    const int l =
+                        std::countr_zero(static_cast<unsigned>(rest));
+                    rho.at(pk[k + l]) += sc[l];
+                }
+            }
+            rho.at(i) += rhoI.sum();
+        }
+    });
+    sim.comm->reverseScalar(sim, rhoBar_);
+
+    // F-embedding pass, W owned atoms at a time over the contiguous
+    // range with a scalar tail (scalar eval is lane-for-lane identical
+    // to the gathered eval, so the tail changes nothing but the energy
+    // summation order, and at W = 1 there is no tail). fp_ is oversized
+    // by the pad slot so pass 2's sentinel gathers stay in bounds; the
+    // pad entry stays 0 and forwardScalar ignores it.
+    fp_.assign(nall + atoms.npad(), 0.0);
+    pool.run(slices, [&](std::size_t sliceBegin, std::size_t sliceEnd,
+                         int s) {
+        D embedAcc(0.0);
+        double embedTail = 0.0;
+        std::size_t i = sliceBegin;
+        for (; i + W <= sliceEnd; i += W) {
+            const D rhoHost = D::loadu(rhoBar_.data() + i);
+            D value, deriv;
+            evalSplineSimd<W>(embedTab, rhoHost, value, deriv);
+            embedAcc += value;
+            deriv.storeu(fp_.data() + i);
+        }
+        for (; i < sliceEnd; ++i) {
+            double value;
+            double deriv;
+            tables_.embed.eval(rhoBar_[i], value, deriv);
+            embedTail += value;
+            fp_[i] = deriv;
+        }
+        energySlice[s] = embedAcc.sum() + embedTail;
+    });
+    for (int s = 0; s < slices.count(); ++s)
+        energy_ += energySlice[s];
+    sim.comm->forwardScalar(sim, fp_);
+
+    // Pass 2: forces. fScalar is masked (not the accumulators), so
+    // rejected and sentinel lanes contribute exact zeros to fi, the
+    // energies, and the virial, and are skipped by the Newton scatter.
+    const double *fp = fp_.data();
+    for (std::size_t a = 0; a < nallPad; ++a)
+        xpackAligned[4 * a + 3] = fp[a];
+    fscratch_.runAndReduce(pool, slices, nall, atoms.f.data(), [&](
+        std::size_t sliceBegin, std::size_t sliceEnd, int s, int buffer) {
+        auto fw = fscratch_.acc(buffer);
+        const double *const xpack = xpackPtr;
+        const std::uint32_t *const pk = packed;
+        const CubicSpline::View rhoSp = rhoTab;
+        const CubicSpline::View phiSp = phiTab;
+        const D cutSqL(cutSq);
+        const D zeroL(0.0);
+        const D minusOneL(-1.0);
+        D energyAcc(0.0);
+        D virialAcc(0.0);
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const double *xiRec = xpack + 4 * i;
+            const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
+            const D fpI(xiRec[3]);
+            D fiX(0.0), fiY(0.0), fiZ(0.0);
+            const auto [begin, end] = list.packedRange(i);
+            for (std::uint32_t k = begin; k < end; k += W) {
+                D xjX, xjY, xjZ, fpJ;
+                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, fpJ);
+                const D dx = xiX - xjX;
+                const D dy = xiY - xjY;
+                const D dz = xiZ - xjZ;
+                const D r2 = D::fma(dz, dz, D::fma(dy, dy, dx * dx));
+                const M mask = r2 < cutSqL;
+                const int active = mask.bits();
+                if (active == 0)
+                    continue;
+                const D r = D::sqrt(r2);
+                D phiV, phiD;
+                evalSplineSimd<W>(phiSp, r, phiV, phiD);
+                D rhoV, rhoD;
+                evalSplineSimd<W>(rhoSp, r, rhoV, rhoD);
+                // -x as (-1.0) * x: bitwise identical to the scalar
+                // unary minus for every finite value including zeros.
+                const D fScalar = D::select(
+                    mask, minusOneL * ((fpI + fpJ) * rhoD + phiD), zeroL);
+                const D fOverR = fScalar / r;
+                const D fpx = dx * fOverR;
+                const D fpy = dy * fOverR;
+                const D fpz = dz * fOverR;
+                fiX += fpx;
+                fiY += fpy;
+                fiZ += fpz;
+                // Newton scatter: pair terms spilled once, set-bit walk
+                // ascending = the scalar kernel's ascending-k order.
+                alignas(64) double sx[W], sy[W], sz[W];
+                fpx.storeu(sx);
+                fpy.storeu(sy);
+                fpz.storeu(sz);
+                for (int rest = active; rest; rest &= rest - 1) {
+                    const int l =
+                        std::countr_zero(static_cast<unsigned>(rest));
+                    Vec3 &fj = fw.at(pk[k + l]);
+                    fj.x -= sx[l];
+                    fj.y -= sy[l];
+                    fj.z -= sz[l];
+                }
+                energyAcc += D::select(mask, phiV, zeroL);
+                virialAcc += fScalar * r;
+            }
+            Vec3 &fi = fw.at(i);
+            fi.x += fiX.sum();
+            fi.y += fiY.sum();
+            fi.z += fiZ.sum();
+        }
+        energySlice[s] = energyAcc.sum();
+        virialSlice[s] = virialAcc.sum();
     });
     for (int s = 0; s < slices.count(); ++s) {
         energy_ += energySlice[s];

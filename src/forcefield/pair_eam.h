@@ -71,6 +71,30 @@ class PairEAM : public PairStyle
     /** Per-slice j-side reduction buffers (half lists, Newton on). */
     ReduceScratch<double> rhoScratch_;
     ReduceScratch<Vec3> fscratch_;
+
+    /**
+     * Positions repacked as 4-double records (pad atom included),
+     * refilled each compute; feeds loadXyzw so the radial passes load
+     * j positions without hardware gathers. The fourth lane is 0 in
+     * pass 1 and F'(rho_j) in pass 2, which folds the fpJ gather into
+     * the same transpose load.
+     */
+    std::vector<double> xpack_;
+
+    /** The scalar two-pass kernel (the oracle for the SIMD path). */
+    void computeImpl(Simulation &sim, const NeighborList &list);
+
+    /**
+     * SIMD two-pass kernel over the padded packing (DESIGN.md §12):
+     * both radial passes gather-evaluate the cubic-spline tables W
+     * lanes at a time, and the F-embedding pass runs W-wide over the
+     * contiguous owned range with a scalar tail. fp_ is oversized by
+     * the pad slot so sentinel gathers stay in bounds. Mirrors
+     * computeImpl's operation order, so at W = 1 on a no-FMA build it
+     * reproduces the scalar kernel's results.
+     */
+    template <int W>
+    void computeSimdImpl(Simulation &sim, const NeighborList &list);
 };
 
 } // namespace mdbench

@@ -1,6 +1,7 @@
 #include "forcefield/pair_lj_charmm_coul_long.h"
 
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "md/neighbor.h"
@@ -8,6 +9,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/simd.h"
 
 namespace mdbench {
 
@@ -78,9 +80,22 @@ void
 PairLJCharmmCoulLong::compute(Simulation &sim, const NeighborList &list)
 {
     if (ntypes_ == 1)
-        computeImpl<true>(sim, list);
+        dispatch<true>(sim, list);
     else
-        computeImpl<false>(sim, list);
+        dispatch<false>(sim, list);
+}
+
+template <bool kSingleType>
+void
+PairLJCharmmCoulLong::dispatch(Simulation &sim, const NeighborList &list)
+{
+    switch (list.padWidth) {
+      case 1: return computeSimdImpl<1, kSingleType>(sim, list);
+      case 2: return computeSimdImpl<2, kSingleType>(sim, list);
+      case 4: return computeSimdImpl<4, kSingleType>(sim, list);
+      case 8: return computeSimdImpl<8, kSingleType>(sim, list);
+      default: return computeImpl<kSingleType>(sim, list);
+    }
 }
 
 template <bool kSingleType>
@@ -190,6 +205,248 @@ PairLJCharmmCoulLong::computeImpl(Simulation &sim, const NeighborList &list)
         ecoulSlice[s] = ecoul;
         evdwlSlice[s] = evdwl;
         virialSlice[s] = virial;
+    });
+
+    for (int s = 0; s < slices.count(); ++s) {
+        ecoul_ += ecoulSlice[s];
+        evdwl_ += evdwlSlice[s];
+        virial_ += virialSlice[s];
+    }
+    energy_ = ecoul_ + evdwl_;
+}
+
+template <int W, bool kSingleType>
+void
+PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
+                                      const NeighborList &list)
+{
+    static_assert(sizeof(Coeff) == 4 * sizeof(double));
+    static_assert(sizeof(Vec3) == 3 * sizeof(double));
+    constexpr std::uint32_t kCoeffStride = sizeof(Coeff) / sizeof(double);
+
+    ensure(!list.full, "lj/charmm/coul/long requires a half list");
+    TraceScope trace("pair", "lj/charmm/coul/long");
+    TraceScope simdTrace("pair", "simd");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
+    counterAdd(Counter::PairSimdLanesActive, list.pairCount());
+    counterAdd(Counter::PairSimdPaddingWaste, list.paddedSlots);
+    if (!coeffsBuilt_)
+        buildCoeffs();
+    resetAccumulators();
+    ecoul_ = 0.0;
+    evdwl_ = 0.0;
+
+    AtomStore &atoms = sim.atoms;
+    const double qqr2e = sim.units.qqr2e;
+    const double g = sim.kspace ? sim.kspace->splittingParameter() : 0.0;
+    const double cutLJSq = ljOuter_ * ljOuter_;
+    const double cutLJInnerSq = ljInner_ * ljInner_;
+    const double cutCoulSq = coulCut_ * coulCut_;
+    const double cutAllSq = std::max(cutLJSq, cutCoulSq);
+    const double switchWidth = cutLJSq - cutLJInnerSq;
+    const double denomLJ = switchWidth * switchWidth * switchWidth;
+
+    const std::size_t nlocal = atoms.nlocal();
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange slices(0, nlocal, forceKernelGrain(nlocal));
+    std::array<double, SliceRange::kMaxSlices> ecoulSlice{};
+    std::array<double, SliceRange::kMaxSlices> evdwlSlice{};
+    std::array<double, SliceRange::kMaxSlices> virialSlice{};
+
+    using D = Simd<double, W>;
+    using I = SimdIndex<W>;
+    using M = SimdMask<double, W>;
+
+    const double *xd = reinterpret_cast<const double *>(atoms.x.data());
+    const int *type = atoms.type.data();
+    const double *q = atoms.q.data();
+    const double *coeffBase =
+        reinterpret_cast<const double *>(coeffs_.data());
+    const Coeff cSingle = coeff(1, 1);
+    const std::uint32_t *packed = list.packedNeighbors.data();
+    Vec3 *f = atoms.f.data();
+
+    // Stage positions + charge as 4-double records so the inner loop
+    // uses transpose loads instead of four hardware gathers per group;
+    // the base is rounded up to 64 bytes so no record straddles a
+    // cache line (see PairLJCut).
+    const std::size_t nallPad = atoms.nall() + atoms.npad();
+    xpack_.resize(4 * nallPad + 8);
+    double *xpackAligned = reinterpret_cast<double *>(
+        (reinterpret_cast<std::uintptr_t>(xpack_.data()) + 63) &
+        ~std::uintptr_t{63});
+    for (std::size_t a = 0; a < nallPad; ++a) {
+        xpackAligned[4 * a + 0] = xd[3 * a + 0];
+        xpackAligned[4 * a + 1] = xd[3 * a + 1];
+        xpackAligned[4 * a + 2] = xd[3 * a + 2];
+        xpackAligned[4 * a + 3] = q[a];
+    }
+    const double *xpackPtr = xpackAligned;
+
+    fscratch_.runAndReduce(pool, slices, atoms.nall(), f, [&](
+        std::size_t sliceBegin, std::size_t sliceEnd, int s, int buffer) {
+        auto fw = fscratch_.acc(buffer);
+        // Everything the inner loop touches lives in lambda-locals, not
+        // reference captures: the force scatters store through double
+        // pointers, and values reached through the closure would have
+        // to be conservatively reloaded after every such store (see
+        // PairLJCut).
+        const double *const xpack = xpackPtr;
+        const std::uint32_t *const pk = packed;
+        const D cutAllSqV(cutAllSq);
+        const D cutLJSqV(cutLJSq);
+        const D cutLJInnerSqV(cutLJInnerSq);
+        const D cutCoulSqV(cutCoulSq);
+        // 3 * cutLJInnerSq and the switch-branch constants, formed with
+        // the same products the scalar expressions contain.
+        const D threeInnerV(3.0 * cutLJInnerSq);
+        const D denomLJV(denomLJ);
+        const D gV(g);
+        const D kSqrtPiInv2V(kSqrtPiInv2);
+        const D two(2.0);
+        const D twelve(12.0);
+        const D zero(0.0);
+        const D lj1S(cSingle.lj1), lj2S(cSingle.lj2);
+        const D lj3S(cSingle.lj3), lj4S(cSingle.lj4);
+        // Slice-long lane-striped accumulators (see PairLJCut): at
+        // W = 1 these are exactly the scalar kernel's running sums.
+        D ecoulAcc(0.0);
+        D evdwlAcc(0.0);
+        D virialAcc(0.0);
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const double *xiRec = xpack + 4 * i;
+            const double qi = xiRec[3];
+            // Scalar hoists nothing here, but (qqr2e * qi) is the exact
+            // prefix product of its left-associated prefactor.
+            const bool qiNonzero = qi != 0.0;
+            const D qqr2eQiV(qqr2e * qi);
+            const std::uint32_t rowBase =
+                kSingleType ? 0
+                            : static_cast<std::uint32_t>(type[i]) *
+                                  static_cast<std::uint32_t>(ntypes_ + 1);
+            const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
+            D fiX(0.0), fiY(0.0), fiZ(0.0);
+            const auto [begin, end] = list.packedRange(i);
+            for (std::uint32_t k = begin; k < end; k += W) {
+                D xjX, xjY, xjZ, qj;
+                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, qj);
+                const D dx = xiX - xjX;
+                const D dy = xiY - xjY;
+                const D dz = xiZ - xjZ;
+                // fma association matches the scalar sum bitwise on the
+                // generic backend (addition order is commutative).
+                const D rsq = D::fma(dz, dz, D::fma(dy, dy, dx * dx));
+                // Scalar `continue`s past cutAllSq; every term below is
+                // masked through this (or a tighter) cutoff mask, so
+                // those lanes and the sentinel contribute exact zeros.
+                const M anyMask = rsq < cutAllSqV;
+                const int anyBits = anyMask.bits();
+                // All lanes rejected (or pure padding): every term below
+                // would be an exact zero, so skipping is bitwise free.
+                if (anyBits == 0)
+                    continue;
+                const D r2inv = D(1.0) / rsq;
+
+                D forcecoul = zero;
+                if (qiNonzero) {
+                    const M coulMask =
+                        (rsq < cutCoulSqV) & (qj != zero);
+                    const D r = D::sqrt(rsq);
+                    const D grij = gV * r;
+                    // erfc/exp have no vector form: evaluate them per
+                    // active lane, ascending as the scalar loop does
+                    // (inactive lanes skip libm exactly as the scalar
+                    // branch does, and stay exact zeros).
+                    alignas(64) double grijArr[W];
+                    double erfcArr[W] = {};
+                    double expm2Arr[W] = {};
+                    grij.storeu(grijArr);
+                    for (int rest = coulMask.bits(); rest;
+                         rest &= rest - 1) {
+                        const int l = std::countr_zero(
+                            static_cast<unsigned>(rest));
+                        const double grijL = grijArr[l];
+                        expm2Arr[l] = std::exp(-grijL * grijL);
+                        erfcArr[l] = std::erfc(grijL);
+                    }
+                    const D expm2 = D::loadu(expm2Arr);
+                    const D erfcV = D::loadu(erfcArr);
+                    const D prefactor = qqr2eQiV * qj / r;
+                    forcecoul = D::select(
+                        coulMask,
+                        prefactor * (erfcV + kSqrtPiInv2V * grij * expm2),
+                        zero);
+                    ecoulAcc +=
+                        D::select(coulMask, prefactor * erfcV, zero);
+                }
+
+                const M ljMask = rsq < cutLJSqV;
+                D lj1, lj2, lj3, lj4;
+                if constexpr (kSingleType) {
+                    lj1 = lj1S; lj2 = lj2S; lj3 = lj3S; lj4 = lj4S;
+                } else {
+                    const I j = I::load(pk + k);
+                    const I cidx =
+                        (I::gather32(type, j) + rowBase) * kCoeffStride;
+                    lj1 = D::gather(coeffBase, cidx);
+                    lj2 = D::gather(coeffBase, cidx + 1u);
+                    lj3 = D::gather(coeffBase, cidx + 2u);
+                    lj4 = D::gather(coeffBase, cidx + 3u);
+                }
+                const D r6inv = r2inv * r2inv * r2inv;
+                D forcelj = r6inv * (lj1 * r6inv - lj2);
+                D philj = r6inv * (lj3 * r6inv - lj4);
+                // Switching region: compute the switched values for
+                // every lane and select; out-of-range lanes are finite
+                // (the pad slot sits ~1e6 box lengths out, far below
+                // the overflow threshold of these polynomials).
+                const M switchMask = rsq > cutLJInnerSqV;
+                const D rsw = cutLJSqV - rsq;
+                const D switch1 = rsw * rsw *
+                                  (cutLJSqV + two * rsq - threeInnerV) /
+                                  denomLJV;
+                const D switch2 =
+                    twelve * rsq * rsw * (rsq - cutLJInnerSqV) / denomLJV;
+                forcelj = D::select(
+                    switchMask, forcelj * switch1 + philj * switch2,
+                    forcelj);
+                philj = D::select(switchMask, philj * switch1, philj);
+                forcelj = D::select(ljMask, forcelj, zero);
+                evdwlAcc += D::select(ljMask, philj, zero);
+
+                const D fpair = (forcecoul + forcelj) * r2inv;
+                const D fpx = dx * fpair;
+                const D fpy = dy * fpair;
+                const D fpz = dz * fpair;
+                fiX = D::select(anyMask, fiX + fpx, fiX);
+                fiY = D::select(anyMask, fiY + fpy, fiY);
+                fiZ = D::select(anyMask, fiZ + fpz, fiZ);
+                // Newton scatter: pair terms spilled once, set-bit walk
+                // ascending = the scalar kernel's ascending-k order.
+                alignas(64) double sx[W], sy[W], sz[W];
+                fpx.storeu(sx);
+                fpy.storeu(sy);
+                fpz.storeu(sz);
+                for (int rest = anyBits; rest; rest &= rest - 1) {
+                    const int l =
+                        std::countr_zero(static_cast<unsigned>(rest));
+                    Vec3 &fj = fw.at(pk[k + l]);
+                    fj.x -= sx[l];
+                    fj.y -= sy[l];
+                    fj.z -= sz[l];
+                }
+                virialAcc +=
+                    D::select(anyMask, fpair * rsq, zero);
+            }
+            Vec3 &fi = fw.at(i);
+            fi.x += fiX.sum();
+            fi.y += fiY.sum();
+            fi.z += fiZ.sum();
+        }
+        ecoulSlice[s] = ecoulAcc.sum();
+        evdwlSlice[s] = evdwlAcc.sum();
+        virialSlice[s] = virialAcc.sum();
     });
 
     for (int s = 0; s < slices.count(); ++s) {

@@ -75,6 +75,14 @@ class PairLJCharmmCoulLong : public PairStyle
     /** Per-slice j-side force buffers (half lists, Newton on). */
     ReduceScratch<Vec3> fscratch_;
 
+    /**
+     * Positions + charge repacked as 4-double records [x, y, z, q]
+     * (pad atom included), refilled each compute; feeds loadXyzw so
+     * the SIMD kernel loads j positions and charges in one transpose
+     * instead of four hardware gathers.
+     */
+    std::vector<double> xpack_;
+
     void buildCoeffs();
 
     /**
@@ -85,6 +93,22 @@ class PairLJCharmmCoulLong : public PairStyle
      */
     template <bool kSingleType>
     void computeImpl(Simulation &sim, const NeighborList &list);
+
+    /**
+     * SIMD kernel over the padded packing (DESIGN.md §12). The LJ +
+     * switching arithmetic and the Ewald prefactor algebra are W-wide
+     * with masked-cutoff selects; erfc/exp have no vector form in libm,
+     * so those two calls run per active coulomb lane (sentinel and
+     * out-of-range lanes skip them exactly as the scalar branch does).
+     * Mirrors computeImpl's operation order, so at W = 1 on a no-FMA
+     * build it reproduces the scalar kernel's results.
+     */
+    template <int W, bool kSingleType>
+    void computeSimdImpl(Simulation &sim, const NeighborList &list);
+
+    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    template <bool kSingleType>
+    void dispatch(Simulation &sim, const NeighborList &list);
 };
 
 } // namespace mdbench

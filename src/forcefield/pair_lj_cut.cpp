@@ -1,6 +1,7 @@
 #include "forcefield/pair_lj_cut.h"
 
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "md/neighbor.h"
@@ -8,6 +9,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/simd.h"
 
 namespace mdbench {
 
@@ -90,9 +92,39 @@ void
 PairLJCut::compute(Simulation &sim, const NeighborList &list)
 {
     if (ntypes_ == 1)
-        computeImpl<true>(sim, list);
+        dispatch<true>(sim, list);
     else
-        computeImpl<false>(sim, list);
+        dispatch<false>(sim, list);
+}
+
+template <bool kSingleType>
+void
+PairLJCut::dispatch(Simulation &sim, const NeighborList &list)
+{
+    // The generic backend compiles every width on every build, so the
+    // packed path is exercised even by portable/sanitizer builds when a
+    // width is forced; padWidth 0 (SIMD layer off) takes the scalar
+    // oracle below. The list flavor is a template parameter so the
+    // full-list loop carries no Newton-scatter code at all — compiled
+    // in, it inflates register pressure enough to spill the hoisted
+    // constants out of the hot loop.
+    const bool half = !list.full;
+    switch (list.padWidth) {
+      case 1:
+        return half ? computeSimdImpl<1, kSingleType, true>(sim, list)
+                    : computeSimdImpl<1, kSingleType, false>(sim, list);
+      case 2:
+        return half ? computeSimdImpl<2, kSingleType, true>(sim, list)
+                    : computeSimdImpl<2, kSingleType, false>(sim, list);
+      case 4:
+        return half ? computeSimdImpl<4, kSingleType, true>(sim, list)
+                    : computeSimdImpl<4, kSingleType, false>(sim, list);
+      case 8:
+        return half ? computeSimdImpl<8, kSingleType, true>(sim, list)
+                    : computeSimdImpl<8, kSingleType, false>(sim, list);
+      default:
+        return computeImpl<kSingleType>(sim, list);
+    }
 }
 
 template <bool kSingleType>
@@ -174,6 +206,192 @@ PairLJCut::computeImpl(Simulation &sim, const NeighborList &list)
         virialSlice[s] = virial;
     };
     if (half) {
+        fscratch_.runAndReduce(pool, slices, atoms.nall(), f, kernel);
+    } else {
+        pool.run(slices, [&](std::size_t begin, std::size_t end, int s) {
+            kernel(begin, end, s, -1);
+        });
+    }
+    for (int s = 0; s < slices.count(); ++s) {
+        energy_ += energySlice[s];
+        virial_ += virialSlice[s];
+    }
+}
+
+template <int W, bool kSingleType, bool kHalf>
+void
+PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
+{
+    // Coeff gathers index the table as a flat double array: the struct
+    // must be exactly a whole number of doubles with lj1..eshift first.
+    static_assert(sizeof(Coeff) % sizeof(double) == 0);
+    static_assert(sizeof(Vec3) == 3 * sizeof(double));
+    constexpr std::uint32_t kCoeffStride = sizeof(Coeff) / sizeof(double);
+
+    TraceScope trace("pair", "lj/cut");
+    TraceScope simdTrace("pair", "simd");
+    counterAdd(Counter::PairComputes);
+    counterAdd(Counter::PairInteractions, list.pairCount());
+    counterAdd(Counter::PairSimdLanesActive, list.pairCount());
+    counterAdd(Counter::PairSimdPaddingWaste, list.paddedSlots);
+    resetAccumulators();
+    AtomStore &atoms = sim.atoms;
+    const double cutSq = cutoff_ * cutoff_;
+    const std::size_t nlocal = atoms.nlocal();
+    // Full lists visit each pair twice; halve shared accumulators.
+    const double pairScale = kHalf ? 1.0 : 0.5;
+
+    ThreadPool &pool = ThreadPool::global();
+    const SliceRange slices(0, nlocal, forceKernelGrain(nlocal));
+    std::array<double, SliceRange::kMaxSlices> energySlice{};
+    std::array<double, SliceRange::kMaxSlices> virialSlice{};
+
+    using D = Simd<double, W>;
+    using I = SimdIndex<W>;
+    using M = SimdMask<double, W>;
+
+    // Vec3 is three contiguous doubles, so x[j].x lives at xd[3 j].
+    const double *xd = reinterpret_cast<const double *>(atoms.x.data());
+    const int *type = atoms.type.data();
+    const double *coeffBase = reinterpret_cast<const double *>(coeffs_.data());
+    const Coeff cSingle = coeff(1, 1);
+    const std::uint32_t *packed = list.packedNeighbors.data();
+    Vec3 *f = atoms.f.data();
+
+    // Stage positions as 4-double records so the inner loop uses
+    // transpose loads instead of three hardware gathers per group. The
+    // base is rounded up to 64 bytes so every 32-byte record sits
+    // whole inside a cache line (split-line record loads cost ~1.4x).
+    const std::size_t nallPad = atoms.nall() + atoms.npad();
+    xpack_.resize(4 * nallPad + 8);
+    double *xpackAligned = reinterpret_cast<double *>(
+        (reinterpret_cast<std::uintptr_t>(xpack_.data()) + 63) &
+        ~std::uintptr_t{63});
+    for (std::size_t a = 0; a < nallPad; ++a) {
+        xpackAligned[4 * a + 0] = xd[3 * a + 0];
+        xpackAligned[4 * a + 1] = xd[3 * a + 1];
+        xpackAligned[4 * a + 2] = xd[3 * a + 2];
+        xpackAligned[4 * a + 3] = 0.0;
+    }
+    const double *xpackPtr = xpackAligned;
+
+    auto kernel = [&](std::size_t sliceBegin, std::size_t sliceEnd, int s,
+                      int buffer) {
+        ReduceScratch<Vec3>::Accumulator fw;
+        if constexpr (kHalf)
+            fw = fscratch_.acc(buffer);
+        // Everything the inner loop touches lives in lambda-locals, not
+        // reference captures: the force scatters store through double
+        // pointers, and values reached through the closure would have
+        // to be conservatively reloaded after every such store.
+        const double *const xpack = xpackPtr;
+        const std::uint32_t *const pk = packed;
+        const D cutSqV(cutSq);
+        const D zero(0.0);
+        const D pairScaleV(pairScale);
+        const D lj1S(cSingle.lj1), lj2S(cSingle.lj2);
+        const D lj3S(cSingle.lj3), lj4S(cSingle.lj4), eshS(cSingle.eshift);
+        // Slice-long lane-striped accumulators, reduced once per slice:
+        // at W = 1 this is exactly the scalar kernel's running sum.
+        D energyAcc(0.0);
+        D virialAcc(0.0);
+        for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
+            const double *xiRec = xpack + 4 * i;
+            const std::uint32_t rowBase =
+                kSingleType ? 0
+                            : static_cast<std::uint32_t>(type[i]) *
+                                  static_cast<std::uint32_t>(ntypes_ + 1);
+            const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
+            D fiX(0.0), fiY(0.0), fiZ(0.0);
+            const auto [begin, end] = list.packedRange(i);
+            for (std::uint32_t k = begin; k < end; k += W) {
+                D xjX, xjY, xjZ, xjW;
+                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, xjW);
+                const D dx = xiX - xjX;
+                const D dy = xiY - xjY;
+                const D dz = xiZ - xjZ;
+                // fma association matches Vec3::normSq bitwise on the
+                // generic backend (addition order is commutative).
+                const D r2 = D::fma(dz, dz, D::fma(dy, dy, dx * dx));
+                const M mask = r2 < cutSqV;
+                // All lanes rejected (or pure padding): every term below
+                // would be an exact zero, so skipping is bitwise free.
+                const int active = mask.bits();
+                if (active == 0)
+                    continue;
+                D lj1, lj2, lj3, lj4, esh;
+                if constexpr (kSingleType) {
+                    lj1 = lj1S; lj2 = lj2S; lj3 = lj3S; lj4 = lj4S;
+                    esh = eshS;
+                } else {
+                    const I j = I::load(pk + k);
+                    const I cidx =
+                        (I::gather32(type, j) + rowBase) * kCoeffStride;
+                    lj1 = D::gather(coeffBase, cidx);
+                    lj2 = D::gather(coeffBase, cidx + 1u);
+                    lj3 = D::gather(coeffBase, cidx + 2u);
+                    lj4 = D::gather(coeffBase, cidx + 3u);
+                    esh = D::gather(coeffBase, cidx + 4u);
+                }
+                const D r2inv = D(1.0) / r2;
+                const D r6inv = r2inv * r2inv * r2inv;
+                // Masking the force factor (not the accumulator) means
+                // rejected and sentinel lanes contribute exact zeros
+                // everywhere downstream.
+                const D forcelj = D::select(
+                    mask, r6inv * D::fms(lj1, r6inv, lj2) * r2inv, zero);
+                if constexpr (kHalf) {
+                    const D fpx = dx * forcelj;
+                    const D fpy = dy * forcelj;
+                    const D fpz = dz * forcelj;
+                    fiX += fpx;
+                    fiY += fpy;
+                    fiZ += fpz;
+                    // Newton scatter: the pair terms are spilled once and
+                    // the set-bit walk visits lanes ascending, matching
+                    // the scalar kernel's ascending-k order; masked lanes
+                    // (incl. the sentinel) are skipped exactly as the
+                    // scalar `continue` skips them.
+                    alignas(64) double sx[W], sy[W], sz[W];
+                    fpx.storeu(sx);
+                    fpy.storeu(sy);
+                    fpz.storeu(sz);
+                    for (int rest = active; rest; rest &= rest - 1) {
+                        const int l = std::countr_zero(
+                            static_cast<unsigned>(rest));
+                        Vec3 &fj = fw.at(pk[k + l]);
+                        fj.x -= sx[l];
+                        fj.y -= sy[l];
+                        fj.z -= sz[l];
+                    }
+                } else {
+                    // Same value as fiX += dx*forcelj (addition order is
+                    // commutative bitwise), fused on the ISA backends.
+                    fiX = D::fma(dx, forcelj, fiX);
+                    fiY = D::fma(dy, forcelj, fiY);
+                    fiZ = D::fma(dz, forcelj, fiZ);
+                }
+                energyAcc += D::select(
+                    mask,
+                    pairScaleV * D::fms(r6inv, D::fms(lj3, r6inv, lj4), esh),
+                    zero);
+                virialAcc = D::fma(pairScaleV * forcelj, r2, virialAcc);
+            }
+            if constexpr (kHalf) {
+                Vec3 &fi = fw.at(i);
+                fi.x += fiX.sum();
+                fi.y += fiY.sum();
+                fi.z += fiZ.sum();
+            } else {
+                f[i].x += fiX.sum();
+                f[i].y += fiY.sum();
+                f[i].z += fiZ.sum();
+            }
+        }
+        energySlice[s] = energyAcc.sum();
+        virialSlice[s] = virialAcc.sum();
+    };
+    if constexpr (kHalf) {
         fscratch_.runAndReduce(pool, slices, atoms.nall(), f, kernel);
     } else {
         pool.run(slices, [&](std::size_t begin, std::size_t end, int s) {

@@ -69,6 +69,25 @@ class PairLJCut : public PairStyle
     template <bool kSingleType>
     void computeImpl(Simulation &sim, const NeighborList &list);
 
+    /**
+     * SIMD kernel over the padded packing (DESIGN.md §12): W-wide
+     * gather / masked-cutoff select / multiply-accumulate groups with a
+     * per-lane masked scatter for the j-side Newton updates. Mirrors
+     * computeImpl's operation order exactly, so at W = 1 on a
+     * no-FMA build it reproduces the scalar kernel's results.
+     *
+     * kHalf bakes the list flavor in at compile time: the full-list
+     * instantiation carries no Newton-scatter code (which would
+     * otherwise inflate register pressure in the hot loop) and the
+     * half-list one no wasted double-count scaling.
+     */
+    template <int W, bool kSingleType, bool kHalf>
+    void computeSimdImpl(Simulation &sim, const NeighborList &list);
+
+    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    template <bool kSingleType>
+    void dispatch(Simulation &sim, const NeighborList &list);
+
     int ntypes_;
     double cutoff_;
     bool shift_;
@@ -76,6 +95,13 @@ class PairLJCut : public PairStyle
 
     /** Per-slice j-side force buffers (half lists, Newton on). */
     ReduceScratch<Vec3> fscratch_;
+
+    /**
+     * Positions repacked as 4-double records [x, y, z, 0] (pad atom
+     * included), refilled each compute; feeds loadXyzw so the SIMD
+     * kernel loads j positions without hardware gathers.
+     */
+    std::vector<double> xpack_;
 };
 
 } // namespace mdbench

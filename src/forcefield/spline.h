@@ -7,6 +7,7 @@
 #ifndef MDBENCH_FORCEFIELD_SPLINE_H
 #define MDBENCH_FORCEFIELD_SPLINE_H
 
+#include <cstddef>
 #include <vector>
 
 namespace mdbench {
@@ -34,6 +35,26 @@ class CubicSpline
 
     /** Upper end of the tabulated range. */
     double xMax() const { return x0_ + dx_ * (y_.empty() ? 0 : y_.size() - 1); }
+
+    /**
+     * Raw table view for vectorized evaluation (the SIMD EAM kernel
+     * gathers knots directly). Pointers are borrowed: valid until the
+     * spline is modified or destroyed.
+     */
+    struct View
+    {
+        const double *y;  ///< knot values
+        const double *m;  ///< knot second derivatives
+        double x0;        ///< first knot abscissa
+        double dx;        ///< knot spacing
+        std::size_t n;    ///< knot count
+    };
+
+    View
+    view() const
+    {
+        return {y_.data(), m_.data(), x0_, dx_, y_.size()};
+    }
 
   private:
     void locate(double x, std::size_t &index, double &t) const;

@@ -51,6 +51,14 @@ struct ExperimentSpec
      */
     int sortEvery = -1;
 
+    /**
+     * SIMD vector width for native modes (-1 = engine default from
+     * MDBENCH_SIMD, 0 = scalar kernels, otherwise the packing width;
+     * see setSimdWidth in util/simd.h). Takes effect at the run's
+     * first neighbor build.
+     */
+    int simdWidth = -1;
+
     /** "<bench>-<size>k" label as the paper's plots use. */
     std::string label() const;
 };

@@ -23,6 +23,7 @@ std::size_t
 AtomStore::addAtom(std::int64_t atom_tag, int atom_type, const Vec3 &pos)
 {
     ensure(nghost() == 0, "cannot add owned atoms while ghosts exist");
+    ensure(npad_ == 0, "cannot add owned atoms while the pad slot exists");
     x.push_back(pos);
     v.push_back({});
     f.push_back({});
@@ -49,12 +50,35 @@ AtomStore::clearGhosts()
     tag.resize(nlocal_);
     molecule.resize(nlocal_);
     ghostOf.resize(nlocal_);
+    npad_ = 0;
+}
+
+std::size_t
+AtomStore::ensurePadAtom(const Vec3 &pos)
+{
+    if (npad_ == 1) {
+        x[nall()] = pos;
+        return nall();
+    }
+    x.push_back(pos);
+    v.push_back({});
+    f.push_back({});
+    omega.push_back({});
+    torque.push_back({});
+    q.push_back(0.0);
+    type.push_back(1);
+    tag.push_back(-1);
+    molecule.push_back(0);
+    ghostOf.push_back(-1);
+    npad_ = 1;
+    return nall();
 }
 
 std::size_t
 AtomStore::addGhost(std::size_t src, const Vec3 &shift)
 {
     ensure(src < nall(), "ghost source out of range");
+    ensure(npad_ == 0, "cannot add ghosts while the pad slot exists");
     x.push_back(x[src] + shift);
     v.push_back(v[src]);
     f.push_back({});
@@ -76,6 +100,7 @@ AtomStore::addGhostFrom(const AtomStore &src, std::size_t i,
                         const Vec3 &shift)
 {
     ensure(i < src.nall(), "ghost source out of range");
+    ensure(npad_ == 0, "cannot add ghosts while the pad slot exists");
     x.push_back(src.x[i] + shift);
     v.push_back(src.v[i]);
     f.push_back({});
@@ -93,6 +118,7 @@ void
 AtomStore::removeAtom(std::size_t i)
 {
     ensure(nghost() == 0, "cannot remove owned atoms while ghosts exist");
+    ensure(npad_ == 0, "cannot remove owned atoms while the pad slot exists");
     ensure(i < nlocal_, "removeAtom index out of range");
     const std::size_t last = nlocal_ - 1;
     x[i] = x[last];
@@ -138,6 +164,11 @@ void
 AtomStore::applyPermutation(const std::vector<std::uint32_t> &oldOf)
 {
     ensure(nghost() == 0, "cannot reorder owned atoms while ghosts exist");
+    // The sentinel pad slot is invisible to permutations by contract:
+    // sorts run in the post-exchange window where clearGhosts() already
+    // dropped it, so a pad here means a caller reordered atoms while a
+    // packed neighbor list still held live sentinel gathers.
+    ensure(npad_ == 0, "cannot reorder owned atoms while the pad slot exists");
     ensure(oldOf.size() == nlocal_,
            "permutation size does not match nlocal");
     // Verify bijectivity: each old index must appear exactly once. The

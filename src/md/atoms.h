@@ -5,7 +5,11 @@
  * Owned (local) atoms occupy indices [0, nlocal); ghost copies (periodic
  * images in serial runs, halo atoms in decomposed runs) occupy
  * [nlocal, nlocal + nghost). Per-atom arrays always have
- * nlocal + nghost entries.
+ * nlocal + nghost entries — plus, while the SIMD padded neighbor
+ * packing is active, one inert pad slot at index nall() that sentinel
+ * neighbor ids gather from (see ensurePadAtom and DESIGN.md §12). The
+ * pad slot is excluded from nlocal/nghost/nall and never participates
+ * in physics, communication, or reorders.
  */
 
 #ifndef MDBENCH_MD_ATOMS_H
@@ -47,14 +51,28 @@ class AtomStore
     /** Number of owned atoms. */
     std::size_t nlocal() const { return nlocal_; }
 
-    /** Number of ghost atoms. */
-    std::size_t nghost() const { return x.size() - nlocal_; }
+    /** Number of ghost atoms (excludes the SIMD pad slot). */
+    std::size_t nghost() const { return x.size() - nlocal_ - npad_; }
 
-    /** Owned + ghost count. */
-    std::size_t nall() const { return x.size(); }
+    /** Owned + ghost count (excludes the SIMD pad slot). */
+    std::size_t nall() const { return x.size() - npad_; }
 
-    /** Drop all ghost atoms (keeps owned atoms intact). */
+    /** Number of SIMD pad slots present (0 or 1). */
+    std::size_t npad() const { return npad_; }
+
+    /** Drop all ghost atoms and the pad slot (keeps owned atoms). */
     void clearGhosts();
+
+    /**
+     * Ensure the inert SIMD pad slot exists at index nall() with
+     * position @p pos (placed far outside every cutoff by the caller so
+     * the kernels' distance masks zero its lanes). The slot has type 1,
+     * zero charge, zero velocity/force, and tag -1; it is dropped by
+     * clearGhosts() and must not exist across any structural mutation
+     * (addAtom/addGhost/removeAtom/applyPermutation assert this).
+     * @return the pad index (== nall()).
+     */
+    std::size_t ensurePadAtom(const Vec3 &pos);
 
     /**
      * Append a ghost copy of atom @p src displaced by @p shift.
@@ -113,6 +131,7 @@ class AtomStore
 
   private:
     std::size_t nlocal_ = 0;
+    std::size_t npad_ = 0; ///< SIMD pad slots past the ghosts (0 or 1)
 };
 
 } // namespace mdbench

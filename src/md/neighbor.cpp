@@ -8,6 +8,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -294,12 +295,70 @@ Neighbor::buildImpl(Simulation &sim)
     counterAdd(Counter::NeighBuilds);
     counterAdd(Counter::NeighPairs, list_.neighbors.size());
 
+    packPadded(sim);
+
     lastBuildPos_.assign(atoms.x.begin(), atoms.x.begin() + nlocal);
     ++buildCount_;
     ++buildsSinceSort_;
     if (firstBuildStep_ < 0)
         firstBuildStep_ = sim.step;
     lastBuildStep_ = sim.step;
+}
+
+void
+Neighbor::packPadded(Simulation &sim)
+{
+    const std::size_t nlocal = sim.atoms.nlocal();
+    const int width = simdWidth();
+    list_.padWidth = width;
+    if (width < 1 || nlocal == 0) {
+        list_.packedOffsets.clear();
+        list_.packedNeighbors.clear();
+        list_.paddedSlots = 0;
+        list_.sentinel = 0;
+        list_.padWidth = 0;
+        return;
+    }
+    TraceScope trace("neigh", "pack_padded");
+
+    // The pad slot sits far beyond the box on every axis, so even after
+    // atoms drift between rebuilds no real position comes within the
+    // build cutoff of it: the kernels' r² mask is false for every
+    // sentinel lane and padding contributes exact zeros.
+    const Vec3 span = sim.box.lengths();
+    const Vec3 padPos = sim.box.hi() + span + Vec3{1.0e6, 1.0e6, 1.0e6};
+    list_.sentinel =
+        static_cast<std::uint32_t>(sim.atoms.ensurePadAtom(padPos));
+
+    const std::uint32_t w = static_cast<std::uint32_t>(width);
+    list_.packedOffsets.resize(nlocal + 1);
+    list_.packedOffsets[0] = 0;
+    for (std::size_t i = 0; i < nlocal; ++i) {
+        const std::uint32_t count = list_.offsets[i + 1] - list_.offsets[i];
+        const std::uint32_t padded = (count + w - 1) / w * w;
+        list_.packedOffsets[i + 1] = list_.packedOffsets[i] + padded;
+    }
+    list_.packedNeighbors.resize(list_.packedOffsets[nlocal]);
+    const std::uint32_t *src = list_.neighbors.data();
+    std::uint32_t *dst = list_.packedNeighbors.data();
+    const std::uint32_t sentinel = list_.sentinel;
+    ThreadPool::global().parallelFor(
+        0, nlocal, kNeighborGrain,
+        [&](std::size_t begin, std::size_t end, int) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t rowBegin = list_.offsets[i];
+                const std::uint32_t count = list_.offsets[i + 1] - rowBegin;
+                std::uint32_t cursor = list_.packedOffsets[i];
+                const std::uint32_t rowEnd = list_.packedOffsets[i + 1];
+                for (std::uint32_t k = 0; k < count; ++k)
+                    dst[cursor++] = src[rowBegin + k];
+                while (cursor < rowEnd)
+                    dst[cursor++] = sentinel;
+            }
+        });
+    list_.paddedSlots =
+        list_.packedNeighbors.size() - list_.neighbors.size();
+    counterAdd(Counter::NeighPaddedSlots, list_.paddedSlots);
 }
 
 int

@@ -34,6 +34,19 @@ struct NeighborList
     bool full = false;                    ///< full vs half list
     double buildCutoff = 0.0;             ///< cutoff + skin used at build
 
+    // SIMD padded packing (DESIGN.md §12): a second CSR view of the
+    // same pairs whose rows are padded to a multiple of padWidth with
+    // copies of `sentinel` — the index of the AtomStore pad slot, an
+    // inert atom placed far outside every cutoff so the kernels'
+    // distance masks zero the padding lanes. Built only when the SIMD
+    // layer is active (padWidth >= 1); the plain list above always
+    // remains valid and is the scalar oracle.
+    std::vector<std::uint32_t> packedOffsets;   ///< size nlocal + 1
+    std::vector<std::uint32_t> packedNeighbors; ///< rows padded to padWidth
+    int padWidth = 0;              ///< packing vector width (0 = disabled)
+    std::uint32_t sentinel = 0;    ///< pad-slot index filling padded slots
+    std::size_t paddedSlots = 0;   ///< sentinel entries across all rows
+
     /** Neighbors of atom @p i as a begin/end index pair. */
     std::pair<std::uint32_t, std::uint32_t>
     range(std::size_t i) const
@@ -41,7 +54,17 @@ struct NeighborList
         return {offsets[i], offsets[i + 1]};
     }
 
-    /** Total stored pairs. */
+    /** Padded neighbors of @p i (length a multiple of padWidth). */
+    std::pair<std::uint32_t, std::uint32_t>
+    packedRange(std::size_t i) const
+    {
+        return {packedOffsets[i], packedOffsets[i + 1]};
+    }
+
+    /** True when the padded packing was built at width @p w. */
+    bool packedFor(int w) const { return padWidth == w && padWidth >= 1; }
+
+    /** Total stored pairs (excludes padding). */
     std::size_t pairCount() const { return neighbors.size(); }
 
     /** Average neighbors per owned atom. */
@@ -137,6 +160,13 @@ class Neighbor
      * the hot fill loop (~10% on the serial build).
      */
     [[gnu::noinline]] void buildImpl(Simulation &sim);
+
+    /**
+     * Build the padded packing of list_ at the current simdWidth() (a
+     * no-op that clears the packed arrays when the SIMD layer is off)
+     * and install the AtomStore pad slot the sentinel ids gather from.
+     */
+    void packPadded(Simulation &sim);
 
     NeighborList list_;
     std::vector<Vec3> lastBuildPos_;

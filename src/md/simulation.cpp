@@ -129,7 +129,10 @@ Simulation::setup()
             "simulation has no atoms and no styles");
     if (pair) {
         neighbor.cutoff = std::max(neighbor.cutoff, pair->cutoff());
-        neighbor.full = pair->needsFullList();
+        // Upgrade to a full list when the style demands one, but keep an
+        // explicit full request (every kernel consumes full lists; the
+        // half/full bench knob depends on the request surviving setup).
+        neighbor.full = neighbor.full || pair->needsFullList();
         pair->setup(*this);
     }
     require(neighbor.cutoff > 0.0, "neighbor cutoff must be positive");

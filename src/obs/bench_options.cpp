@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace mdbench {
 
@@ -55,6 +56,11 @@ parseBenchOptions(int &argc, char **argv)
             i += consumed;
             continue;
         }
+        if (std::strcmp(argv[i], "--no-simd") == 0) {
+            options.noSimd = true;
+            ++i;
+            continue;
+        }
         if (std::strcmp(argv[i], "--help") == 0) {
             options.help = true;
             // keep --help visible to wrapped parsers (google-benchmark)
@@ -83,7 +89,9 @@ benchOptionsUsage()
            "  --manifest FILE   write the run manifest JSON "
            "(mdbench-manifest-v1)\n"
            "  --log-level L     silent|warn|inform|debug or 0-3 "
-           "(overrides MDBENCH_LOG_LEVEL)\n";
+           "(overrides MDBENCH_LOG_LEVEL)\n"
+           "  --no-simd         run scalar pair kernels "
+           "(overrides MDBENCH_SIMD)\n";
 }
 
 BenchRun::BenchRun(int &argc, char **argv, const std::string &program)
@@ -91,6 +99,8 @@ BenchRun::BenchRun(int &argc, char **argv, const std::string &program)
 {
     if (options_.help)
         std::fputs(benchOptionsUsage(), stdout);
+    if (options_.noSimd)
+        setSimdWidth(0);
     if (!options_.tracePath.empty())
         traceEnable();
     setActiveManifest(&manifest_);

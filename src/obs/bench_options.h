@@ -24,6 +24,7 @@ struct BenchOptions
     std::string manifestPath; ///< --manifest FILE (empty = no manifest)
     std::string logLevel;     ///< --log-level LEVEL (empty = unchanged)
     bool help = false;        ///< --help seen
+    bool noSimd = false;      ///< --no-simd seen (scalar pair kernels)
 };
 
 /**

@@ -16,10 +16,13 @@ counterName(Counter counter)
       case Counter::NeighBuilds: return "neigh.builds";
       case Counter::NeighTriggerChecks: return "neigh.trigger_checks";
       case Counter::NeighPairs: return "neigh.pairs";
+      case Counter::NeighPaddedSlots: return "neigh.padded_slots";
       case Counter::SortApplied: return "neigh.sorts_applied";
       case Counter::SortSkipped: return "neigh.sorts_skipped";
       case Counter::PairComputes: return "pair.computes";
       case Counter::PairInteractions: return "pair.interactions";
+      case Counter::PairSimdLanesActive: return "pair.simd_lanes_active";
+      case Counter::PairSimdPaddingWaste: return "pair.simd_padding_waste";
       case Counter::CommExchanges: return "comm.exchanges";
       case Counter::CommGhostAtoms: return "comm.ghost_atoms";
       case Counter::KspaceFfts: return "kspace.ffts";

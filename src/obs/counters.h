@@ -30,10 +30,13 @@ enum class Counter : std::size_t {
     NeighBuilds = 0,    ///< neighbor-list builds
     NeighTriggerChecks, ///< displacement trigger evaluations
     NeighPairs,         ///< pairs stored by neighbor builds
+    NeighPaddedSlots,   ///< sentinel slots added by SIMD padded packing
     SortApplied,        ///< spatial atom reorders applied
     SortSkipped,        ///< sort-enabled rebuilds that did not reorder
     PairComputes,       ///< pair-style compute() calls
     PairInteractions,   ///< neighbor pairs visited by pair kernels
+    PairSimdLanesActive,  ///< real-pair lanes processed by SIMD kernels
+    PairSimdPaddingWaste, ///< sentinel lanes processed by SIMD kernels
     CommExchanges,      ///< comm exchange/borders rebuilds
     CommGhostAtoms,     ///< ghost atoms created by borders()
     KspaceFfts,         ///< 3-D FFT transforms executed

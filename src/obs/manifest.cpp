@@ -7,6 +7,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -111,6 +112,7 @@ RunManifest::write(std::ostream &os) const
     json.key("type").value(MDBENCH_BUILD_TYPE);
     json.key("sanitize").value(MDBENCH_BUILD_SANITIZE);
     json.key("native_arch").value(MDBENCH_BUILD_NATIVE_ARCH != 0);
+    json.key("simd").value(simdIsaName());
     json.endObject();
 
     json.key("threads").value(threads_);

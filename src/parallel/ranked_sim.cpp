@@ -376,7 +376,8 @@ RankedSimulation::setup()
         if (sim->pair) {
             sim->neighbor.cutoff =
                 std::max(sim->neighbor.cutoff, sim->pair->cutoff());
-            sim->neighbor.full = sim->pair->needsFullList();
+            sim->neighbor.full =
+                sim->neighbor.full || sim->pair->needsFullList();
             sim->pair->setup(*sim);
         }
     }

@@ -1,0 +1,1088 @@
+/**
+ * @file
+ * Portable SIMD compute layer for the pair kernels (DESIGN.md §12).
+ *
+ * `Simd<T, W>` is a fixed-width value vector with the handful of
+ * operations the force kernels need: broadcast, load/store, gather by
+ * 32-bit index, arithmetic, compares returning `SimdMask`, blend
+ * (select), and a *sequential* lane sum. Three backends share the same
+ * interface:
+ *
+ *  - a generic array backend (the primary template) that compiles for
+ *    any T and W with plain scalar loops — the scalar-fallback oracle
+ *    and the body every sanitizer build exercises,
+ *  - an AVX2 backend for `Simd<double, 4>` (`__m256d` + `__m128i`
+ *    indices), selected when the translation unit is compiled with
+ *    `-mavx2 -mfma`,
+ *  - an AVX-512 backend for `Simd<double, 8>` (`__m512d` + `__m256i`
+ *    indices), selected under `-mavx512f`.
+ *
+ * Determinism contract: every wrapper operation is a per-lane IEEE-754
+ * operation (no fused multiply-add, no approximate reciprocals), so for
+ * a fixed expression the three backends produce bitwise-identical lane
+ * values; only the order in which a *kernel* folds lanes together
+ * distinguishes widths. `sum()` is defined as the ascending-lane
+ * sequential sum for the same reason. A kernel instantiated at W = 1
+ * therefore performs exactly the scalar instruction sequence.
+ *
+ * Width configuration: `simdWidth()` is the packed neighbor-list width
+ * the engine should use — 0 disables the SIMD path entirely (scalar
+ * loops, no padded packing). The default comes from the `MDBENCH_SIMD`
+ * environment variable (`0`/`off` = disabled, `1`/`on`/unset = native
+ * compiled width, an explicit `2`/`4`/`8` forces that width through the
+ * generic backend when no matching ISA backend exists) gated by a
+ * runtime CPU capability check; `setSimdWidth()` overrides it
+ * programmatically (benches, tests, ExperimentSpec).
+ */
+
+#ifndef MDBENCH_UTIL_SIMD_H
+#define MDBENCH_UTIL_SIMD_H
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(MDBENCH_SIMD_FORCE_SCALAR)
+#if defined(__AVX512F__)
+#define MDBENCH_SIMD_AVX512 1
+#define MDBENCH_SIMD_AVX2 1
+#elif defined(__AVX2__) && defined(__FMA__)
+#define MDBENCH_SIMD_AVX2 1
+#endif
+#endif
+
+#if defined(MDBENCH_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace mdbench {
+
+/** Widest backend this translation unit was compiled with. */
+inline constexpr int kSimdCompiledWidth =
+#if defined(MDBENCH_SIMD_AVX512)
+    8;
+#elif defined(MDBENCH_SIMD_AVX2)
+    4;
+#else
+    1;
+#endif
+
+/** Human/manifest name of the compiled backend. */
+inline const char *
+simdIsaName()
+{
+#if defined(MDBENCH_SIMD_AVX512)
+    return "avx512";
+#elif defined(MDBENCH_SIMD_AVX2)
+    return "avx2";
+#else
+    return "scalar";
+#endif
+}
+
+/**
+ * True when the executing CPU supports the compiled ISA backend. A
+ * binary built with `-march` flags for a newer CPU than the host would
+ * fault inside the intrinsic paths; this check routes such runs to the
+ * scalar loops instead (the generic backend compiles to plain scalar
+ * code and needs no check).
+ */
+inline bool
+simdRuntimeSupported()
+{
+#if defined(MDBENCH_SIMD_AVX512) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx512f");
+#elif defined(MDBENCH_SIMD_AVX2) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return true;
+#endif
+}
+
+/** Widths the pair kernels instantiate; others fall back to scalar. */
+inline bool
+simdWidthSupported(int w)
+{
+    return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+/**
+ * Backend that executes width @p w in this translation unit: the ISA
+ * specialization when one matches, otherwise the generic (unrolled
+ * scalar) template; 0 is the plain scalar kernels.
+ */
+inline const char *
+simdBackendName(int w)
+{
+    if (w <= 0)
+        return "scalar";
+#if defined(MDBENCH_SIMD_AVX512)
+    if (w == 8)
+        return "avx512";
+#endif
+#if defined(MDBENCH_SIMD_AVX2)
+    if (w == 4)
+        return "avx2";
+#endif
+    return "generic";
+}
+
+/** MDBENCH_SIMD environment default (see file comment), cached. */
+inline int
+simdDefaultWidth()
+{
+    static const int width = [] {
+        const int native =
+            (kSimdCompiledWidth > 1 && simdRuntimeSupported())
+                ? kSimdCompiledWidth
+                : 0;
+        const char *env = std::getenv("MDBENCH_SIMD");
+        if (!env || !*env)
+            return native;
+        if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
+            return 0;
+        if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+            std::strcmp(env, "native") == 0)
+            return native;
+        const int requested = std::atoi(env);
+        if (simdWidthSupported(requested))
+            return requested;
+        return native;
+    }();
+    return width;
+}
+
+namespace detail {
+/** Programmatic width override; -1 defers to the environment default. */
+inline std::atomic<int> gSimdWidthOverride{-1};
+} // namespace detail
+
+/**
+ * Packed neighbor-list width the engine should use right now: 0 =
+ * SIMD path disabled (plain scalar kernels, no padded packing).
+ */
+inline int
+simdWidth()
+{
+    const int override_ =
+        detail::gSimdWidthOverride.load(std::memory_order_relaxed);
+    return override_ >= 0 ? override_ : simdDefaultWidth();
+}
+
+/**
+ * Override the packed width: 0 disables the SIMD path, 1/2/4/8 force
+ * that width (through the generic backend when no ISA backend
+ * matches), -1 restores the MDBENCH_SIMD environment default. Takes
+ * effect at the next neighbor-list build.
+ */
+inline void
+setSimdWidth(int width)
+{
+    detail::gSimdWidthOverride.store(
+        width >= -1 && (width <= 0 || simdWidthSupported(width)) ? width
+                                                                 : -1,
+        std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- generic
+
+template <int W>
+struct SimdIndex;
+template <typename T, int W>
+struct SimdMask;
+template <typename T, int W>
+struct Simd;
+
+/** Vector of W 32-bit element indices (neighbor ids, table slots). */
+template <int W>
+struct SimdIndex
+{
+    std::array<std::uint32_t, W> v{};
+
+    static SimdIndex
+    load(const std::uint32_t *p)
+    {
+        SimdIndex r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = p[l];
+        return r;
+    }
+
+    /** Gather base[idx[l]] of a 32-bit integer array (atom types). */
+    static SimdIndex
+    gather32(const int *base, const SimdIndex &idx)
+    {
+        SimdIndex r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = static_cast<std::uint32_t>(base[idx.v[l]]);
+        return r;
+    }
+
+    SimdIndex
+    operator*(std::uint32_t s) const
+    {
+        SimdIndex r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = v[l] * s;
+        return r;
+    }
+
+    SimdIndex
+    operator+(std::uint32_t s) const
+    {
+        SimdIndex r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = v[l] + s;
+        return r;
+    }
+
+    /** Per-lane unsigned minimum against a scalar (table clamping). */
+    static SimdIndex
+    min(const SimdIndex &a, std::uint32_t s)
+    {
+        SimdIndex r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = a.v[l] < s ? a.v[l] : s;
+        return r;
+    }
+
+    std::uint32_t lane(int l) const { return v[l]; }
+};
+
+/** Per-lane boolean result of a Simd comparison. */
+template <typename T, int W>
+struct SimdMask
+{
+    std::array<bool, W> m{};
+
+    bool lane(int l) const { return m[l]; }
+
+    /**
+     * Active lanes as a bitmap (lane l -> bit l). Zero means no work;
+     * iterating set bits ascending visits lanes in scalar order.
+     */
+    int
+    bits() const
+    {
+        int b = 0;
+        for (int l = 0; l < W; ++l)
+            b |= static_cast<int>(m[l]) << l;
+        return b;
+    }
+
+    SimdMask
+    operator&(const SimdMask &o) const
+    {
+        SimdMask r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = m[l] && o.m[l];
+        return r;
+    }
+};
+
+/**
+ * Generic array backend: W lanes of T computed with scalar loops. The
+ * loops auto-vectorize on friendly targets, but the point of this
+ * backend is semantics, not speed — it defines the exact per-lane
+ * behaviour the ISA backends must reproduce.
+ */
+template <typename T, int W>
+struct Simd
+{
+    std::array<T, W> v{};
+
+    Simd() = default;
+
+    /* implicit */ Simd(T s)
+    {
+        for (int l = 0; l < W; ++l)
+            v[l] = s;
+    }
+
+    static Simd
+    loadu(const T *p)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = p[l];
+        return r;
+    }
+
+    void
+    storeu(T *p) const
+    {
+        for (int l = 0; l < W; ++l)
+            p[l] = v[l];
+    }
+
+    static Simd
+    gather(const T *base, const SimdIndex<W> &idx)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = base[idx.v[l]];
+        return r;
+    }
+
+    T lane(int l) const { return v[l]; }
+
+    Simd
+    operator+(const Simd &o) const
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = v[l] + o.v[l];
+        return r;
+    }
+
+    Simd
+    operator-(const Simd &o) const
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = v[l] - o.v[l];
+        return r;
+    }
+
+    Simd
+    operator*(const Simd &o) const
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = v[l] * o.v[l];
+        return r;
+    }
+
+    Simd
+    operator/(const Simd &o) const
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = v[l] / o.v[l];
+        return r;
+    }
+
+    Simd &
+    operator+=(const Simd &o)
+    {
+        for (int l = 0; l < W; ++l)
+            v[l] += o.v[l];
+        return *this;
+    }
+
+    static Simd
+    sqrt(const Simd &a)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = std::sqrt(a.v[l]);
+        return r;
+    }
+
+    /**
+     * a*b + c. Deliberately UNFUSED here: the generic backend is the
+     * bitwise oracle for W==1-vs-scalar equality on builds without FMA
+     * codegen, so it must round the product. ISA backends fuse (the
+     * determinism contract is per-ISA, not cross-ISA).
+     */
+    static Simd
+    fma(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = (a.v[l] * b.v[l]) + c.v[l];
+        return r;
+    }
+
+    /** a*b - c, same (un)fusion policy as fma(). */
+    static Simd
+    fms(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = (a.v[l] * b.v[l]) - c.v[l];
+        return r;
+    }
+
+    static Simd
+    min(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = b.v[l] < a.v[l] ? b.v[l] : a.v[l];
+        return r;
+    }
+
+    static Simd
+    max(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = a.v[l] < b.v[l] ? b.v[l] : a.v[l];
+        return r;
+    }
+
+    SimdMask<T, W>
+    operator<(const Simd &o) const
+    {
+        SimdMask<T, W> r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = v[l] < o.v[l];
+        return r;
+    }
+
+    SimdMask<T, W>
+    operator>(const Simd &o) const
+    {
+        SimdMask<T, W> r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = v[l] > o.v[l];
+        return r;
+    }
+
+    SimdMask<T, W>
+    operator!=(const Simd &o) const
+    {
+        SimdMask<T, W> r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = v[l] != o.v[l];
+        return r;
+    }
+
+    /** Lanes of @p a where the mask is set, of @p b elsewhere. */
+    static Simd
+    select(const SimdMask<T, W> &mask, const Simd &a, const Simd &b)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = mask.m[l] ? a.v[l] : b.v[l];
+        return r;
+    }
+
+    /** Truncating conversion to element indices (spline locate). */
+    static SimdIndex<W>
+    truncToIndex(const Simd &a)
+    {
+        SimdIndex<W> r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = static_cast<std::uint32_t>(a.v[l]);
+        return r;
+    }
+
+    /** Index-to-value conversion (spline locate's t = s - index). */
+    static Simd
+    fromIndex(const SimdIndex<W> &idx)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = static_cast<T>(static_cast<std::int32_t>(idx.v[l]));
+        return r;
+    }
+
+    /** Sequential ascending-lane sum (fixed summation tree). */
+    T
+    sum() const
+    {
+        T total = v[0];
+        for (int l = 1; l < W; ++l)
+            total += v[l];
+        return total;
+    }
+};
+
+/**
+ * Structure-of-arrays load from a 4-double-per-record buffer
+ * ([x, y, z, w] per index, 32 bytes): lane l of each output comes from
+ * pack[4*idx[l] + component]. Pair kernels stage positions (+charge)
+ * into such a buffer so this replaces three or four hardware gathers
+ * with contiguous loads and an in-register transpose on the ISA
+ * backends. @p idx points at W indices in memory (the packed neighbor
+ * list), which the ISA backends read as cheap scalar loads instead of
+ * extracting lanes from a vector register. The buffer must have a full
+ * 4-double record per index (the pad atom included).
+ */
+template <int W>
+inline void
+loadXyzw(const double *pack, const std::uint32_t *idx, Simd<double, W> &x,
+         Simd<double, W> &y, Simd<double, W> &z, Simd<double, W> &w)
+{
+    for (int l = 0; l < W; ++l) {
+        const double *rec = pack + 4u * idx[l];
+        x.v[l] = rec[0];
+        y.v[l] = rec[1];
+        z.v[l] = rec[2];
+        w.v[l] = rec[3];
+    }
+}
+
+// ------------------------------------------------------------------ AVX2
+
+#if defined(MDBENCH_SIMD_AVX2)
+
+// GCC 12's unmasked gather/convert intrinsics expand through
+// _mm256_undefined_pd()-style "__Y = __Y" initializers that trip
+// -Wuninitialized once inlined into optimized callers (GCC PR 105593);
+// the values are fully overwritten, so silence the false positive for
+// the backend definitions (the pragma travels with inlining).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/** AVX2 backend: 4 x u32 indices in an SSE register. */
+template <>
+struct SimdIndex<4>
+{
+    __m128i v = _mm_setzero_si128();
+
+    static SimdIndex
+    load(const std::uint32_t *p)
+    {
+        SimdIndex r;
+        r.v = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        return r;
+    }
+
+    static SimdIndex
+    gather32(const int *base, const SimdIndex &idx)
+    {
+        SimdIndex r;
+        r.v = _mm_i32gather_epi32(base, idx.v, 4);
+        return r;
+    }
+
+    SimdIndex
+    operator*(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm_mullo_epi32(v, _mm_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    SimdIndex
+    operator+(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm_add_epi32(v, _mm_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    static SimdIndex
+    min(const SimdIndex &a, std::uint32_t s)
+    {
+        SimdIndex r;
+        r.v = _mm_min_epu32(a.v, _mm_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    std::uint32_t
+    lane(int l) const
+    {
+        alignas(16) std::uint32_t tmp[4];
+        _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
+        return tmp[l];
+    }
+};
+
+/** AVX2 mask: all-ones / all-zeros double lanes (blendv convention). */
+template <>
+struct SimdMask<double, 4>
+{
+    __m256d m = _mm256_setzero_pd();
+
+    bool
+    lane(int l) const
+    {
+        return (_mm256_movemask_pd(m) >> l) & 1;
+    }
+
+    int bits() const { return _mm256_movemask_pd(m); }
+
+    SimdMask
+    operator&(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = _mm256_and_pd(m, o.m);
+        return r;
+    }
+};
+
+template <>
+struct Simd<double, 4>
+{
+    __m256d v = _mm256_setzero_pd();
+
+    Simd() = default;
+
+    /* implicit */ Simd(double s) : v(_mm256_set1_pd(s)) {}
+
+    static Simd
+    loadu(const double *p)
+    {
+        Simd r;
+        r.v = _mm256_loadu_pd(p);
+        return r;
+    }
+
+    void storeu(double *p) const { _mm256_storeu_pd(p, v); }
+
+    static Simd
+    gather(const double *base, const SimdIndex<4> &idx)
+    {
+        Simd r;
+        r.v = _mm256_i32gather_pd(base, idx.v, 8);
+        return r;
+    }
+
+    double
+    lane(int l) const
+    {
+        alignas(32) double tmp[4];
+        _mm256_store_pd(tmp, v);
+        return tmp[l];
+    }
+
+    Simd
+    operator+(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_add_pd(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator-(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_sub_pd(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator*(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_mul_pd(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator/(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_div_pd(v, o.v);
+        return r;
+    }
+
+    Simd &
+    operator+=(const Simd &o)
+    {
+        v = _mm256_add_pd(v, o.v);
+        return *this;
+    }
+
+    static Simd
+    sqrt(const Simd &a)
+    {
+        Simd r;
+        r.v = _mm256_sqrt_pd(a.v);
+        return r;
+    }
+
+    /** Fused a*b + c (per-ISA determinism permits fusing here). */
+    static Simd
+    fma(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm256_fmadd_pd(a.v, b.v, c.v);
+        return r;
+    }
+
+    /** Fused a*b - c. */
+    static Simd
+    fms(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm256_fmsub_pd(a.v, b.v, c.v);
+        return r;
+    }
+
+    static Simd
+    min(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm256_min_pd(a.v, b.v);
+        return r;
+    }
+
+    static Simd
+    max(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm256_max_pd(a.v, b.v);
+        return r;
+    }
+
+    SimdMask<double, 4>
+    operator<(const Simd &o) const
+    {
+        SimdMask<double, 4> r;
+        r.m = _mm256_cmp_pd(v, o.v, _CMP_LT_OQ);
+        return r;
+    }
+
+    SimdMask<double, 4>
+    operator>(const Simd &o) const
+    {
+        SimdMask<double, 4> r;
+        r.m = _mm256_cmp_pd(v, o.v, _CMP_GT_OQ);
+        return r;
+    }
+
+    SimdMask<double, 4>
+    operator!=(const Simd &o) const
+    {
+        SimdMask<double, 4> r;
+        r.m = _mm256_cmp_pd(v, o.v, _CMP_NEQ_UQ);
+        return r;
+    }
+
+    static Simd
+    select(const SimdMask<double, 4> &mask, const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm256_blendv_pd(b.v, a.v, mask.m);
+        return r;
+    }
+
+    static SimdIndex<4>
+    truncToIndex(const Simd &a)
+    {
+        SimdIndex<4> r;
+        r.v = _mm256_cvttpd_epi32(a.v);
+        return r;
+    }
+
+    static Simd
+    fromIndex(const SimdIndex<4> &idx)
+    {
+        Simd r;
+        r.v = _mm256_cvtepi32_pd(idx.v);
+        return r;
+    }
+
+    double
+    sum() const
+    {
+        alignas(32) double tmp[4];
+        _mm256_store_pd(tmp, v);
+        return ((tmp[0] + tmp[1]) + tmp[2]) + tmp[3];
+    }
+};
+
+/**
+ * AVX2 loadXyzw: four contiguous 32-byte record loads plus a 4x4
+ * in-register transpose — far cheaper than three/four vpgatherdpd on
+ * cores that microcode gathers.
+ */
+inline void
+loadXyzw(const double *pack, const std::uint32_t *idx, Simd<double, 4> &x,
+         Simd<double, 4> &y, Simd<double, 4> &z, Simd<double, 4> &w)
+{
+    const __m256d r0 = _mm256_loadu_pd(pack + 4u * idx[0]);
+    const __m256d r1 = _mm256_loadu_pd(pack + 4u * idx[1]);
+    const __m256d r2 = _mm256_loadu_pd(pack + 4u * idx[2]);
+    const __m256d r3 = _mm256_loadu_pd(pack + 4u * idx[3]);
+    const __m256d t0 = _mm256_unpacklo_pd(r0, r1); // x0 x1 z0 z1
+    const __m256d t1 = _mm256_unpackhi_pd(r0, r1); // y0 y1 w0 w1
+    const __m256d t2 = _mm256_unpacklo_pd(r2, r3); // x2 x3 z2 z3
+    const __m256d t3 = _mm256_unpackhi_pd(r2, r3); // y2 y3 w2 w3
+    x.v = _mm256_permute2f128_pd(t0, t2, 0x20);
+    y.v = _mm256_permute2f128_pd(t1, t3, 0x20);
+    z.v = _mm256_permute2f128_pd(t0, t2, 0x31);
+    w.v = _mm256_permute2f128_pd(t1, t3, 0x31);
+}
+
+#endif // MDBENCH_SIMD_AVX2
+
+// ---------------------------------------------------------------- AVX512
+
+#if defined(MDBENCH_SIMD_AVX512)
+
+/** AVX-512 backend: 8 x u32 indices in an AVX2 register. */
+template <>
+struct SimdIndex<8>
+{
+    __m256i v = _mm256_setzero_si256();
+
+    static SimdIndex
+    load(const std::uint32_t *p)
+    {
+        SimdIndex r;
+        r.v = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        return r;
+    }
+
+    static SimdIndex
+    gather32(const int *base, const SimdIndex &idx)
+    {
+        SimdIndex r;
+        r.v = _mm256_i32gather_epi32(base, idx.v, 4);
+        return r;
+    }
+
+    SimdIndex
+    operator*(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm256_mullo_epi32(v, _mm256_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    SimdIndex
+    operator+(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm256_add_epi32(v, _mm256_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    static SimdIndex
+    min(const SimdIndex &a, std::uint32_t s)
+    {
+        SimdIndex r;
+        r.v = _mm256_min_epu32(a.v, _mm256_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    std::uint32_t
+    lane(int l) const
+    {
+        alignas(32) std::uint32_t tmp[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), v);
+        return tmp[l];
+    }
+};
+
+/** AVX-512 mask: a real predicate register. */
+template <>
+struct SimdMask<double, 8>
+{
+    __mmask8 m = 0;
+
+    bool lane(int l) const { return (m >> l) & 1; }
+
+    int bits() const { return m; }
+
+    SimdMask
+    operator&(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = static_cast<__mmask8>(m & o.m);
+        return r;
+    }
+};
+
+template <>
+struct Simd<double, 8>
+{
+    __m512d v = _mm512_setzero_pd();
+
+    Simd() = default;
+
+    /* implicit */ Simd(double s) : v(_mm512_set1_pd(s)) {}
+
+    static Simd
+    loadu(const double *p)
+    {
+        Simd r;
+        r.v = _mm512_loadu_pd(p);
+        return r;
+    }
+
+    void storeu(double *p) const { _mm512_storeu_pd(p, v); }
+
+    static Simd
+    gather(const double *base, const SimdIndex<8> &idx)
+    {
+        Simd r;
+        r.v = _mm512_i32gather_pd(idx.v, base, 8);
+        return r;
+    }
+
+    double
+    lane(int l) const
+    {
+        alignas(64) double tmp[8];
+        _mm512_store_pd(tmp, v);
+        return tmp[l];
+    }
+
+    Simd
+    operator+(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_add_pd(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator-(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_sub_pd(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator*(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_mul_pd(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator/(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_div_pd(v, o.v);
+        return r;
+    }
+
+    Simd &
+    operator+=(const Simd &o)
+    {
+        v = _mm512_add_pd(v, o.v);
+        return *this;
+    }
+
+    static Simd
+    sqrt(const Simd &a)
+    {
+        Simd r;
+        r.v = _mm512_sqrt_pd(a.v);
+        return r;
+    }
+
+    /** Fused a*b + c (per-ISA determinism permits fusing here). */
+    static Simd
+    fma(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm512_fmadd_pd(a.v, b.v, c.v);
+        return r;
+    }
+
+    /** Fused a*b - c. */
+    static Simd
+    fms(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm512_fmsub_pd(a.v, b.v, c.v);
+        return r;
+    }
+
+    static Simd
+    min(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm512_min_pd(a.v, b.v);
+        return r;
+    }
+
+    static Simd
+    max(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm512_max_pd(a.v, b.v);
+        return r;
+    }
+
+    SimdMask<double, 8>
+    operator<(const Simd &o) const
+    {
+        SimdMask<double, 8> r;
+        r.m = _mm512_cmp_pd_mask(v, o.v, _CMP_LT_OQ);
+        return r;
+    }
+
+    SimdMask<double, 8>
+    operator>(const Simd &o) const
+    {
+        SimdMask<double, 8> r;
+        r.m = _mm512_cmp_pd_mask(v, o.v, _CMP_GT_OQ);
+        return r;
+    }
+
+    SimdMask<double, 8>
+    operator!=(const Simd &o) const
+    {
+        SimdMask<double, 8> r;
+        r.m = _mm512_cmp_pd_mask(v, o.v, _CMP_NEQ_UQ);
+        return r;
+    }
+
+    static Simd
+    select(const SimdMask<double, 8> &mask, const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm512_mask_blend_pd(mask.m, b.v, a.v);
+        return r;
+    }
+
+    static SimdIndex<8>
+    truncToIndex(const Simd &a)
+    {
+        SimdIndex<8> r;
+        r.v = _mm512_cvttpd_epi32(a.v);
+        return r;
+    }
+
+    static Simd
+    fromIndex(const SimdIndex<8> &idx)
+    {
+        Simd r;
+        r.v = _mm512_cvtepi32_pd(idx.v);
+        return r;
+    }
+
+    double
+    sum() const
+    {
+        alignas(64) double tmp[8];
+        _mm512_store_pd(tmp, v);
+        double total = tmp[0];
+        for (int l = 1; l < 8; ++l)
+            total += tmp[l];
+        return total;
+    }
+};
+
+/**
+ * AVX-512 loadXyzw: four gathers off a single pre-scaled index vector
+ * (record base = idx*4 doubles; component picked by the base pointer).
+ */
+inline void
+loadXyzw(const double *pack, const std::uint32_t *idx, Simd<double, 8> &x,
+         Simd<double, 8> &y, Simd<double, 8> &z, Simd<double, 8> &w)
+{
+    const __m256i rec = _mm256_slli_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(idx)), 2);
+    x.v = _mm512_i32gather_pd(rec, pack + 0, 8);
+    y.v = _mm512_i32gather_pd(rec, pack + 1, 8);
+    z.v = _mm512_i32gather_pd(rec, pack + 2, 8);
+    w.v = _mm512_i32gather_pd(rec, pack + 3, 8);
+}
+
+#endif // MDBENCH_SIMD_AVX512
+
+#if defined(MDBENCH_SIMD_AVX2)
+#pragma GCC diagnostic pop
+#endif
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_SIMD_H

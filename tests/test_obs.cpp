@@ -17,6 +17,7 @@
 
 #include "core/suite.h"
 #include "kspace/fft3d.h"
+#include "md/neighbor.h"
 #include "md/simulation.h"
 #include "obs/bench_options.h"
 #include "obs/counters.h"
@@ -24,6 +25,7 @@
 #include "obs/manifest.h"
 #include "obs/task_scope.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -209,6 +211,71 @@ TEST(Counters, GlobalTaskSecondsAccumulate)
     EXPECT_NEAR(seconds[static_cast<std::size_t>(Task::Pair)], 0.75, 1e-9);
     EXPECT_NEAR(seconds[static_cast<std::size_t>(Task::Comm)], 1.0, 1e-9);
     resetCounters();
+}
+
+TEST(Counters, SimdKernelLaneAccounting)
+{
+    // setup() does exactly one neighbor build and one force compute, so
+    // the SIMD lane counters must come out exactly: every stored pair
+    // is one active lane, every sentinel slot one wasted lane, and
+    // together they tile the padded rows with no remainder.
+    setSimdWidth(4);
+    resetCounters();
+    auto sim = buildLJ(4);
+    sim->thermoEvery = 0;
+    sim->setup();
+    const NeighborList &list = sim->neighbor.list();
+    ASSERT_TRUE(list.packedFor(4));
+    const auto lanes = counterValue(Counter::PairSimdLanesActive);
+    const auto waste = counterValue(Counter::PairSimdPaddingWaste);
+    EXPECT_EQ(lanes, list.pairCount());
+    EXPECT_EQ(waste, list.paddedSlots);
+    EXPECT_EQ(counterValue(Counter::NeighPaddedSlots), list.paddedSlots);
+    EXPECT_EQ((lanes + waste) % 4, 0u);
+    resetCounters();
+    setSimdWidth(-1);
+}
+
+TEST(Counters, SimdCountersStaySilentOnScalarPath)
+{
+    setSimdWidth(0);
+    resetCounters();
+    auto sim = buildLJ(4);
+    sim->thermoEvery = 0;
+    sim->setup();
+    EXPECT_EQ(counterValue(Counter::PairSimdLanesActive), 0u);
+    EXPECT_EQ(counterValue(Counter::PairSimdPaddingWaste), 0u);
+    EXPECT_EQ(counterValue(Counter::NeighPaddedSlots), 0u);
+    resetCounters();
+    setSimdWidth(-1);
+}
+
+TEST(Trace, SimdKernelScopeAppearsInExport)
+{
+    setSimdWidth(4);
+    resetTracer();
+    traceEnable();
+    {
+        auto sim = buildLJ(4);
+        sim->thermoEvery = 0;
+        sim->setup();
+    }
+    traceDisable();
+    const auto doc = JsonValue::parse(exportTrace());
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool sawSimdScope = false;
+    for (std::size_t e = 0; e < events->size(); ++e) {
+        const JsonValue &event = events->at(e);
+        if (event.find("cat")->asString() == "pair" &&
+            event.find("name")->asString() == "simd" &&
+            event.find("ph")->asString() == "B")
+            sawSimdScope = true;
+    }
+    EXPECT_TRUE(sawSimdScope);
+    resetTracer();
+    setSimdWidth(-1);
 }
 
 // -------------------------------------------------------------- TaskScope
