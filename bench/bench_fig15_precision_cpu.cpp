@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "core/experiment.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
 #include "obs/bench_options.h"
@@ -44,6 +45,37 @@ main(int argc, char **argv)
         }
     }
     emitTable(std::cout, table, "fig15");
+
+    // Native measured counterpart: the real engine at host scale with
+    // the tier applied to the actual vectorized kernels, one row per
+    // precision — the measured trend behind the modeled figure.
+    Table native({"variant", "atoms", "tier", "measured [TS/s]",
+                  "vs_double"});
+    for (BenchmarkId id : {BenchmarkId::LJ, BenchmarkId::Rhodo}) {
+        double baseline = 0.0;
+        for (Precision precision :
+             {Precision::Double, Precision::Mixed, Precision::Single}) {
+            ExperimentSpec spec;
+            spec.mode = ExperimentMode::NativeSerial;
+            spec.benchmark = id;
+            spec.natoms = id == BenchmarkId::Rhodo ? 2000 : 4000;
+            spec.steps = id == BenchmarkId::Rhodo ? 25 : 150;
+            spec.precision = precision;
+            const ExperimentRecord record = runExperiment(spec);
+            if (precision == Precision::Double)
+                baseline = record.timestepsPerSecond;
+            native.addRow({benchmarkName(id),
+                           std::to_string(record.spec.natoms),
+                           precisionName(precision),
+                           strprintf("%9.2f", record.timestepsPerSecond),
+                           strprintf("%.3f",
+                                     baseline > 0.0
+                                         ? record.timestepsPerSecond /
+                                               baseline
+                                         : 0.0)});
+        }
+    }
+    emitTable(std::cout, native, "fig15_native_measured");
 
     AnchorReport anchors;
     auto at = [&](BenchmarkId id, Precision precision) {

@@ -4,6 +4,7 @@
 #include "parallel/ranked_sim.h"
 #include "perf/power.h"
 #include "util/error.h"
+#include "util/precision.h"
 #include "util/simd.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -57,19 +58,24 @@ runNativeSerial(const ExperimentSpec &spec)
     if (spec.sortEvery >= 0)
         sim->setSortEvery(spec.sortEvery);
 
-    // Apply the requested shared-memory thread count and SIMD width for
-    // the duration of this experiment, restoring both afterwards so
-    // experiments in a sweep do not leak configuration into each other.
+    // Apply the requested shared-memory thread count, SIMD width, and
+    // precision tier for the duration of this experiment, restoring
+    // them afterwards so experiments in a sweep do not leak
+    // configuration into each other.
     const int previousThreads = ThreadPool::threads();
     if (spec.threads > 0)
         ThreadPool::setThreads(spec.threads);
     if (spec.simdWidth >= 0)
         setSimdWidth(spec.simdWidth);
+    if (spec.precision != Precision::EngineDefault)
+        setPrecisionTier(spec.precision);
     sim->setup();
 
     WallTimer wall;
     sim->run(spec.steps);
     const double elapsed = wall.seconds();
+    if (spec.precision != Precision::EngineDefault)
+        setPrecisionTier(Precision::EngineDefault);
     if (spec.simdWidth >= 0)
         setSimdWidth(-1);
     if (spec.threads > 0)
@@ -105,8 +111,12 @@ runNativeRanked(const ExperimentSpec &spec)
         });
     if (spec.simdWidth >= 0)
         setSimdWidth(spec.simdWidth);
+    if (spec.precision != Precision::EngineDefault)
+        setPrecisionTier(spec.precision);
     ranked.setup();
     ranked.run(spec.steps);
+    if (spec.precision != Precision::EngineDefault)
+        setPrecisionTier(Precision::EngineDefault);
     if (spec.simdWidth >= 0)
         setSimdWidth(-1);
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <type_traits>
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
@@ -17,37 +18,39 @@ namespace {
 
 /**
  * W-wide CubicSpline::eval over gathered knots: the same clamp /
- * locate / Hermite-basis expressions as the scalar eval, so each lane
- * is bitwise-identical to a scalar eval at that abscissa. Out-of-range
- * lanes (the sentinel's huge radius) clamp to the last interval and
- * produce finite garbage that callers mask off.
+ * locate / Hermite-basis expressions as the scalar eval, so in the
+ * double instantiation each lane is bitwise-identical to a scalar eval
+ * at that abscissa (float instantiations evaluate the same expressions
+ * over the once-cast float knot mirrors). Out-of-range lanes (the
+ * sentinel's huge radius) clamp to the last interval and produce
+ * finite garbage that callers mask off.
  */
-template <int W>
+template <typename T, int W>
 inline void
-evalSplineSimd(const CubicSpline::View &sp, const Simd<double, W> &x,
-               Simd<double, W> &value, Simd<double, W> &derivative)
+evalSplineSimd(const CubicSpline::ViewT<T> &sp, const Simd<T, W> &x,
+               Simd<T, W> &value, Simd<T, W> &derivative)
 {
-    using D = Simd<double, W>;
+    using D = Simd<T, W>;
     using I = SimdIndex<W>;
-    const D nMinus1(static_cast<double>(sp.n - 1));
+    const D nMinus1(static_cast<T>(sp.n - 1));
     D s = (x - D(sp.x0)) / D(sp.dx);
-    s = D::min(D::max(s, D(0.0)), nMinus1);
+    s = D::min(D::max(s, D(T(0))), nMinus1);
     const I idx =
         I::min(D::truncToIndex(s),
                static_cast<std::uint32_t>(sp.n - 2));
     const D t = s - D::fromIndex(idx);
-    const D a = D(1.0) - t;
+    const D a = D(T(1)) - t;
     const D yi = D::gather(sp.y, idx);
     const D yi1 = D::gather(sp.y, idx + 1u);
     const D mi = D::gather(sp.m, idx);
     const D mi1 = D::gather(sp.m, idx + 1u);
     const D h2 = D(sp.dx * sp.dx);
     value = a * yi + t * yi1 +
-            ((a * a * a - a) * mi + (t * t * t - t) * mi1) * h2 / D(6.0);
+            ((a * a * a - a) * mi + (t * t * t - t) * mi1) * h2 / D(T(6));
     derivative = (yi1 - yi) / D(sp.dx) +
-                 ((D(3.0) * t * t - D(1.0)) * mi1 -
-                  (D(3.0) * a * a - D(1.0)) * mi) *
-                     D(sp.dx) / D(6.0);
+                 ((D(T(3)) * t * t - D(T(1))) * mi1 -
+                  (D(T(3)) * a * a - D(T(1))) * mi) *
+                     D(sp.dx) / D(T(6));
 }
 
 } // namespace
@@ -124,11 +127,28 @@ PairEAM::PairEAM(EamTables tables) : tables_(std::move(tables))
 void
 PairEAM::compute(Simulation &sim, const NeighborList &list)
 {
+    // The tier recorded at packing time governs: a knob flip between
+    // build and compute must not mismatch the padded geometry.
+    switch (list.packTier) {
+      case Precision::Mixed:
+        return dispatchWidth<PrecisionMixed>(sim, list);
+      case Precision::Single:
+        return dispatchWidth<PrecisionSingle>(sim, list);
+      default:
+        return dispatchWidth<PrecisionDouble>(sim, list);
+    }
+}
+
+template <typename P>
+void
+PairEAM::dispatchWidth(Simulation &sim, const NeighborList &list)
+{
     switch (list.padWidth) {
-      case 1: return computeSimdImpl<1>(sim, list);
-      case 2: return computeSimdImpl<2>(sim, list);
-      case 4: return computeSimdImpl<4>(sim, list);
-      case 8: return computeSimdImpl<8>(sim, list);
+      case 1: return computeSimdImpl<P, 1>(sim, list);
+      case 2: return computeSimdImpl<P, 2>(sim, list);
+      case 4: return computeSimdImpl<P, 4>(sim, list);
+      case 8: return computeSimdImpl<P, 8>(sim, list);
+      case 16: return computeSimdImpl<P, 16>(sim, list);
       default: return computeImpl(sim, list);
     }
 }
@@ -239,10 +259,14 @@ PairEAM::computeImpl(Simulation &sim, const NeighborList &list)
     }
 }
 
-template <int W>
+template <typename P, int W>
 void
 PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
 {
+    using real = typename P::real;
+    using acc = typename P::acc;
+    constexpr bool kDoubleTier = std::is_same_v<real, double>;
+
     static_assert(sizeof(Vec3) == 3 * sizeof(double));
 
     ensure(!list.full, "eam requires a half neighbor list");
@@ -252,8 +276,9 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
     counterAdd(Counter::PairInteractions, list.pairCount());
     // Both radial passes traverse the packed list, so the SIMD lane
     // accounting charges each pair (and each padded slot) twice.
-    counterAdd(Counter::PairSimdLanesActive, 2 * list.pairCount());
-    counterAdd(Counter::PairSimdPaddingWaste, 2 * list.paddedSlots);
+    countSimdLaneUse(list, 2);
+    if constexpr (!kDoubleTier)
+        counterAdd(Counter::PairFloatComputes);
     resetAccumulators();
     AtomStore &atoms = sim.atoms;
     const std::size_t nlocal = atoms.nlocal();
@@ -265,62 +290,65 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
     std::array<double, SliceRange::kMaxSlices> energySlice{};
     std::array<double, SliceRange::kMaxSlices> virialSlice{};
 
-    using D = Simd<double, W>;
-    using I = SimdIndex<W>;
-    using M = SimdMask<double, W>;
+    using D = Simd<real, W>;
+    using M = SimdMask<real, W>;
+    using SpView = CubicSpline::ViewT<real>;
 
-    const double *xd = reinterpret_cast<const double *>(atoms.x.data());
     const std::uint32_t *packed = list.packedNeighbors.data();
-    const CubicSpline::View rhoTab = tables_.rho.view();
-    const CubicSpline::View phiTab = tables_.phi.view();
-    const CubicSpline::View embedTab = tables_.embed.view();
-    const D cutSqV(cutSq);
-    const D zero(0.0);
-    const D minusOne(-1.0);
-
-    // Stage positions as 4-double records so both radial passes use
-    // transpose loads instead of three hardware gathers per group; the
-    // base is rounded up to 64 bytes so no record straddles a cache
-    // line (see PairLJCut). The fourth lane starts 0 and is refilled
-    // with F'(rho) before pass 2, folding the fpJ gather into the
-    // same transpose.
-    const std::size_t nallPad = nall + atoms.npad();
-    xpack_.resize(4 * nallPad + 8);
-    double *xpackAligned = reinterpret_cast<double *>(
-        (reinterpret_cast<std::uintptr_t>(xpack_.data()) + 63) &
-        ~std::uintptr_t{63});
-    for (std::size_t a = 0; a < nallPad; ++a) {
-        xpackAligned[4 * a + 0] = xd[3 * a + 0];
-        xpackAligned[4 * a + 1] = xd[3 * a + 1];
-        xpackAligned[4 * a + 2] = xd[3 * a + 2];
-        xpackAligned[4 * a + 3] = 0.0;
+    // Spline views in the tier's `real`: float tiers gather the
+    // once-cast knot mirrors (spline.h viewF). The embedding table is
+    // only evaluated by the double-tier W-wide pass; float tiers keep
+    // the per-atom embedding pass in scalar double (see below).
+    SpView rhoTab, phiTab;
+    [[maybe_unused]] CubicSpline::View embedTab;
+    if constexpr (kDoubleTier) {
+        rhoTab = tables_.rho.view();
+        phiTab = tables_.phi.view();
+        embedTab = tables_.embed.view();
+    } else {
+        rhoTab = tables_.rho.viewF();
+        phiTab = tables_.phi.viewF();
     }
-    const double *xpackPtr = xpackAligned;
+    const D cutSqV(static_cast<real>(cutSq));
+    const D zero(real(0));
+    const D minusOne(real(-1));
+
+    // Stage positions as 4-element records in the tier's `real` type
+    // (md/xpack.h) so both radial passes use transpose loads instead
+    // of three hardware gathers per group — and float tiers convert
+    // each coordinate exactly once per compute. The fourth lane starts
+    // 0 and is refilled with F'(rho) before pass 2, folding the fpJ
+    // gather into the same transpose.
+    const std::size_t nallPad = nall + atoms.npad();
+    const real *xpackPtr = xpack<real>().stage(atoms.x.data(), nullptr,
+                                               nallPad);
 
     // Pass 1: host electron densities, W pairs at a time. The masked
     // contribution is an exact zero for rejected and sentinel lanes, so
     // the lane-striped row accumulator matches the scalar rhoI at W = 1
     // and the per-lane scatter skips exactly the lanes the scalar
-    // `continue` skips.
+    // `continue` skips. Densities always accumulate in the double
+    // scratch: the row sum and the per-lane scatters widen float-tier
+    // contributions at the store.
     rhoBar_.assign(nall, 0.0);
     rhoScratch_.runAndReduce(pool, slices, nall, rhoBar_.data(), [&](
         std::size_t sliceBegin, std::size_t sliceEnd, int, int buffer) {
         auto rho = rhoScratch_.acc(buffer);
         // Lambda-locals so the rho scatters cannot force reloads of
         // anything the inner loop keeps live (see PairLJCut).
-        const double *const xpack = xpackPtr;
+        const real *const xpk = xpackPtr;
         const std::uint32_t *const pk = packed;
-        const CubicSpline::View rhoSp = rhoTab;
-        const D cutSqL(cutSq);
-        const D zeroL(0.0);
+        const SpView rhoSp = rhoTab;
+        const D cutSqL(static_cast<real>(cutSq));
+        const D zeroL(real(0));
         for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
-            const double *xiRec = xpack + 4 * i;
+            const real *xiRec = xpk + 4 * i;
             const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
-            D rhoI(0.0);
+            D rhoI(real(0));
             const auto [begin, end] = list.packedRange(i);
             for (std::uint32_t k = begin; k < end; k += W) {
                 D xjX, xjY, xjZ, xjW;
-                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, xjW);
+                loadXyzw(xpk, pk + k, xjX, xjY, xjZ, xjW);
                 const D dx = xiX - xjX;
                 const D dy = xiY - xjY;
                 const D dz = xiZ - xjZ;
@@ -336,11 +364,11 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
                     continue;
                 const D r = D::sqrt(r2);
                 D rhoV, rhoD;
-                evalSplineSimd<W>(rhoSp, r, rhoV, rhoD);
+                evalSplineSimd<real, W>(rhoSp, r, rhoV, rhoD);
                 const D contribution = D::select(mask, rhoV, zeroL);
                 rhoI += contribution;
                 // Set-bit walk ascending = the scalar ascending-k order.
-                alignas(64) double sc[W];
+                alignas(64) real sc[W];
                 contribution.storeu(sc);
                 for (int rest = active; rest; rest &= rest - 1) {
                     const int l =
@@ -353,33 +381,49 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
     });
     sim.comm->reverseScalar(sim, rhoBar_);
 
-    // F-embedding pass, W owned atoms at a time over the contiguous
-    // range with a scalar tail (scalar eval is lane-for-lane identical
-    // to the gathered eval, so the tail changes nothing but the energy
-    // summation order, and at W = 1 there is no tail). fp_ is oversized
-    // by the pad slot so pass 2's sentinel gathers stay in bounds; the
-    // pad entry stays 0 and forwardScalar ignores it.
+    // F-embedding pass over the contiguous owned range: per-atom O(N)
+    // work kept in double at every tier (rhoBar_ and fp_ stay double —
+    // the tiers' float arithmetic covers the O(N * neighbors) radial
+    // passes). The double tier runs it W-wide with a scalar tail
+    // (scalar eval is lane-for-lane identical to the gathered eval, so
+    // the tail changes nothing but the energy summation order, and at
+    // W = 1 there is no tail); float tiers run it scalar. fp_ is
+    // oversized by the pad slot so pass 2's sentinel gathers stay in
+    // bounds; the pad entry stays 0 and forwardScalar ignores it.
     fp_.assign(nall + atoms.npad(), 0.0);
     pool.run(slices, [&](std::size_t sliceBegin, std::size_t sliceEnd,
                          int s) {
-        D embedAcc(0.0);
         double embedTail = 0.0;
         std::size_t i = sliceBegin;
-        for (; i + W <= sliceEnd; i += W) {
-            const D rhoHost = D::loadu(rhoBar_.data() + i);
-            D value, deriv;
-            evalSplineSimd<W>(embedTab, rhoHost, value, deriv);
-            embedAcc += value;
-            deriv.storeu(fp_.data() + i);
+        if constexpr (kDoubleTier) {
+            D embedAcc(0.0);
+            for (; i + W <= sliceEnd; i += W) {
+                const D rhoHost = D::loadu(rhoBar_.data() + i);
+                D value, deriv;
+                evalSplineSimd<double, W>(embedTab, rhoHost, value, deriv);
+                embedAcc += value;
+                deriv.storeu(fp_.data() + i);
+            }
+            for (; i < sliceEnd; ++i) {
+                double value;
+                double deriv;
+                tables_.embed.eval(rhoBar_[i], value, deriv);
+                embedTail += value;
+                fp_[i] = deriv;
+            }
+            // Vector sum first, tail second: the legacy summation
+            // order, preserved bitwise.
+            energySlice[s] = embedAcc.sum() + embedTail;
+        } else {
+            for (; i < sliceEnd; ++i) {
+                double value;
+                double deriv;
+                tables_.embed.eval(rhoBar_[i], value, deriv);
+                embedTail += value;
+                fp_[i] = deriv;
+            }
+            energySlice[s] = embedTail;
         }
-        for (; i < sliceEnd; ++i) {
-            double value;
-            double deriv;
-            tables_.embed.eval(rhoBar_[i], value, deriv);
-            embedTail += value;
-            fp_[i] = deriv;
-        }
-        energySlice[s] = embedAcc.sum() + embedTail;
     });
     for (int s = 0; s < slices.count(); ++s)
         energy_ += energySlice[s];
@@ -389,29 +433,38 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
     // rejected and sentinel lanes contribute exact zeros to fi, the
     // energies, and the virial, and are skipped by the Newton scatter.
     const double *fp = fp_.data();
-    for (std::size_t a = 0; a < nallPad; ++a)
-        xpackAligned[4 * a + 3] = fp[a];
+    xpackPtr = xpack<real>().setPayload(fp, nallPad);
     fscratch_.runAndReduce(pool, slices, nall, atoms.f.data(), [&](
         std::size_t sliceBegin, std::size_t sliceEnd, int s, int buffer) {
         auto fw = fscratch_.acc(buffer);
-        const double *const xpack = xpackPtr;
+        const real *const xpk = xpackPtr;
         const std::uint32_t *const pk = packed;
-        const CubicSpline::View rhoSp = rhoTab;
-        const CubicSpline::View phiSp = phiTab;
-        const D cutSqL(cutSq);
-        const D zeroL(0.0);
-        const D minusOneL(-1.0);
-        D energyAcc(0.0);
-        D virialAcc(0.0);
+        const SpView rhoSp = rhoTab;
+        const SpView phiSp = phiTab;
+        const D cutSqL(static_cast<real>(cutSq));
+        const D zeroL(real(0));
+        const D minusOneL(real(-1));
+        // Energy/virial accumulation (see PairLJCut): the double tier
+        // keeps slice-long lane-striped accumulators — at W = 1 exactly
+        // the scalar kernel's running sums. Float tiers reset the lane
+        // stripes every row and flush the row sum into `acc` scalars.
+        D energyAcc(real(0));
+        D virialAcc(real(0));
+        acc energyRows = acc(0);
+        acc virialRows = acc(0);
         for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
-            const double *xiRec = xpack + 4 * i;
+            const real *xiRec = xpk + 4 * i;
             const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
             const D fpI(xiRec[3]);
-            D fiX(0.0), fiY(0.0), fiZ(0.0);
+            D fiX(real(0)), fiY(real(0)), fiZ(real(0));
+            D rowEnergy(real(0));
+            D rowVirial(real(0));
+            D &eAcc = kDoubleTier ? energyAcc : rowEnergy;
+            D &vAcc = kDoubleTier ? virialAcc : rowVirial;
             const auto [begin, end] = list.packedRange(i);
             for (std::uint32_t k = begin; k < end; k += W) {
                 D xjX, xjY, xjZ, fpJ;
-                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, fpJ);
+                loadXyzw(xpk, pk + k, xjX, xjY, xjZ, fpJ);
                 const D dx = xiX - xjX;
                 const D dy = xiY - xjY;
                 const D dz = xiZ - xjZ;
@@ -422,9 +475,9 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
                     continue;
                 const D r = D::sqrt(r2);
                 D phiV, phiD;
-                evalSplineSimd<W>(phiSp, r, phiV, phiD);
+                evalSplineSimd<real, W>(phiSp, r, phiV, phiD);
                 D rhoV, rhoD;
-                evalSplineSimd<W>(rhoSp, r, rhoV, rhoD);
+                evalSplineSimd<real, W>(rhoSp, r, rhoV, rhoD);
                 // -x as (-1.0) * x: bitwise identical to the scalar
                 // unary minus for every finite value including zeros.
                 const D fScalar = D::select(
@@ -438,7 +491,8 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
                 fiZ += fpz;
                 // Newton scatter: pair terms spilled once, set-bit walk
                 // ascending = the scalar kernel's ascending-k order.
-                alignas(64) double sx[W], sy[W], sz[W];
+                // Float-tier pair terms widen here, once per store.
+                alignas(64) real sx[W], sy[W], sz[W];
                 fpx.storeu(sx);
                 fpy.storeu(sy);
                 fpz.storeu(sz);
@@ -450,16 +504,27 @@ PairEAM::computeSimdImpl(Simulation &sim, const NeighborList &list)
                     fj.y -= sy[l];
                     fj.z -= sz[l];
                 }
-                energyAcc += D::select(mask, phiV, zeroL);
-                virialAcc += fScalar * r;
+                eAcc += D::select(mask, phiV, zeroL);
+                vAcc += fScalar * r;
             }
+            // Row force sums widen into the double scratch arrays
+            // (float tiers: the once-per-atom widening).
             Vec3 &fi = fw.at(i);
             fi.x += fiX.sum();
             fi.y += fiY.sum();
             fi.z += fiZ.sum();
+            if constexpr (!kDoubleTier) {
+                energyRows += static_cast<acc>(rowEnergy.sum());
+                virialRows += static_cast<acc>(rowVirial.sum());
+            }
         }
-        energySlice[s] = energyAcc.sum();
-        virialSlice[s] = virialAcc.sum();
+        if constexpr (kDoubleTier) {
+            energySlice[s] = energyAcc.sum();
+            virialSlice[s] = virialAcc.sum();
+        } else {
+            energySlice[s] = static_cast<double>(energyRows);
+            virialSlice[s] = static_cast<double>(virialRows);
+        }
     });
     for (int s = 0; s < slices.count(); ++s) {
         energy_ += energySlice[s];

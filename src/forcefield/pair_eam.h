@@ -18,11 +18,14 @@
 #ifndef MDBENCH_FORCEFIELD_PAIR_EAM_H
 #define MDBENCH_FORCEFIELD_PAIR_EAM_H
 
+#include <type_traits>
 #include <vector>
 
 #include "forcefield/spline.h"
 #include "md/styles.h"
 #include "md/vec3.h"
+#include "md/xpack.h"
+#include "util/precision.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -73,28 +76,54 @@ class PairEAM : public PairStyle
     ReduceScratch<Vec3> fscratch_;
 
     /**
-     * Positions repacked as 4-double records (pad atom included),
-     * refilled each compute; feeds loadXyzw so the radial passes load
-     * j positions without hardware gathers. The fourth lane is 0 in
-     * pass 1 and F'(rho_j) in pass 2, which folds the fpJ gather into
-     * the same transpose load.
+     * Positions repacked as 4-element records (md/xpack.h, pad atom
+     * included) in the active tier's `real` type, refilled each
+     * compute; feeds loadXyzw so the radial passes load j positions
+     * without hardware gathers. The fourth lane is 0 in pass 1 and
+     * F'(rho_j) in pass 2, which folds the fpJ gather into the same
+     * transpose load.
      */
-    std::vector<double> xpack_;
+    XPack<double> xpackD_;
+    XPack<float> xpackF_;
+
+    template <typename T>
+    XPack<T> &
+    xpack()
+    {
+        if constexpr (std::is_same_v<T, double>)
+            return xpackD_;
+        else
+            return xpackF_;
+    }
 
     /** The scalar two-pass kernel (the oracle for the SIMD path). */
     void computeImpl(Simulation &sim, const NeighborList &list);
 
     /**
-     * SIMD two-pass kernel over the padded packing (DESIGN.md §12):
+     * SIMD two-pass kernel over the padded packing (DESIGN.md §12-13):
      * both radial passes gather-evaluate the cubic-spline tables W
-     * lanes at a time, and the F-embedding pass runs W-wide over the
-     * contiguous owned range with a scalar tail. fp_ is oversized by
-     * the pad slot so sentinel gathers stay in bounds. Mirrors
-     * computeImpl's operation order, so at W = 1 on a no-FMA build it
+     * lanes at a time. fp_ is oversized by the pad slot so sentinel
+     * gathers stay in bounds. Mirrors computeImpl's operation order,
+     * so at W = 1 on a no-FMA build the double-tier instantiation
      * reproduces the scalar kernel's results.
+     *
+     * P is the precision policy (util/precision.h): the radial passes
+     * — the O(N * neighbors) work — run in P::real lanes over float
+     * spline-knot mirrors; the per-atom O(N) F-embedding pass stays in
+     * double at every tier (W-wide with a scalar tail on the double
+     * tier, plain scalar on float tiers), so rhoBar_ and fp_ always
+     * hold double. The double tier accumulates energy/virial in
+     * slice-long lane stripes (the bitwise-legacy order); float tiers
+     * flush per-row partial sums into P::acc scalars. Host densities
+     * and per-atom forces always accumulate in the double scratch
+     * arrays.
      */
-    template <int W>
+    template <typename P, int W>
     void computeSimdImpl(Simulation &sim, const NeighborList &list);
+
+    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    template <typename P>
+    void dispatchWidth(Simulation &sim, const NeighborList &list);
 };
 
 } // namespace mdbench

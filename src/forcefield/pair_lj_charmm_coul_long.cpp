@@ -3,6 +3,7 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <type_traits>
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
@@ -67,6 +68,15 @@ PairLJCharmmCoulLong::buildCoeffs()
             coeffs_[static_cast<std::size_t>(a) * (ntypes_ + 1) + b] = c;
         }
     }
+    // Float mirror for the float-tier gathers: same element stride,
+    // each coefficient cast exactly once.
+    constexpr std::size_t stride = sizeof(Coeff) / sizeof(double);
+    coeffsF_.assign(coeffs_.size() * stride, 0.0f);
+    for (std::size_t e = 0; e < coeffs_.size(); ++e) {
+        const double *src = reinterpret_cast<const double *>(&coeffs_[e]);
+        for (std::size_t d = 0; d < stride; ++d)
+            coeffsF_[e * stride + d] = static_cast<float>(src[d]);
+    }
     coeffsBuilt_ = true;
 }
 
@@ -89,11 +99,29 @@ template <bool kSingleType>
 void
 PairLJCharmmCoulLong::dispatch(Simulation &sim, const NeighborList &list)
 {
+    // The tier recorded at packing time governs: a knob flip between
+    // build and compute must not mismatch the padded geometry.
+    switch (list.packTier) {
+      case Precision::Mixed:
+        return dispatchWidth<PrecisionMixed, kSingleType>(sim, list);
+      case Precision::Single:
+        return dispatchWidth<PrecisionSingle, kSingleType>(sim, list);
+      default:
+        return dispatchWidth<PrecisionDouble, kSingleType>(sim, list);
+    }
+}
+
+template <typename P, bool kSingleType>
+void
+PairLJCharmmCoulLong::dispatchWidth(Simulation &sim,
+                                    const NeighborList &list)
+{
     switch (list.padWidth) {
-      case 1: return computeSimdImpl<1, kSingleType>(sim, list);
-      case 2: return computeSimdImpl<2, kSingleType>(sim, list);
-      case 4: return computeSimdImpl<4, kSingleType>(sim, list);
-      case 8: return computeSimdImpl<8, kSingleType>(sim, list);
+      case 1: return computeSimdImpl<P, 1, kSingleType>(sim, list);
+      case 2: return computeSimdImpl<P, 2, kSingleType>(sim, list);
+      case 4: return computeSimdImpl<P, 4, kSingleType>(sim, list);
+      case 8: return computeSimdImpl<P, 8, kSingleType>(sim, list);
+      case 16: return computeSimdImpl<P, 16, kSingleType>(sim, list);
       default: return computeImpl<kSingleType>(sim, list);
     }
 }
@@ -215,22 +243,28 @@ PairLJCharmmCoulLong::computeImpl(Simulation &sim, const NeighborList &list)
     energy_ = ecoul_ + evdwl_;
 }
 
-template <int W, bool kSingleType>
+template <typename P, int W, bool kSingleType>
 void
 PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                                       const NeighborList &list)
 {
+    using real = typename P::real;
+    using acc = typename P::acc;
+    constexpr bool kDoubleTier = std::is_same_v<real, double>;
+
     static_assert(sizeof(Coeff) == 4 * sizeof(double));
     static_assert(sizeof(Vec3) == 3 * sizeof(double));
-    constexpr std::uint32_t kCoeffStride = sizeof(Coeff) / sizeof(double);
+    [[maybe_unused]] constexpr std::uint32_t kCoeffStride =
+        sizeof(Coeff) / sizeof(double);
 
     ensure(!list.full, "lj/charmm/coul/long requires a half list");
     TraceScope trace("pair", "lj/charmm/coul/long");
     TraceScope simdTrace("pair", "simd");
     counterAdd(Counter::PairComputes);
     counterAdd(Counter::PairInteractions, list.pairCount());
-    counterAdd(Counter::PairSimdLanesActive, list.pairCount());
-    counterAdd(Counter::PairSimdPaddingWaste, list.paddedSlots);
+    countSimdLaneUse(list);
+    if constexpr (!kDoubleTier)
+        counterAdd(Counter::PairFloatComputes);
     if (!coeffsBuilt_)
         buildCoeffs();
     resetAccumulators();
@@ -254,35 +288,27 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
     std::array<double, SliceRange::kMaxSlices> evdwlSlice{};
     std::array<double, SliceRange::kMaxSlices> virialSlice{};
 
-    using D = Simd<double, W>;
+    using D = Simd<real, W>;
     using I = SimdIndex<W>;
-    using M = SimdMask<double, W>;
+    using M = SimdMask<real, W>;
 
-    const double *xd = reinterpret_cast<const double *>(atoms.x.data());
     const int *type = atoms.type.data();
     const double *q = atoms.q.data();
-    const double *coeffBase =
-        reinterpret_cast<const double *>(coeffs_.data());
+    const real *coeffBase;
+    if constexpr (kDoubleTier)
+        coeffBase = reinterpret_cast<const double *>(coeffs_.data());
+    else
+        coeffBase = coeffsF_.data();
     const Coeff cSingle = coeff(1, 1);
     const std::uint32_t *packed = list.packedNeighbors.data();
     Vec3 *f = atoms.f.data();
 
-    // Stage positions + charge as 4-double records so the inner loop
-    // uses transpose loads instead of four hardware gathers per group;
-    // the base is rounded up to 64 bytes so no record straddles a
-    // cache line (see PairLJCut).
+    // Stage positions + charge as 4-element [x, y, z, q] records in the
+    // tier's `real` type (md/xpack.h) so the inner loop uses transpose
+    // loads instead of four hardware gathers per group — and float
+    // tiers convert coordinates and charges exactly once per compute.
     const std::size_t nallPad = atoms.nall() + atoms.npad();
-    xpack_.resize(4 * nallPad + 8);
-    double *xpackAligned = reinterpret_cast<double *>(
-        (reinterpret_cast<std::uintptr_t>(xpack_.data()) + 63) &
-        ~std::uintptr_t{63});
-    for (std::size_t a = 0; a < nallPad; ++a) {
-        xpackAligned[4 * a + 0] = xd[3 * a + 0];
-        xpackAligned[4 * a + 1] = xd[3 * a + 1];
-        xpackAligned[4 * a + 2] = xd[3 * a + 2];
-        xpackAligned[4 * a + 3] = q[a];
-    }
-    const double *xpackPtr = xpackAligned;
+    const real *xpackPtr = xpack<real>().stage(atoms.x.data(), q, nallPad);
 
     fscratch_.runAndReduce(pool, slices, atoms.nall(), f, [&](
         std::size_t sliceBegin, std::size_t sliceEnd, int s, int buffer) {
@@ -292,45 +318,61 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
         // pointers, and values reached through the closure would have
         // to be conservatively reloaded after every such store (see
         // PairLJCut).
-        const double *const xpack = xpackPtr;
+        const real *const xpk = xpackPtr;
         const std::uint32_t *const pk = packed;
-        const D cutAllSqV(cutAllSq);
-        const D cutLJSqV(cutLJSq);
-        const D cutLJInnerSqV(cutLJInnerSq);
-        const D cutCoulSqV(cutCoulSq);
+        const D cutAllSqV(static_cast<real>(cutAllSq));
+        const D cutLJSqV(static_cast<real>(cutLJSq));
+        const D cutLJInnerSqV(static_cast<real>(cutLJInnerSq));
+        const D cutCoulSqV(static_cast<real>(cutCoulSq));
         // 3 * cutLJInnerSq and the switch-branch constants, formed with
-        // the same products the scalar expressions contain.
-        const D threeInnerV(3.0 * cutLJInnerSq);
-        const D denomLJV(denomLJ);
-        const D gV(g);
-        const D kSqrtPiInv2V(kSqrtPiInv2);
-        const D two(2.0);
-        const D twelve(12.0);
-        const D zero(0.0);
-        const D lj1S(cSingle.lj1), lj2S(cSingle.lj2);
-        const D lj3S(cSingle.lj3), lj4S(cSingle.lj4);
-        // Slice-long lane-striped accumulators (see PairLJCut): at
-        // W = 1 these are exactly the scalar kernel's running sums.
-        D ecoulAcc(0.0);
-        D evdwlAcc(0.0);
-        D virialAcc(0.0);
+        // the same products the scalar expressions contain (then cast
+        // once on float tiers).
+        const D threeInnerV(static_cast<real>(3.0 * cutLJInnerSq));
+        const D denomLJV(static_cast<real>(denomLJ));
+        const D gV(static_cast<real>(g));
+        const D kSqrtPiInv2V(static_cast<real>(kSqrtPiInv2));
+        const D two(real(2));
+        const D twelve(real(12));
+        const D zero(real(0));
+        const D lj1S(static_cast<real>(cSingle.lj1));
+        const D lj2S(static_cast<real>(cSingle.lj2));
+        const D lj3S(static_cast<real>(cSingle.lj3));
+        const D lj4S(static_cast<real>(cSingle.lj4));
+        // Energy/virial accumulation (see PairLJCut): the double tier
+        // keeps slice-long lane-striped accumulators — at W = 1 exactly
+        // the scalar kernel's running sums. Float tiers reset the lane
+        // stripes every row and flush the row sum into `acc` scalars.
+        D ecoulAcc(real(0));
+        D evdwlAcc(real(0));
+        D virialAcc(real(0));
+        acc ecoulRows = acc(0);
+        acc evdwlRows = acc(0);
+        acc virialRows = acc(0);
         for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
-            const double *xiRec = xpack + 4 * i;
-            const double qi = xiRec[3];
-            // Scalar hoists nothing here, but (qqr2e * qi) is the exact
-            // prefix product of its left-associated prefactor.
+            const real *xiRec = xpk + 4 * i;
+            // Charge in full precision from the source array (the pack
+            // record's w narrows on float tiers): (qqr2e * qi) is the
+            // exact prefix product of the scalar left-associated
+            // prefactor, cast once.
+            const double qi = q[i];
             const bool qiNonzero = qi != 0.0;
-            const D qqr2eQiV(qqr2e * qi);
+            const D qqr2eQiV(static_cast<real>(qqr2e * qi));
             const std::uint32_t rowBase =
                 kSingleType ? 0
                             : static_cast<std::uint32_t>(type[i]) *
                                   static_cast<std::uint32_t>(ntypes_ + 1);
             const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
-            D fiX(0.0), fiY(0.0), fiZ(0.0);
+            D fiX(real(0)), fiY(real(0)), fiZ(real(0));
+            D rowEcoul(real(0));
+            D rowEvdwl(real(0));
+            D rowVirial(real(0));
+            D &ecAcc = kDoubleTier ? ecoulAcc : rowEcoul;
+            D &evAcc = kDoubleTier ? evdwlAcc : rowEvdwl;
+            D &viAcc = kDoubleTier ? virialAcc : rowVirial;
             const auto [begin, end] = list.packedRange(i);
             for (std::uint32_t k = begin; k < end; k += W) {
                 D xjX, xjY, xjZ, qj;
-                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, qj);
+                loadXyzw(xpk, pk + k, xjX, xjY, xjZ, qj);
                 const D dx = xiX - xjX;
                 const D dy = xiY - xjY;
                 const D dz = xiZ - xjZ;
@@ -346,7 +388,7 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                 // would be an exact zero, so skipping is bitwise free.
                 if (anyBits == 0)
                     continue;
-                const D r2inv = D(1.0) / rsq;
+                const D r2inv = D(real(1)) / rsq;
 
                 D forcecoul = zero;
                 if (qiNonzero) {
@@ -357,16 +399,17 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                     // erfc/exp have no vector form: evaluate them per
                     // active lane, ascending as the scalar loop does
                     // (inactive lanes skip libm exactly as the scalar
-                    // branch does, and stay exact zeros).
-                    alignas(64) double grijArr[W];
-                    double erfcArr[W] = {};
-                    double expm2Arr[W] = {};
+                    // branch does, and stay exact zeros). Float tiers
+                    // resolve to the float libm overloads.
+                    alignas(64) real grijArr[W];
+                    real erfcArr[W] = {};
+                    real expm2Arr[W] = {};
                     grij.storeu(grijArr);
                     for (int rest = coulMask.bits(); rest;
                          rest &= rest - 1) {
                         const int l = std::countr_zero(
                             static_cast<unsigned>(rest));
-                        const double grijL = grijArr[l];
+                        const real grijL = grijArr[l];
                         expm2Arr[l] = std::exp(-grijL * grijL);
                         erfcArr[l] = std::erfc(grijL);
                     }
@@ -377,7 +420,7 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                         coulMask,
                         prefactor * (erfcV + kSqrtPiInv2V * grij * expm2),
                         zero);
-                    ecoulAcc +=
+                    ecAcc +=
                         D::select(coulMask, prefactor * erfcV, zero);
                 }
 
@@ -413,7 +456,7 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                     forcelj);
                 philj = D::select(switchMask, philj * switch1, philj);
                 forcelj = D::select(ljMask, forcelj, zero);
-                evdwlAcc += D::select(ljMask, philj, zero);
+                evAcc += D::select(ljMask, philj, zero);
 
                 const D fpair = (forcecoul + forcelj) * r2inv;
                 const D fpx = dx * fpair;
@@ -424,7 +467,8 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                 fiZ = D::select(anyMask, fiZ + fpz, fiZ);
                 // Newton scatter: pair terms spilled once, set-bit walk
                 // ascending = the scalar kernel's ascending-k order.
-                alignas(64) double sx[W], sy[W], sz[W];
+                // Float-tier pair terms widen here, once per store.
+                alignas(64) real sx[W], sy[W], sz[W];
                 fpx.storeu(sx);
                 fpy.storeu(sy);
                 fpz.storeu(sz);
@@ -436,17 +480,30 @@ PairLJCharmmCoulLong::computeSimdImpl(Simulation &sim,
                     fj.y -= sy[l];
                     fj.z -= sz[l];
                 }
-                virialAcc +=
+                viAcc +=
                     D::select(anyMask, fpair * rsq, zero);
             }
+            // Row force sums widen into the double scratch arrays
+            // (float tiers: the once-per-atom widening).
             Vec3 &fi = fw.at(i);
             fi.x += fiX.sum();
             fi.y += fiY.sum();
             fi.z += fiZ.sum();
+            if constexpr (!kDoubleTier) {
+                ecoulRows += static_cast<acc>(rowEcoul.sum());
+                evdwlRows += static_cast<acc>(rowEvdwl.sum());
+                virialRows += static_cast<acc>(rowVirial.sum());
+            }
         }
-        ecoulSlice[s] = ecoulAcc.sum();
-        evdwlSlice[s] = evdwlAcc.sum();
-        virialSlice[s] = virialAcc.sum();
+        if constexpr (kDoubleTier) {
+            ecoulSlice[s] = ecoulAcc.sum();
+            evdwlSlice[s] = evdwlAcc.sum();
+            virialSlice[s] = virialAcc.sum();
+        } else {
+            ecoulSlice[s] = static_cast<double>(ecoulRows);
+            evdwlSlice[s] = static_cast<double>(evdwlRows);
+            virialSlice[s] = static_cast<double>(virialRows);
+        }
     });
 
     for (int s = 0; s < slices.count(); ++s) {

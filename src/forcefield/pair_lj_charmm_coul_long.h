@@ -13,10 +13,13 @@
 #ifndef MDBENCH_FORCEFIELD_PAIR_LJ_CHARMM_COUL_LONG_H
 #define MDBENCH_FORCEFIELD_PAIR_LJ_CHARMM_COUL_LONG_H
 
+#include <type_traits>
 #include <vector>
 
 #include "md/styles.h"
 #include "md/vec3.h"
+#include "md/xpack.h"
+#include "util/precision.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -72,16 +75,35 @@ class PairLJCharmmCoulLong : public PairStyle
     double ecoul_ = 0.0;
     double evdwl_ = 0.0;
 
+    /**
+     * Float mirror of coeffs_ (same element stride, values cast once)
+     * gathered by the float-tier kernels; rebuilt with buildCoeffs.
+     */
+    std::vector<float> coeffsF_;
+
     /** Per-slice j-side force buffers (half lists, Newton on). */
     ReduceScratch<Vec3> fscratch_;
 
     /**
-     * Positions + charge repacked as 4-double records [x, y, z, q]
-     * (pad atom included), refilled each compute; feeds loadXyzw so
-     * the SIMD kernel loads j positions and charges in one transpose
-     * instead of four hardware gathers.
+     * Positions + charge repacked as 4-element [x, y, z, q] records
+     * (md/xpack.h, pad atom included) in the active tier's `real`
+     * type, refilled each compute; feeds loadXyzw so the SIMD kernel
+     * loads j positions and charges in one transpose instead of four
+     * hardware gathers (and, on float tiers, converts each coordinate
+     * and charge once per compute instead of once per pair).
      */
-    std::vector<double> xpack_;
+    XPack<double> xpackD_;
+    XPack<float> xpackF_;
+
+    template <typename T>
+    XPack<T> &
+    xpack()
+    {
+        if constexpr (std::is_same_v<T, double>)
+            return xpackD_;
+        else
+            return xpackF_;
+    }
 
     void buildCoeffs();
 
@@ -95,20 +117,33 @@ class PairLJCharmmCoulLong : public PairStyle
     void computeImpl(Simulation &sim, const NeighborList &list);
 
     /**
-     * SIMD kernel over the padded packing (DESIGN.md §12). The LJ +
+     * SIMD kernel over the padded packing (DESIGN.md §12-13). The LJ +
      * switching arithmetic and the Ewald prefactor algebra are W-wide
      * with masked-cutoff selects; erfc/exp have no vector form in libm,
      * so those two calls run per active coulomb lane (sentinel and
      * out-of-range lanes skip them exactly as the scalar branch does).
      * Mirrors computeImpl's operation order, so at W = 1 on a no-FMA
-     * build it reproduces the scalar kernel's results.
+     * build the double-tier instantiation reproduces the scalar
+     * kernel's results.
+     *
+     * P is the precision policy (util/precision.h): per-pair
+     * arithmetic — including the per-lane erfc/exp calls, which
+     * resolve to the float libm overloads — runs in P::real; the
+     * double tier accumulates energies/virial in slice-long lane
+     * stripes (the bitwise-legacy order), float tiers flush per-row
+     * partial sums into P::acc scalars. Per-atom forces always land
+     * in the double scratch arrays, widened once per atom row.
      */
-    template <int W, bool kSingleType>
+    template <typename P, int W, bool kSingleType>
     void computeSimdImpl(Simulation &sim, const NeighborList &list);
 
-    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    /** Tier dispatch: the list's recorded packTier picks the policy. */
     template <bool kSingleType>
     void dispatch(Simulation &sim, const NeighborList &list);
+
+    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    template <typename P, bool kSingleType>
+    void dispatchWidth(Simulation &sim, const NeighborList &list);
 };
 
 } // namespace mdbench

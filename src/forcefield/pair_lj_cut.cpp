@@ -3,6 +3,7 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <type_traits>
 
 #include "md/neighbor.h"
 #include "md/simulation.h"
@@ -66,6 +67,26 @@ PairLJCut::setCoeff(int typeA, int typeB, double epsilon, double sigma)
     precompute(c);
     coeff(typeA, typeB) = c;
     coeff(typeB, typeA) = c;
+    coeffsFDirty_ = true;
+}
+
+void
+PairLJCut::refreshFloatCoeffs()
+{
+    if (!coeffsFDirty_)
+        return;
+    constexpr std::size_t stride = sizeof(Coeff) / sizeof(double);
+    const double *src = reinterpret_cast<const double *>(coeffs_.data());
+    coeffsF_.assign(coeffs_.size() * stride, 0.0f);
+    // Cast the numeric leading fields once (lj1..eshift, epsilon,
+    // sigma); the trailing `set` flag slot stays zero.
+    for (std::size_t e = 0; e < coeffs_.size(); ++e) {
+        for (std::size_t cpt = 0; cpt < 7; ++cpt) {
+            coeffsF_[e * stride + cpt] =
+                static_cast<float>(src[e * stride + cpt]);
+        }
+    }
+    coeffsFDirty_ = false;
 }
 
 void
@@ -101,6 +122,25 @@ template <bool kSingleType>
 void
 PairLJCut::dispatch(Simulation &sim, const NeighborList &list)
 {
+    // The list records the precision tier its padded packing was built
+    // for (util/precision.h): float tiers run the same kernel
+    // instantiated over float lanes, at twice the lane count per ISA
+    // level. padWidth 0 (SIMD layer off) takes the scalar double
+    // oracle regardless of tier.
+    switch (list.packTier) {
+      case Precision::Mixed:
+        return dispatchWidth<PrecisionMixed, kSingleType>(sim, list);
+      case Precision::Single:
+        return dispatchWidth<PrecisionSingle, kSingleType>(sim, list);
+      default:
+        return dispatchWidth<PrecisionDouble, kSingleType>(sim, list);
+    }
+}
+
+template <typename P, bool kSingleType>
+void
+PairLJCut::dispatchWidth(Simulation &sim, const NeighborList &list)
+{
     // The generic backend compiles every width on every build, so the
     // packed path is exercised even by portable/sanitizer builds when a
     // width is forced; padWidth 0 (SIMD layer off) takes the scalar
@@ -111,17 +151,20 @@ PairLJCut::dispatch(Simulation &sim, const NeighborList &list)
     const bool half = !list.full;
     switch (list.padWidth) {
       case 1:
-        return half ? computeSimdImpl<1, kSingleType, true>(sim, list)
-                    : computeSimdImpl<1, kSingleType, false>(sim, list);
+        return half ? computeSimdImpl<P, 1, kSingleType, true>(sim, list)
+                    : computeSimdImpl<P, 1, kSingleType, false>(sim, list);
       case 2:
-        return half ? computeSimdImpl<2, kSingleType, true>(sim, list)
-                    : computeSimdImpl<2, kSingleType, false>(sim, list);
+        return half ? computeSimdImpl<P, 2, kSingleType, true>(sim, list)
+                    : computeSimdImpl<P, 2, kSingleType, false>(sim, list);
       case 4:
-        return half ? computeSimdImpl<4, kSingleType, true>(sim, list)
-                    : computeSimdImpl<4, kSingleType, false>(sim, list);
+        return half ? computeSimdImpl<P, 4, kSingleType, true>(sim, list)
+                    : computeSimdImpl<P, 4, kSingleType, false>(sim, list);
       case 8:
-        return half ? computeSimdImpl<8, kSingleType, true>(sim, list)
-                    : computeSimdImpl<8, kSingleType, false>(sim, list);
+        return half ? computeSimdImpl<P, 8, kSingleType, true>(sim, list)
+                    : computeSimdImpl<P, 8, kSingleType, false>(sim, list);
+      case 16:
+        return half ? computeSimdImpl<P, 16, kSingleType, true>(sim, list)
+                    : computeSimdImpl<P, 16, kSingleType, false>(sim, list);
       default:
         return computeImpl<kSingleType>(sim, list);
     }
@@ -218,22 +261,29 @@ PairLJCut::computeImpl(Simulation &sim, const NeighborList &list)
     }
 }
 
-template <int W, bool kSingleType, bool kHalf>
+template <typename P, int W, bool kSingleType, bool kHalf>
 void
 PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
 {
-    // Coeff gathers index the table as a flat double array: the struct
-    // must be exactly a whole number of doubles with lj1..eshift first.
+    using real = typename P::real;
+    using acc = typename P::acc;
+    constexpr bool kDoubleTier = std::is_same_v<real, double>;
+
+    // Coeff gathers index the table as a flat element array: the struct
+    // must be exactly a whole number of doubles with lj1..eshift first
+    // (the float mirror replicates the same element stride).
     static_assert(sizeof(Coeff) % sizeof(double) == 0);
     static_assert(sizeof(Vec3) == 3 * sizeof(double));
-    constexpr std::uint32_t kCoeffStride = sizeof(Coeff) / sizeof(double);
+    [[maybe_unused]] constexpr std::uint32_t kCoeffStride =
+        sizeof(Coeff) / sizeof(double);
 
     TraceScope trace("pair", "lj/cut");
     TraceScope simdTrace("pair", "simd");
     counterAdd(Counter::PairComputes);
     counterAdd(Counter::PairInteractions, list.pairCount());
-    counterAdd(Counter::PairSimdLanesActive, list.pairCount());
-    counterAdd(Counter::PairSimdPaddingWaste, list.paddedSlots);
+    countSimdLaneUse(list);
+    if constexpr (!kDoubleTier)
+        counterAdd(Counter::PairFloatComputes);
     resetAccumulators();
     AtomStore &atoms = sim.atoms;
     const double cutSq = cutoff_ * cutoff_;
@@ -246,34 +296,29 @@ PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
     std::array<double, SliceRange::kMaxSlices> energySlice{};
     std::array<double, SliceRange::kMaxSlices> virialSlice{};
 
-    using D = Simd<double, W>;
+    using D = Simd<real, W>;
     using I = SimdIndex<W>;
-    using M = SimdMask<double, W>;
+    using M = SimdMask<real, W>;
 
-    // Vec3 is three contiguous doubles, so x[j].x lives at xd[3 j].
-    const double *xd = reinterpret_cast<const double *>(atoms.x.data());
     const int *type = atoms.type.data();
-    const double *coeffBase = reinterpret_cast<const double *>(coeffs_.data());
+    const real *coeffBase;
+    if constexpr (kDoubleTier) {
+        coeffBase = reinterpret_cast<const double *>(coeffs_.data());
+    } else {
+        refreshFloatCoeffs();
+        coeffBase = coeffsF_.data();
+    }
     const Coeff cSingle = coeff(1, 1);
     const std::uint32_t *packed = list.packedNeighbors.data();
     Vec3 *f = atoms.f.data();
 
-    // Stage positions as 4-double records so the inner loop uses
-    // transpose loads instead of three hardware gathers per group. The
-    // base is rounded up to 64 bytes so every 32-byte record sits
-    // whole inside a cache line (split-line record loads cost ~1.4x).
+    // Stage positions as 4-element records in the tier's `real` type
+    // (md/xpack.h) so the inner loop uses transpose loads instead of
+    // three hardware gathers per group — and float tiers convert each
+    // coordinate exactly once per compute, not once per pair.
     const std::size_t nallPad = atoms.nall() + atoms.npad();
-    xpack_.resize(4 * nallPad + 8);
-    double *xpackAligned = reinterpret_cast<double *>(
-        (reinterpret_cast<std::uintptr_t>(xpack_.data()) + 63) &
-        ~std::uintptr_t{63});
-    for (std::size_t a = 0; a < nallPad; ++a) {
-        xpackAligned[4 * a + 0] = xd[3 * a + 0];
-        xpackAligned[4 * a + 1] = xd[3 * a + 1];
-        xpackAligned[4 * a + 2] = xd[3 * a + 2];
-        xpackAligned[4 * a + 3] = 0.0;
-    }
-    const double *xpackPtr = xpackAligned;
+    const real *xpackPtr = xpack<real>().stage(atoms.x.data(), nullptr,
+                                               nallPad);
 
     auto kernel = [&](std::size_t sliceBegin, std::size_t sliceEnd, int s,
                       int buffer) {
@@ -284,29 +329,41 @@ PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
         // reference captures: the force scatters store through double
         // pointers, and values reached through the closure would have
         // to be conservatively reloaded after every such store.
-        const double *const xpack = xpackPtr;
+        const real *const xpk = xpackPtr;
         const std::uint32_t *const pk = packed;
-        const D cutSqV(cutSq);
-        const D zero(0.0);
-        const D pairScaleV(pairScale);
-        const D lj1S(cSingle.lj1), lj2S(cSingle.lj2);
-        const D lj3S(cSingle.lj3), lj4S(cSingle.lj4), eshS(cSingle.eshift);
-        // Slice-long lane-striped accumulators, reduced once per slice:
-        // at W = 1 this is exactly the scalar kernel's running sum.
-        D energyAcc(0.0);
-        D virialAcc(0.0);
+        const D cutSqV(static_cast<real>(cutSq));
+        const D lj1S(static_cast<real>(cSingle.lj1));
+        const D lj2S(static_cast<real>(cSingle.lj2));
+        const D lj3S(static_cast<real>(cSingle.lj3));
+        const D lj4S(static_cast<real>(cSingle.lj4));
+        const D eshS(static_cast<real>(cSingle.eshift));
+        // Energy/virial accumulation (the tier's `acc` rule): the
+        // double tier keeps slice-long lane-striped accumulators
+        // reduced once per slice — at W = 1 exactly the scalar
+        // kernel's running sum, preserved bitwise. Float tiers reset
+        // the lane stripes every row and flush the row sum into an
+        // `acc` scalar (double for mixed, float for single), bounding
+        // float accumulation error at the row length.
+        D energyAcc(real(0));
+        D virialAcc(real(0));
+        acc energyRows = acc(0);
+        acc virialRows = acc(0);
         for (std::size_t i = sliceBegin; i < sliceEnd; ++i) {
-            const double *xiRec = xpack + 4 * i;
+            const real *xiRec = xpk + 4 * i;
             const std::uint32_t rowBase =
                 kSingleType ? 0
                             : static_cast<std::uint32_t>(type[i]) *
                                   static_cast<std::uint32_t>(ntypes_ + 1);
             const D xiX(xiRec[0]), xiY(xiRec[1]), xiZ(xiRec[2]);
-            D fiX(0.0), fiY(0.0), fiZ(0.0);
+            D fiX(real(0)), fiY(real(0)), fiZ(real(0));
+            D rowEnergy(real(0));
+            D rowVirial(real(0));
+            D &eAcc = kDoubleTier ? energyAcc : rowEnergy;
+            D &vAcc = kDoubleTier ? virialAcc : rowVirial;
             const auto [begin, end] = list.packedRange(i);
             for (std::uint32_t k = begin; k < end; k += W) {
-                D xjX, xjY, xjZ, xjW;
-                loadXyzw(xpack, pk + k, xjX, xjY, xjZ, xjW);
+                D xjX, xjY, xjZ;
+                loadXyz(xpk, pk + k, xjX, xjY, xjZ);
                 const D dx = xiX - xjX;
                 const D dy = xiY - xjY;
                 const D dz = xiZ - xjZ;
@@ -314,11 +371,19 @@ PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
                 // generic backend (addition order is commutative).
                 const D r2 = D::fma(dz, dz, D::fma(dy, dy, dx * dx));
                 const M mask = r2 < cutSqV;
-                // All lanes rejected (or pure padding): every term below
-                // would be an exact zero, so skipping is bitwise free.
-                const int active = mask.bits();
-                if (active == 0)
-                    continue;
+                // Half lists need the active-lane bits for the Newton
+                // scatter anyway, so the all-rejected early-out is
+                // free there. Full lists drop the movemask + branch:
+                // rejected and sentinel lanes contribute exact zeros
+                // through the masked factors below, so falling through
+                // is bitwise identical and the branch is almost never
+                // taken on a dense list.
+                [[maybe_unused]] int active = 0;
+                if constexpr (kHalf) {
+                    active = mask.bits();
+                    if (active == 0)
+                        continue;
+                }
                 D lj1, lj2, lj3, lj4, esh;
                 if constexpr (kSingleType) {
                     lj1 = lj1S; lj2 = lj2S; lj3 = lj3S; lj4 = lj4S;
@@ -333,13 +398,13 @@ PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
                     lj4 = D::gather(coeffBase, cidx + 3u);
                     esh = D::gather(coeffBase, cidx + 4u);
                 }
-                const D r2inv = D(1.0) / r2;
+                const D r2inv = D(real(1)) / r2;
                 const D r6inv = r2inv * r2inv * r2inv;
                 // Masking the force factor (not the accumulator) means
                 // rejected and sentinel lanes contribute exact zeros
                 // everywhere downstream.
-                const D forcelj = D::select(
-                    mask, r6inv * D::fms(lj1, r6inv, lj2) * r2inv, zero);
+                const D forcelj = D::maskZero(
+                    mask, r6inv * D::fms(lj1, r6inv, lj2) * r2inv);
                 if constexpr (kHalf) {
                     const D fpx = dx * forcelj;
                     const D fpy = dy * forcelj;
@@ -351,8 +416,9 @@ PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
                     // the set-bit walk visits lanes ascending, matching
                     // the scalar kernel's ascending-k order; masked lanes
                     // (incl. the sentinel) are skipped exactly as the
-                    // scalar `continue` skips them.
-                    alignas(64) double sx[W], sy[W], sz[W];
+                    // scalar `continue` skips them. Float-tier pair
+                    // terms widen here, once per store.
+                    alignas(64) real sx[W], sy[W], sz[W];
                     fpx.storeu(sx);
                     fpy.storeu(sy);
                     fpz.storeu(sz);
@@ -371,25 +437,44 @@ PairLJCut::computeSimdImpl(Simulation &sim, const NeighborList &list)
                     fiY = D::fma(dy, forcelj, fiY);
                     fiZ = D::fma(dz, forcelj, fiZ);
                 }
-                energyAcc += D::select(
-                    mask,
-                    pairScaleV * D::fms(r6inv, D::fms(lj3, r6inv, lj4), esh),
-                    zero);
-                virialAcc = D::fma(pairScaleV * forcelj, r2, virialAcc);
+                // Accumulated unscaled; the full-list 1/2 double-count
+                // factor is applied once at the slice flush. Scaling by
+                // a power of two commutes exactly with every rounding
+                // step, so this is bitwise identical to scaling each
+                // pair term (and saves two multiplies per group).
+                eAcc += D::maskZero(
+                    mask, D::fms(r6inv, D::fms(lj3, r6inv, lj4), esh));
+                vAcc = D::fma(forcelj, r2, vAcc);
             }
+            // Row force sums land in the double force arrays — for
+            // float tiers this is the once-per-atom widening that
+            // makes mixed "float arithmetic, double accumulation".
+            real rx, ry, rz;
+            sumXyz(fiX, fiY, fiZ, rx, ry, rz);
             if constexpr (kHalf) {
                 Vec3 &fi = fw.at(i);
-                fi.x += fiX.sum();
-                fi.y += fiY.sum();
-                fi.z += fiZ.sum();
+                fi.x += rx;
+                fi.y += ry;
+                fi.z += rz;
             } else {
-                f[i].x += fiX.sum();
-                f[i].y += fiY.sum();
-                f[i].z += fiZ.sum();
+                f[i].x += rx;
+                f[i].y += ry;
+                f[i].z += rz;
+            }
+            if constexpr (!kDoubleTier) {
+                real re, rv;
+                sumPair(rowEnergy, rowVirial, re, rv);
+                energyRows += static_cast<acc>(re);
+                virialRows += static_cast<acc>(rv);
             }
         }
-        energySlice[s] = energyAcc.sum();
-        virialSlice[s] = virialAcc.sum();
+        if constexpr (kDoubleTier) {
+            energySlice[s] = pairScale * energyAcc.sum();
+            virialSlice[s] = pairScale * virialAcc.sum();
+        } else {
+            energySlice[s] = pairScale * static_cast<double>(energyRows);
+            virialSlice[s] = pairScale * static_cast<double>(virialRows);
+        }
     };
     if constexpr (kHalf) {
         fscratch_.runAndReduce(pool, slices, atoms.nall(), f, kernel);

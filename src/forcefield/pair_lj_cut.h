@@ -7,10 +7,13 @@
 #ifndef MDBENCH_FORCEFIELD_PAIR_LJ_CUT_H
 #define MDBENCH_FORCEFIELD_PAIR_LJ_CUT_H
 
+#include <type_traits>
 #include <vector>
 
 #include "md/styles.h"
 #include "md/vec3.h"
+#include "md/xpack.h"
+#include "util/precision.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -70,38 +73,74 @@ class PairLJCut : public PairStyle
     void computeImpl(Simulation &sim, const NeighborList &list);
 
     /**
-     * SIMD kernel over the padded packing (DESIGN.md §12): W-wide
+     * SIMD kernel over the padded packing (DESIGN.md §12-13): W-wide
      * gather / masked-cutoff select / multiply-accumulate groups with a
      * per-lane masked scatter for the j-side Newton updates. Mirrors
      * computeImpl's operation order exactly, so at W = 1 on a
-     * no-FMA build it reproduces the scalar kernel's results.
+     * no-FMA build the double-tier instantiation reproduces the scalar
+     * kernel's results.
+     *
+     * P is the precision policy (util/precision.h): per-pair
+     * arithmetic runs in P::real lanes; the double tier accumulates
+     * energy/virial in slice-long lane stripes (the bitwise-legacy
+     * order), float tiers flush per-row partial sums into P::acc
+     * scalars (double for mixed, float for single). Per-atom forces
+     * always land in the double AtomStore/scratch arrays — float
+     * tiers widen once per atom row.
      *
      * kHalf bakes the list flavor in at compile time: the full-list
      * instantiation carries no Newton-scatter code (which would
      * otherwise inflate register pressure in the hot loop) and the
      * half-list one no wasted double-count scaling.
      */
-    template <int W, bool kSingleType, bool kHalf>
+    template <typename P, int W, bool kSingleType, bool kHalf>
     void computeSimdImpl(Simulation &sim, const NeighborList &list);
 
-    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    /** Tier dispatch: the list's recorded packTier picks the policy. */
     template <bool kSingleType>
     void dispatch(Simulation &sim, const NeighborList &list);
+
+    /** Width dispatch: packed-list widths take the SIMD kernel. */
+    template <typename P, bool kSingleType>
+    void dispatchWidth(Simulation &sim, const NeighborList &list);
+
+    /** Rebuild the float coefficient mirror if coefficients changed. */
+    void refreshFloatCoeffs();
 
     int ntypes_;
     double cutoff_;
     bool shift_;
     std::vector<Coeff> coeffs_; ///< (ntypes+1)^2 row-major table
 
+    /**
+     * Float mirror of coeffs_ (same element stride, values cast once)
+     * gathered by the float-tier kernels; rebuilt lazily after any
+     * setCoeff.
+     */
+    std::vector<float> coeffsF_;
+    bool coeffsFDirty_ = true;
+
     /** Per-slice j-side force buffers (half lists, Newton on). */
     ReduceScratch<Vec3> fscratch_;
 
     /**
-     * Positions repacked as 4-double records [x, y, z, 0] (pad atom
-     * included), refilled each compute; feeds loadXyzw so the SIMD
-     * kernel loads j positions without hardware gathers.
+     * Position staging as padded [x, y, z, 0] records (md/xpack.h),
+     * refilled each compute in the active tier's `real` type; feeds
+     * loadXyzw so the SIMD kernel loads j positions without hardware
+     * gathers (and, on float tiers, without per-pair conversions).
      */
-    std::vector<double> xpack_;
+    XPack<double> xpackD_;
+    XPack<float> xpackF_;
+
+    template <typename T>
+    XPack<T> &
+    xpack()
+    {
+        if constexpr (std::is_same_v<T, double>)
+            return xpackD_;
+        else
+            return xpackF_;
+    }
 };
 
 } // namespace mdbench

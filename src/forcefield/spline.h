@@ -39,21 +39,44 @@ class CubicSpline
     /**
      * Raw table view for vectorized evaluation (the SIMD EAM kernel
      * gathers knots directly). Pointers are borrowed: valid until the
-     * spline is modified or destroyed.
+     * spline is modified or destroyed. The element type follows the
+     * precision policy's `real` (util/precision.h): double views
+     * borrow the knot arrays directly, float views borrow the cached
+     * once-cast mirrors.
      */
-    struct View
+    template <typename T>
+    struct ViewT
     {
-        const double *y;  ///< knot values
-        const double *m;  ///< knot second derivatives
-        double x0;        ///< first knot abscissa
-        double dx;        ///< knot spacing
-        std::size_t n;    ///< knot count
+        const T *y = nullptr; ///< knot values
+        const T *m = nullptr; ///< knot second derivatives
+        T x0 = T(0);          ///< first knot abscissa
+        T dx = T(1);          ///< knot spacing
+        std::size_t n = 0;    ///< knot count
     };
+
+    using View = ViewT<double>;
 
     View
     view() const
     {
         return {y_.data(), m_.data(), x0_, dx_, y_.size()};
+    }
+
+    /**
+     * Float-knot view for the float-tier SIMD kernels. Builds the
+     * float mirrors of the knot arrays on first call (each knot cast
+     * exactly once) and caches them for the spline's lifetime — the
+     * knot arrays never change after construction.
+     */
+    ViewT<float>
+    viewF()
+    {
+        if (yF_.size() != y_.size()) {
+            yF_.assign(y_.begin(), y_.end());
+            mF_.assign(m_.begin(), m_.end());
+        }
+        return {yF_.data(), mF_.data(), static_cast<float>(x0_),
+                static_cast<float>(dx_), y_.size()};
     }
 
   private:
@@ -63,6 +86,9 @@ class CubicSpline
     double dx_ = 1.0;
     std::vector<double> y_;
     std::vector<double> m_; ///< second derivatives at the knots
+
+    std::vector<float> yF_; ///< cached float mirror of y_ (viewF)
+    std::vector<float> mF_; ///< cached float mirror of m_ (viewF)
 };
 
 } // namespace mdbench

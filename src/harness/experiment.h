@@ -34,7 +34,15 @@ struct ExperimentSpec
     long natoms = 32000;
     int resources = 1; ///< MPI ranks (CPU) or devices (GPU)
     double kspaceAccuracy = 1e-4;
-    Precision precision = Precision::Mixed;
+
+    /**
+     * Compute precision tier (util/precision.h). EngineDefault defers
+     * to the engine: native modes keep the process-wide tier
+     * (MDBENCH_PRECISION, Double when unset), model modes replay the
+     * paper's default study point (mixed). Any concrete tier applies
+     * to both.
+     */
+    Precision precision = Precision::EngineDefault;
     long steps = 10000; ///< modeled run length / native step count
 
     /**

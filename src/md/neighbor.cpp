@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
+#include <type_traits>
 
 #include "md/simulation.h"
 #include "obs/counters.h"
@@ -96,7 +98,42 @@ countingSortBins(const BinGrid &grid, const mdbench::Vec3 *x, std::size_t n,
         binAtoms[binCursor[binOf[i]]++] = static_cast<std::uint32_t>(i);
 }
 
+/**
+ * W-wide distance test of one bin chunk: bit l of the result is set
+ * when candidate cand[l] lies within cutSq of xi. The r² expression
+ * matches the pair kernels' fma association, which on the generic
+ * backend is bitwise `Vec3::normSq` (addition is commutative); ISA
+ * backends fuse, which can flip inclusion only for pairs within one
+ * ulp of the *build* cutoff (cutoff + skin) — physics is unaffected
+ * because every kernel re-masks at the true cutoff.
+ */
+template <int W>
+inline int
+candidateDistanceMask(const double *xd, const std::uint32_t *cand,
+                      const mdbench::Vec3 &xi, double cutSq)
+{
+    using D = mdbench::Simd<double, W>;
+    const mdbench::SimdIndex<W> j = mdbench::SimdIndex<W>::load(cand);
+    const mdbench::SimdIndex<W> base = j * 3u;
+    const D xj = D::gather(xd, base);
+    const D yj = D::gather(xd, base + 1u);
+    const D zj = D::gather(xd, base + 2u);
+    const D dx = xj - D(xi.x);
+    const D dy = yj - D(xi.y);
+    const D dz = zj - D(xi.z);
+    const D rsq = D::fma(dz, dz, D::fma(dy, dy, dx * dx));
+    return (rsq < D(cutSq)).bits();
+}
+
 } // namespace
+
+void
+countSimdLaneUse(const NeighborList &list, int traversals)
+{
+    const std::size_t t = static_cast<std::size_t>(traversals);
+    counterAdd(Counter::PairSimdLanesActive, t * list.pairCount());
+    counterAdd(Counter::PairSimdPaddingWaste, t * list.paddedSlots);
+}
 
 double
 NeighborList::neighborsPerAtom() const
@@ -188,12 +225,55 @@ Neighbor::buildImpl(Simulation &sim)
     const std::uint32_t *binAtoms = binAtoms_.data();
     const Vec3 *x = atoms.x.data();
 
+    // W-wide candidate distance pre-filter: the dominant cost of the
+    // bin walk is the per-candidate r² check, so chunks of W
+    // candidates are tested at once and only passing lanes take the
+    // scalar inclusion checks (in ascending-lane order, preserving the
+    // emit order exactly — the index/tie-break/exclusion rules are
+    // independent of the distance test). Widths 0/1 keep the original
+    // scalar walk below as the bitwise oracle.
+    const int filterW = [] {
+        const int dw = simdWidthFor(false);
+        if (dw >= 8)
+            return 8;
+        if (dw >= 4)
+            return 4;
+        return dw == 2 ? 2 : 0;
+    }();
+    const double *xd = reinterpret_cast<const double *>(x);
+    static_assert(sizeof(Vec3) == 3 * sizeof(double));
+
     // Stencil walk shared by every fill strategy: emit(j) for each
     // neighbor of i, in a traversal order that depends only on the
     // binning (never on threading), so all paths build identical lists.
     auto visitNeighbors = [&](std::size_t i, auto &&emit) {
         const Vec3 xi = x[i];
         const auto bi = grid.cellOf(xi);
+        // Non-distance inclusion checks for a candidate that already
+        // passed the W-wide distance mask. Mirrors the scalar walk's
+        // rules; only the (pure) check order differs.
+        auto considerNear = [&](std::size_t ju) {
+            if (ju == i)
+                return;
+            if (!full && ju < nlocal && ju < i)
+                return;
+            if (!full && ju >= nlocal) {
+                const Vec3 xj = x[ju];
+                if (xj.z != xi.z) {
+                    if (xj.z < xi.z)
+                        return;
+                } else if (xj.y != xi.y) {
+                    if (xj.y < xi.y)
+                        return;
+                } else if (xj.x < xi.x) {
+                    return;
+                }
+            }
+            if (checkExclusions &&
+                sim.topology.excluded(atoms.tag[i], atoms.tag[ju]))
+                return;
+            emit(static_cast<std::uint32_t>(ju));
+        };
         for (int dz = -1; dz <= 1; ++dz) {
             const int bz = bi[2] + dz;
             if (bz < 0 || bz >= nb[2])
@@ -208,8 +288,26 @@ Neighbor::buildImpl(Simulation &sim)
                         continue;
                     const std::size_t bin = grid.flatten(bx, by, bz);
                     const std::uint32_t binEnd = binStart[bin + 1];
-                    for (std::uint32_t idx = binStart[bin]; idx < binEnd;
-                         ++idx) {
+                    std::uint32_t idx = binStart[bin];
+                    auto filtered = [&](auto widthTag) {
+                        constexpr int W = decltype(widthTag)::value;
+                        for (; idx + W <= binEnd; idx += W) {
+                            int mask = candidateDistanceMask<W>(
+                                xd, binAtoms + idx, xi, cutSq);
+                            for (; mask; mask &= mask - 1) {
+                                const int l = std::countr_zero(
+                                    static_cast<unsigned>(mask));
+                                considerNear(binAtoms[idx + l]);
+                            }
+                        }
+                    };
+                    if (filterW == 8)
+                        filtered(std::integral_constant<int, 8>{});
+                    else if (filterW == 4)
+                        filtered(std::integral_constant<int, 4>{});
+                    else if (filterW == 2)
+                        filtered(std::integral_constant<int, 2>{});
+                    for (; idx < binEnd; ++idx) {
                         const std::size_t ju = binAtoms[idx];
                         if (ju == i)
                             continue;
@@ -309,14 +407,21 @@ void
 Neighbor::packPadded(Simulation &sim)
 {
     const std::size_t nlocal = sim.atoms.nlocal();
-    const int width = simdWidth();
+    // Float tiers pack at the float-lane width (twice the double-lane
+    // width at a given ISA level, the precision × SIMD synergy); the
+    // tier is recorded on the list so kernels dispatch on the geometry
+    // that was actually built.
+    const Precision tier = precisionTier();
+    const int width = simdWidthFor(tier != Precision::Double);
     list_.padWidth = width;
+    list_.packTier = tier;
     if (width < 1 || nlocal == 0) {
         list_.packedOffsets.clear();
         list_.packedNeighbors.clear();
         list_.paddedSlots = 0;
         list_.sentinel = 0;
         list_.padWidth = 0;
+        list_.packTier = Precision::Double;
         return;
     }
     TraceScope trace("neigh", "pack_padded");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "md/vec3.h"
+#include "util/precision.h"
 
 namespace mdbench {
 
@@ -47,6 +48,15 @@ struct NeighborList
     std::uint32_t sentinel = 0;    ///< pad-slot index filling padded slots
     std::size_t paddedSlots = 0;   ///< sentinel entries across all rows
 
+    /**
+     * Precision tier the packing was built for (util/precision.h).
+     * Float tiers pack at the float-lane width (twice the double-lane
+     * width at a given ISA level); kernels dispatch on this recorded
+     * tier rather than the live global so a knob change between build
+     * and compute cannot mismatch the padded geometry.
+     */
+    Precision packTier = Precision::Double;
+
     /** Neighbors of atom @p i as a begin/end index pair. */
     std::pair<std::uint32_t, std::uint32_t>
     range(std::size_t i) const
@@ -70,6 +80,18 @@ struct NeighborList
     /** Average neighbors per owned atom. */
     double neighborsPerAtom() const;
 };
+
+/**
+ * Charge the SIMD lane-utilization counters for @p traversals padded
+ * traversals of @p list (pair.simd_lanes_active += pairs,
+ * pair.simd_padding_waste += padded sentinel slots, each ×
+ * traversals). Shared by every vectorized kernel so the accounting is
+ * uniform: charged per kernel *invocation* — once per list traversal,
+ * twice for EAM's two radial passes — never per list build, which
+ * keeps manifest lane-utilization ratios comparable across sortEvery
+ * and rebuild-interval settings.
+ */
+void countSimdLaneUse(const NeighborList &list, int traversals = 1);
 
 /**
  * Neighbor-list manager: binning, rebuild policy, and build statistics.

@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/precision.h"
 #include "util/simd.h"
 
 namespace mdbench {
@@ -52,7 +53,9 @@ parseBenchOptions(int &argc, char **argv)
             matchValueFlag(argc, argv, i, "--manifest",
                            options.manifestPath, consumed) ||
             matchValueFlag(argc, argv, i, "--log-level", options.logLevel,
-                           consumed)) {
+                           consumed) ||
+            matchValueFlag(argc, argv, i, "--precision",
+                           options.precision, consumed)) {
             i += consumed;
             continue;
         }
@@ -77,6 +80,13 @@ parseBenchOptions(int &argc, char **argv)
                     "' (want silent|warn|inform|debug or 0-3)");
         setLogLevel(*level);
     }
+    if (!options.precision.empty()) {
+        Precision tier = Precision::EngineDefault;
+        require(parsePrecision(options.precision.c_str(), tier),
+                "invalid --precision '" + options.precision +
+                    "' (want double|mixed|single|default)");
+        setPrecisionTier(tier);
+    }
     return options;
 }
 
@@ -91,7 +101,9 @@ benchOptionsUsage()
            "  --log-level L     silent|warn|inform|debug or 0-3 "
            "(overrides MDBENCH_LOG_LEVEL)\n"
            "  --no-simd         run scalar pair kernels "
-           "(overrides MDBENCH_SIMD)\n";
+           "(overrides MDBENCH_SIMD)\n"
+           "  --precision TIER  double|mixed|single|default native "
+           "compute tier (overrides MDBENCH_PRECISION)\n";
 }
 
 BenchRun::BenchRun(int &argc, char **argv, const std::string &program)

@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared command-line options for every bench binary: `--trace FILE`,
- * `--manifest FILE`, `--log-level LEVEL` (and `--help` for the shared
- * flags). BenchRun is the one-liner each bench main creates; it parses
+ * `--manifest FILE`, `--log-level LEVEL`, `--precision TIER` (and
+ * `--help` for the shared flags). BenchRun is the one-liner each bench
+ * main creates; it parses
  * and strips the shared flags (leaving unknown flags, e.g. google-
  * benchmark's, untouched), enables the tracer, installs the active
  * manifest, and writes both output files when the run ends.
@@ -23,6 +24,7 @@ struct BenchOptions
     std::string tracePath;    ///< --trace FILE (empty = no trace)
     std::string manifestPath; ///< --manifest FILE (empty = no manifest)
     std::string logLevel;     ///< --log-level LEVEL (empty = unchanged)
+    std::string precision;    ///< --precision TIER (empty = unchanged)
     bool help = false;        ///< --help seen
     bool noSimd = false;      ///< --no-simd seen (scalar pair kernels)
 };

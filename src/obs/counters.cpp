@@ -23,6 +23,7 @@ counterName(Counter counter)
       case Counter::PairInteractions: return "pair.interactions";
       case Counter::PairSimdLanesActive: return "pair.simd_lanes_active";
       case Counter::PairSimdPaddingWaste: return "pair.simd_padding_waste";
+      case Counter::PairFloatComputes: return "pair.float_computes";
       case Counter::CommExchanges: return "comm.exchanges";
       case Counter::CommGhostAtoms: return "comm.ghost_atoms";
       case Counter::KspaceFfts: return "kspace.ffts";

@@ -37,6 +37,7 @@ enum class Counter : std::size_t {
     PairInteractions,   ///< neighbor pairs visited by pair kernels
     PairSimdLanesActive,  ///< real-pair lanes processed by SIMD kernels
     PairSimdPaddingWaste, ///< sentinel lanes processed by SIMD kernels
+    PairFloatComputes,    ///< pair compute() calls run at a float tier
     CommExchanges,      ///< comm exchange/borders rebuilds
     CommGhostAtoms,     ///< ghost atoms created by borders()
     KspaceFfts,         ///< 3-D FFT transforms executed

@@ -7,6 +7,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/precision.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
 
@@ -82,6 +83,7 @@ void
 RunManifest::captureRuntime()
 {
     threads_ = ThreadPool::threads();
+    precision_ = precisionName(precisionTier());
     const auto tasks = globalTaskSeconds();
     taskSeconds_.assign(tasks.begin(), tasks.end());
     counts_.resize(kNumCounters);
@@ -113,6 +115,8 @@ RunManifest::write(std::ostream &os) const
     json.key("sanitize").value(MDBENCH_BUILD_SANITIZE);
     json.key("native_arch").value(MDBENCH_BUILD_NATIVE_ARCH != 0);
     json.key("simd").value(simdIsaName());
+    json.key("precision").value(precision_.empty() ? "double"
+                                                   : precision_.c_str());
     json.endObject();
 
     json.key("threads").value(threads_);

@@ -13,7 +13,8 @@
  *       "program": "<bench binary name>",
  *       "platform": { "hostname", "os", "kernel", "arch",
  *                     "hardware_threads", "compiler" },
- *       "build": { "type", "sanitize", "native_arch" },
+ *       "build": { "type", "sanitize", "native_arch", "simd",
+ *                  "precision" },
  *       "threads": <thread-pool size>,
  *       "tasks": { "<Task name>": seconds, ... all 8 },
  *       "counters": { "<counter name>": value, ... all registered },
@@ -85,6 +86,7 @@ class RunManifest
     std::string program_;
     HostInfo host_;
     int threads_ = 0;
+    std::string precision_; ///< active tier at captureRuntime()
     std::vector<double> taskSeconds_;   ///< kNumTasks entries
     std::vector<std::uint64_t> counts_; ///< kNumCounters entries
     std::uint64_t traceRecorded_ = 0;

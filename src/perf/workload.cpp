@@ -38,17 +38,6 @@ benchmarkName(BenchmarkId id)
     }
 }
 
-const char *
-precisionName(Precision precision)
-{
-    switch (precision) {
-      case Precision::Mixed:  return "mixed";
-      case Precision::Single: return "single";
-      case Precision::Double: return "double";
-      default: panic("invalid Precision");
-    }
-}
-
 WorkloadSpec
 WorkloadSpec::get(BenchmarkId id)
 {
@@ -158,7 +147,10 @@ WorkloadInstance::make(BenchmarkId id, long natoms, double kspaceAccuracy,
     instance.spec = WorkloadSpec::get(id);
     instance.natoms = natoms;
     instance.kspaceAccuracy = kspaceAccuracy;
-    instance.precision = precision;
+    // The cost models know only the three concrete tiers; the request
+    // sentinel resolves to the paper's default study point (mixed).
+    instance.precision =
+        precision == Precision::EngineDefault ? Precision::Mixed : precision;
     const double edge =
         std::cbrt(static_cast<double>(natoms) / instance.spec.numberDensity);
     instance.boxLength = {edge, edge, edge};

@@ -12,6 +12,7 @@
 
 #include "kspace/plan.h"
 #include "md/vec3.h"
+#include "util/precision.h"
 
 namespace mdbench {
 
@@ -26,11 +27,6 @@ const std::vector<BenchmarkId> &gpuBenchmarks();
 
 /** Lowercase name as the paper's plots use ("rhodo", "lj", ...). */
 const char *benchmarkName(BenchmarkId id);
-
-/** Floating-point precision modes of the Section 8 study. */
-enum class Precision { Mixed = 0, Single, Double };
-
-const char *precisionName(Precision precision);
 
 /**
  * Static per-benchmark characteristics (the Table 2 taxonomy plus the

@@ -12,10 +12,17 @@
  *    any T and W with plain scalar loops — the scalar-fallback oracle
  *    and the body every sanitizer build exercises,
  *  - an AVX2 backend for `Simd<double, 4>` (`__m256d` + `__m128i`
- *    indices), selected when the translation unit is compiled with
+ *    indices) and `Simd<float, 8>` (`__m256` + `__m256i` indices),
+ *    selected when the translation unit is compiled with
  *    `-mavx2 -mfma`,
  *  - an AVX-512 backend for `Simd<double, 8>` (`__m512d` + `__m256i`
- *    indices), selected under `-mavx512f`.
+ *    indices) and `Simd<float, 16>` (`__m512` + `__m512i` indices),
+ *    selected under `-mavx512f`.
+ *
+ * The float backends serve the mixed/single precision tiers
+ * (util/precision.h): at a given ISA level float lanes come in twice
+ * the count of double lanes, which is exactly the precision × SIMD
+ * synergy the paper's Section 8 models and this engine measures.
  *
  * Determinism contract: every wrapper operation is a per-lane IEEE-754
  * operation (no fused multiply-add, no approximate reciprocals), so for
@@ -25,12 +32,14 @@
  * sequential sum for the same reason. A kernel instantiated at W = 1
  * therefore performs exactly the scalar instruction sequence.
  *
- * Width configuration: `simdWidth()` is the packed neighbor-list width
- * the engine should use — 0 disables the SIMD path entirely (scalar
- * loops, no padded packing). The default comes from the `MDBENCH_SIMD`
+ * Width configuration: `simdWidthFor(floatLanes)` is the packed
+ * neighbor-list width the engine should use — 0 disables the SIMD path
+ * entirely (scalar loops, no padded packing); `simdWidth()` is the
+ * double-lane width. The default comes from the `MDBENCH_SIMD`
  * environment variable (`0`/`off` = disabled, `1`/`on`/unset = native
- * compiled width, an explicit `2`/`4`/`8` forces that width through the
- * generic backend when no matching ISA backend exists) gated by a
+ * compiled width — double that for float lanes — and an explicit
+ * `2`/`4`/`8`/`16` forces that width for both element types, through
+ * the generic backend when no matching ISA backend exists) gated by a
  * runtime CPU capability check; `setSimdWidth()` overrides it
  * programmatically (benches, tests, ExperimentSpec).
  */
@@ -66,6 +75,16 @@ inline constexpr int kSimdCompiledWidth =
     8;
 #elif defined(MDBENCH_SIMD_AVX2)
     4;
+#else
+    1;
+#endif
+
+/** Widest float backend this translation unit was compiled with. */
+inline constexpr int kSimdCompiledFloatWidth =
+#if defined(MDBENCH_SIMD_AVX512)
+    16;
+#elif defined(MDBENCH_SIMD_AVX2)
+    8;
 #else
     1;
 #endif
@@ -106,52 +125,72 @@ simdRuntimeSupported()
 inline bool
 simdWidthSupported(int w)
 {
-    return w == 1 || w == 2 || w == 4 || w == 8;
+    return w == 1 || w == 2 || w == 4 || w == 8 || w == 16;
 }
 
 /**
  * Backend that executes width @p w in this translation unit: the ISA
- * specialization when one matches, otherwise the generic (unrolled
+ * specialization when one matches (which depends on whether the tier
+ * computes in float or double lanes), otherwise the generic (unrolled
  * scalar) template; 0 is the plain scalar kernels.
  */
 inline const char *
-simdBackendName(int w)
+simdBackendName(int w, [[maybe_unused]] bool floatLanes = false)
 {
     if (w <= 0)
         return "scalar";
 #if defined(MDBENCH_SIMD_AVX512)
-    if (w == 8)
+    if (w == (floatLanes ? 16 : 8))
         return "avx512";
 #endif
 #if defined(MDBENCH_SIMD_AVX2)
-    if (w == 4)
+    if (w == (floatLanes ? 8 : 4))
         return "avx2";
 #endif
     return "generic";
 }
 
-/** MDBENCH_SIMD environment default (see file comment), cached. */
+namespace detail {
+
+/** Resolve the MDBENCH_SIMD default against a native width. */
+inline int
+simdResolveEnvWidth(int native)
+{
+    const char *env = std::getenv("MDBENCH_SIMD");
+    if (!env || !*env)
+        return native;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
+        return 0;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "native") == 0)
+        return native;
+    const int requested = std::atoi(env);
+    if (simdWidthSupported(requested))
+        return requested;
+    return native;
+}
+
+} // namespace detail
+
+/** MDBENCH_SIMD environment default for double lanes, cached. */
 inline int
 simdDefaultWidth()
 {
-    static const int width = [] {
-        const int native =
-            (kSimdCompiledWidth > 1 && simdRuntimeSupported())
-                ? kSimdCompiledWidth
-                : 0;
-        const char *env = std::getenv("MDBENCH_SIMD");
-        if (!env || !*env)
-            return native;
-        if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
-            return 0;
-        if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
-            std::strcmp(env, "native") == 0)
-            return native;
-        const int requested = std::atoi(env);
-        if (simdWidthSupported(requested))
-            return requested;
-        return native;
-    }();
+    static const int width = detail::simdResolveEnvWidth(
+        (kSimdCompiledWidth > 1 && simdRuntimeSupported())
+            ? kSimdCompiledWidth
+            : 0);
+    return width;
+}
+
+/** MDBENCH_SIMD environment default for float lanes, cached. */
+inline int
+simdDefaultFloatWidth()
+{
+    static const int width = detail::simdResolveEnvWidth(
+        (kSimdCompiledFloatWidth > 1 && simdRuntimeSupported())
+            ? kSimdCompiledFloatWidth
+            : 0);
     return width;
 }
 
@@ -161,20 +200,32 @@ inline std::atomic<int> gSimdWidthOverride{-1};
 } // namespace detail
 
 /**
- * Packed neighbor-list width the engine should use right now: 0 =
- * SIMD path disabled (plain scalar kernels, no padded packing).
+ * Packed neighbor-list width the engine should use right now for the
+ * given lane element type: 0 = SIMD path disabled (plain scalar
+ * kernels, no padded packing). An explicit override (setSimdWidth or
+ * a numeric MDBENCH_SIMD) forces that lane count for both element
+ * types; the native default doubles the lane count for float tiers.
  */
 inline int
-simdWidth()
+simdWidthFor(bool floatLanes)
 {
     const int override_ =
         detail::gSimdWidthOverride.load(std::memory_order_relaxed);
-    return override_ >= 0 ? override_ : simdDefaultWidth();
+    if (override_ >= 0)
+        return override_;
+    return floatLanes ? simdDefaultFloatWidth() : simdDefaultWidth();
+}
+
+/** Double-lane packed width (the historical knob). */
+inline int
+simdWidth()
+{
+    return simdWidthFor(false);
 }
 
 /**
- * Override the packed width: 0 disables the SIMD path, 1/2/4/8 force
- * that width (through the generic backend when no ISA backend
+ * Override the packed width: 0 disables the SIMD path, 1/2/4/8/16
+ * force that width (through the generic backend when no ISA backend
  * matches), -1 restores the MDBENCH_SIMD environment default. Takes
  * effect at the next neighbor-list build.
  */
@@ -321,9 +372,12 @@ struct Simd
     static Simd
     gather(const T *base, const SimdIndex<W> &idx)
     {
+        // lane(), not idx.v[l]: this generic body also runs against an
+        // ISA-specialized SimdIndex<W> (forced widths on ISA builds),
+        // whose register storage is not lane-addressable by [].
         Simd r;
         for (int l = 0; l < W; ++l)
-            r.v[l] = base[idx.v[l]];
+            r.v[l] = base[idx.lane(l)];
         return r;
     }
 
@@ -462,14 +516,29 @@ struct Simd
         return r;
     }
 
+    /**
+     * select(mask, a, 0): rejected lanes become exact +0.0. On the
+     * AVX backends this is a single bitwise AND instead of a blend.
+     */
+    static Simd
+    maskZero(const SimdMask<T, W> &mask, const Simd &a)
+    {
+        Simd r;
+        for (int l = 0; l < W; ++l)
+            r.v[l] = mask.m[l] ? a.v[l] : T(0);
+        return r;
+    }
+
     /** Truncating conversion to element indices (spline locate). */
     static SimdIndex<W>
     truncToIndex(const Simd &a)
     {
-        SimdIndex<W> r;
+        // Round-trip through memory so a specialized SimdIndex<W>
+        // (register storage) can be built from this generic body.
+        alignas(64) std::uint32_t tmp[W];
         for (int l = 0; l < W; ++l)
-            r.v[l] = static_cast<std::uint32_t>(a.v[l]);
-        return r;
+            tmp[l] = static_cast<std::uint32_t>(a.v[l]);
+        return SimdIndex<W>::load(tmp);
     }
 
     /** Index-to-value conversion (spline locate's t = s - index). */
@@ -478,7 +547,7 @@ struct Simd
     {
         Simd r;
         for (int l = 0; l < W; ++l)
-            r.v[l] = static_cast<T>(static_cast<std::int32_t>(idx.v[l]));
+            r.v[l] = static_cast<T>(static_cast<std::int32_t>(idx.lane(l)));
         return r;
     }
 
@@ -494,28 +563,70 @@ struct Simd
 };
 
 /**
- * Structure-of-arrays load from a 4-double-per-record buffer
- * ([x, y, z, w] per index, 32 bytes): lane l of each output comes from
- * pack[4*idx[l] + component]. Pair kernels stage positions (+charge)
- * into such a buffer so this replaces three or four hardware gathers
- * with contiguous loads and an in-register transpose on the ISA
- * backends. @p idx points at W indices in memory (the packed neighbor
- * list), which the ISA backends read as cheap scalar loads instead of
- * extracting lanes from a vector register. The buffer must have a full
- * 4-double record per index (the pad atom included).
+ * Structure-of-arrays load from a 4-element-per-record buffer
+ * ([x, y, z, w] per index, 32 bytes double / 16 bytes float): lane l
+ * of each output comes from pack[4*idx[l] + component]. Pair kernels
+ * stage positions (+charge) into such a buffer so this replaces three
+ * or four hardware gathers with contiguous loads and an in-register
+ * transpose on the ISA backends. @p idx points at W indices in memory
+ * (the packed neighbor list), which the ISA backends read as cheap
+ * scalar loads instead of extracting lanes from a vector register.
+ * The buffer must have a full 4-element record per index (the pad
+ * atom included).
  */
-template <int W>
+template <typename T, int W>
 inline void
-loadXyzw(const double *pack, const std::uint32_t *idx, Simd<double, W> &x,
-         Simd<double, W> &y, Simd<double, W> &z, Simd<double, W> &w)
+loadXyzw(const T *pack, const std::uint32_t *idx, Simd<T, W> &x,
+         Simd<T, W> &y, Simd<T, W> &z, Simd<T, W> &w)
 {
     for (int l = 0; l < W; ++l) {
-        const double *rec = pack + 4u * idx[l];
+        const T *rec = pack + 4u * idx[l];
         x.v[l] = rec[0];
         y.v[l] = rec[1];
         z.v[l] = rec[2];
         w.v[l] = rec[3];
     }
+}
+
+/** Three-component variant for kernels with no per-atom payload. */
+template <typename T, int W>
+inline void
+loadXyz(const T *pack, const std::uint32_t *idx, Simd<T, W> &x,
+        Simd<T, W> &y, Simd<T, W> &z)
+{
+    for (int l = 0; l < W; ++l) {
+        const T *rec = pack + 4u * idx[l];
+        x.v[l] = rec[0];
+        y.v[l] = rec[1];
+        z.v[l] = rec[2];
+    }
+}
+
+/**
+ * Horizontal sum of three accumulator stripes at once (per-row force
+ * flush). The generic body keeps the ascending-lane order of sum();
+ * the ISA overloads share shuffle work across the three reductions
+ * and sum pairwise, which costs ~a third of three serial sum() chains
+ * — per-row flush latency is real overhead for float tiers, whose
+ * rows hold half as many groups.
+ */
+template <typename T, int W>
+inline void
+sumXyz(const Simd<T, W> &x, const Simd<T, W> &y, const Simd<T, W> &z,
+       T &sx, T &sy, T &sz)
+{
+    sx = x.sum();
+    sy = y.sum();
+    sz = z.sum();
+}
+
+/** Two-stripe companion of sumXyz (per-row energy/virial flush). */
+template <typename T, int W>
+inline void
+sumPair(const Simd<T, W> &a, const Simd<T, W> &b, T &sa, T &sb)
+{
+    sa = a.sum();
+    sb = b.sum();
 }
 
 // ------------------------------------------------------------------ AVX2
@@ -582,6 +693,65 @@ struct SimdIndex<4>
     {
         alignas(16) std::uint32_t tmp[4];
         _mm_store_si128(reinterpret_cast<__m128i *>(tmp), v);
+        return tmp[l];
+    }
+};
+
+/**
+ * 8 x u32 indices in an AVX2 register. Used by the AVX-512 double
+ * backend (W=8) and the AVX2 float backend (W=8) alike — only AVX2
+ * intrinsics appear here.
+ */
+template <>
+struct SimdIndex<8>
+{
+    __m256i v = _mm256_setzero_si256();
+
+    static SimdIndex
+    load(const std::uint32_t *p)
+    {
+        SimdIndex r;
+        r.v = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        return r;
+    }
+
+    static SimdIndex
+    gather32(const int *base, const SimdIndex &idx)
+    {
+        SimdIndex r;
+        r.v = _mm256_i32gather_epi32(base, idx.v, 4);
+        return r;
+    }
+
+    SimdIndex
+    operator*(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm256_mullo_epi32(v, _mm256_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    SimdIndex
+    operator+(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm256_add_epi32(v, _mm256_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    static SimdIndex
+    min(const SimdIndex &a, std::uint32_t s)
+    {
+        SimdIndex r;
+        r.v = _mm256_min_epu32(a.v, _mm256_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    std::uint32_t
+    lane(int l) const
+    {
+        alignas(32) std::uint32_t tmp[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), v);
         return tmp[l];
     }
 };
@@ -757,6 +927,14 @@ struct Simd<double, 4>
         return r;
     }
 
+    static Simd
+    maskZero(const SimdMask<double, 4> &mask, const Simd &a)
+    {
+        Simd r;
+        r.v = _mm256_and_pd(mask.m, a.v);
+        return r;
+    }
+
     static SimdIndex<4>
     truncToIndex(const Simd &a)
     {
@@ -805,66 +983,344 @@ loadXyzw(const double *pack, const std::uint32_t *idx, Simd<double, 4> &x,
     w.v = _mm256_permute2f128_pd(t1, t3, 0x31);
 }
 
+/** As above, skipping the unused payload shuffle. */
+inline void
+loadXyz(const double *pack, const std::uint32_t *idx, Simd<double, 4> &x,
+        Simd<double, 4> &y, Simd<double, 4> &z)
+{
+    const __m256d r0 = _mm256_loadu_pd(pack + 4u * idx[0]);
+    const __m256d r1 = _mm256_loadu_pd(pack + 4u * idx[1]);
+    const __m256d r2 = _mm256_loadu_pd(pack + 4u * idx[2]);
+    const __m256d r3 = _mm256_loadu_pd(pack + 4u * idx[3]);
+    const __m256d t0 = _mm256_unpacklo_pd(r0, r1); // x0 x1 z0 z1
+    const __m256d t1 = _mm256_unpackhi_pd(r0, r1); // y0 y1 w0 w1
+    const __m256d t2 = _mm256_unpacklo_pd(r2, r3); // x2 x3 z2 z3
+    const __m256d t3 = _mm256_unpackhi_pd(r2, r3); // y2 y3 w2 w3
+    x.v = _mm256_permute2f128_pd(t0, t2, 0x20);
+    y.v = _mm256_permute2f128_pd(t1, t3, 0x20);
+    z.v = _mm256_permute2f128_pd(t0, t2, 0x31);
+}
+
+/** Pairwise three-stripe horizontal sum (see the generic template). */
+inline void
+sumXyz(const Simd<double, 4> &x, const Simd<double, 4> &y,
+       const Simd<double, 4> &z, double &sx, double &sy, double &sz)
+{
+    const __m256d xy = _mm256_hadd_pd(x.v, y.v); // x0+x1 y0+y1 | x2+x3 y2+y3
+    const __m128d sxy = _mm_add_pd(_mm256_castpd256_pd128(xy),
+                                   _mm256_extractf128_pd(xy, 1));
+    const __m128d zlo = _mm256_castpd256_pd128(z.v);
+    const __m128d zhi = _mm256_extractf128_pd(z.v, 1);
+    const __m128d sz2 = _mm_add_pd(zlo, zhi);
+    sx = _mm_cvtsd_f64(sxy);
+    sy = _mm_cvtsd_f64(_mm_unpackhi_pd(sxy, sxy));
+    sz = _mm_cvtsd_f64(_mm_add_sd(sz2, _mm_unpackhi_pd(sz2, sz2)));
+}
+
+/** AVX2 float mask: all-ones / all-zeros float lanes. */
+template <>
+struct SimdMask<float, 8>
+{
+    __m256 m = _mm256_setzero_ps();
+
+    bool
+    lane(int l) const
+    {
+        return (_mm256_movemask_ps(m) >> l) & 1;
+    }
+
+    int bits() const { return _mm256_movemask_ps(m); }
+
+    SimdMask
+    operator&(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = _mm256_and_ps(m, o.m);
+        return r;
+    }
+};
+
+/** AVX2 float backend: twice the lanes of `Simd<double, 4>`. */
+template <>
+struct Simd<float, 8>
+{
+    __m256 v = _mm256_setzero_ps();
+
+    Simd() = default;
+
+    /* implicit */ Simd(float s) : v(_mm256_set1_ps(s)) {}
+
+    static Simd
+    loadu(const float *p)
+    {
+        Simd r;
+        r.v = _mm256_loadu_ps(p);
+        return r;
+    }
+
+    void storeu(float *p) const { _mm256_storeu_ps(p, v); }
+
+    static Simd
+    gather(const float *base, const SimdIndex<8> &idx)
+    {
+        Simd r;
+        r.v = _mm256_i32gather_ps(base, idx.v, 4);
+        return r;
+    }
+
+    float
+    lane(int l) const
+    {
+        alignas(32) float tmp[8];
+        _mm256_store_ps(tmp, v);
+        return tmp[l];
+    }
+
+    Simd
+    operator+(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_add_ps(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator-(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_sub_ps(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator*(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_mul_ps(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator/(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm256_div_ps(v, o.v);
+        return r;
+    }
+
+    Simd &
+    operator+=(const Simd &o)
+    {
+        v = _mm256_add_ps(v, o.v);
+        return *this;
+    }
+
+    static Simd
+    sqrt(const Simd &a)
+    {
+        Simd r;
+        r.v = _mm256_sqrt_ps(a.v);
+        return r;
+    }
+
+    /** Fused a*b + c (per-ISA determinism permits fusing here). */
+    static Simd
+    fma(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm256_fmadd_ps(a.v, b.v, c.v);
+        return r;
+    }
+
+    /** Fused a*b - c. */
+    static Simd
+    fms(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm256_fmsub_ps(a.v, b.v, c.v);
+        return r;
+    }
+
+    static Simd
+    min(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm256_min_ps(a.v, b.v);
+        return r;
+    }
+
+    static Simd
+    max(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm256_max_ps(a.v, b.v);
+        return r;
+    }
+
+    SimdMask<float, 8>
+    operator<(const Simd &o) const
+    {
+        SimdMask<float, 8> r;
+        r.m = _mm256_cmp_ps(v, o.v, _CMP_LT_OQ);
+        return r;
+    }
+
+    SimdMask<float, 8>
+    operator>(const Simd &o) const
+    {
+        SimdMask<float, 8> r;
+        r.m = _mm256_cmp_ps(v, o.v, _CMP_GT_OQ);
+        return r;
+    }
+
+    SimdMask<float, 8>
+    operator!=(const Simd &o) const
+    {
+        SimdMask<float, 8> r;
+        r.m = _mm256_cmp_ps(v, o.v, _CMP_NEQ_UQ);
+        return r;
+    }
+
+    static Simd
+    select(const SimdMask<float, 8> &mask, const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm256_blendv_ps(b.v, a.v, mask.m);
+        return r;
+    }
+
+    static Simd
+    maskZero(const SimdMask<float, 8> &mask, const Simd &a)
+    {
+        Simd r;
+        r.v = _mm256_and_ps(mask.m, a.v);
+        return r;
+    }
+
+    static SimdIndex<8>
+    truncToIndex(const Simd &a)
+    {
+        SimdIndex<8> r;
+        r.v = _mm256_cvttps_epi32(a.v);
+        return r;
+    }
+
+    static Simd
+    fromIndex(const SimdIndex<8> &idx)
+    {
+        Simd r;
+        r.v = _mm256_cvtepi32_ps(idx.v);
+        return r;
+    }
+
+    float
+    sum() const
+    {
+        alignas(32) float tmp[8];
+        _mm256_store_ps(tmp, v);
+        float total = tmp[0];
+        for (int l = 1; l < 8; ++l)
+            total += tmp[l];
+        return total;
+    }
+};
+
+/**
+ * AVX2 float loadXyzw: eight contiguous 16-byte record loads plus an
+ * 8x4 in-register transpose (unpack within 128-bit halves, shuffle
+ * across) — the float analogue of the double transpose above.
+ */
+inline void
+loadXyzw(const float *pack, const std::uint32_t *idx, Simd<float, 8> &x,
+         Simd<float, 8> &y, Simd<float, 8> &z, Simd<float, 8> &w)
+{
+    const __m128 a0 = _mm_loadu_ps(pack + 4u * idx[0]);
+    const __m128 a1 = _mm_loadu_ps(pack + 4u * idx[1]);
+    const __m128 a2 = _mm_loadu_ps(pack + 4u * idx[2]);
+    const __m128 a3 = _mm_loadu_ps(pack + 4u * idx[3]);
+    const __m128 a4 = _mm_loadu_ps(pack + 4u * idx[4]);
+    const __m128 a5 = _mm_loadu_ps(pack + 4u * idx[5]);
+    const __m128 a6 = _mm_loadu_ps(pack + 4u * idx[6]);
+    const __m128 a7 = _mm_loadu_ps(pack + 4u * idx[7]);
+    const __m256 r04 = _mm256_set_m128(a4, a0); // rec0 low | rec4 high
+    const __m256 r15 = _mm256_set_m128(a5, a1);
+    const __m256 r26 = _mm256_set_m128(a6, a2);
+    const __m256 r37 = _mm256_set_m128(a7, a3);
+    const __m256 t0 = _mm256_unpacklo_ps(r04, r15); // x0 x1 y0 y1 | x4 x5 y4 y5
+    const __m256 t1 = _mm256_unpackhi_ps(r04, r15); // z0 z1 w0 w1 | z4 z5 w4 w5
+    const __m256 t2 = _mm256_unpacklo_ps(r26, r37); // x2 x3 y2 y3 | x6 x7 y6 y7
+    const __m256 t3 = _mm256_unpackhi_ps(r26, r37); // z2 z3 w2 w3 | z6 z7 w6 w7
+    x.v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    y.v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    z.v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+    w.v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+}
+
+/**
+ * As above, skipping the unused payload shuffle. (Measured on
+ * Skylake-SP: this 8-load transpose beats three vpgatherdps — the
+ * microcoded gather loses despite touching all eight lanes at once.)
+ */
+inline void
+loadXyz(const float *pack, const std::uint32_t *idx, Simd<float, 8> &x,
+        Simd<float, 8> &y, Simd<float, 8> &z)
+{
+    const __m128 a0 = _mm_loadu_ps(pack + 4u * idx[0]);
+    const __m128 a1 = _mm_loadu_ps(pack + 4u * idx[1]);
+    const __m128 a2 = _mm_loadu_ps(pack + 4u * idx[2]);
+    const __m128 a3 = _mm_loadu_ps(pack + 4u * idx[3]);
+    const __m128 a4 = _mm_loadu_ps(pack + 4u * idx[4]);
+    const __m128 a5 = _mm_loadu_ps(pack + 4u * idx[5]);
+    const __m128 a6 = _mm_loadu_ps(pack + 4u * idx[6]);
+    const __m128 a7 = _mm_loadu_ps(pack + 4u * idx[7]);
+    const __m256 r04 = _mm256_set_m128(a4, a0);
+    const __m256 r15 = _mm256_set_m128(a5, a1);
+    const __m256 r26 = _mm256_set_m128(a6, a2);
+    const __m256 r37 = _mm256_set_m128(a7, a3);
+    const __m256 t0 = _mm256_unpacklo_ps(r04, r15); // x0 x1 y0 y1 | ...
+    const __m256 t1 = _mm256_unpackhi_ps(r04, r15); // z0 z1 w0 w1 | ...
+    const __m256 t2 = _mm256_unpacklo_ps(r26, r37); // x2 x3 y2 y3 | ...
+    const __m256 t3 = _mm256_unpackhi_ps(r26, r37); // z2 z3 w2 w3 | ...
+    x.v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    y.v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    z.v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+}
+
+/** Pairwise three-stripe horizontal sum (see the generic template). */
+inline void
+sumXyz(const Simd<float, 8> &x, const Simd<float, 8> &y,
+       const Simd<float, 8> &z, float &sx, float &sy, float &sz)
+{
+    const __m256 xy = _mm256_hadd_ps(x.v, y.v);
+    const __m256 zz = _mm256_hadd_ps(z.v, z.v);
+    // x0123 y0123 z0123 z0123 | x4567 y4567 z4567 z4567
+    const __m256 xyzz = _mm256_hadd_ps(xy, zz);
+    const __m128 s = _mm_add_ps(_mm256_castps256_ps128(xyzz),
+                                _mm256_extractf128_ps(xyzz, 1));
+    sx = _mm_cvtss_f32(s);
+    sy = _mm_cvtss_f32(_mm_shuffle_ps(s, s, 1));
+    sz = _mm_cvtss_f32(_mm_shuffle_ps(s, s, 2));
+}
+
+/** Pairwise two-stripe horizontal sum (see the generic template). */
+inline void
+sumPair(const Simd<float, 8> &a, const Simd<float, 8> &b, float &sa,
+        float &sb)
+{
+    // a0+a1 a2+a3 b0+b1 b2+b3 | a4+a5 a6+a7 b4+b5 b6+b7
+    const __m256 ab = _mm256_hadd_ps(a.v, b.v);
+    const __m128 s = _mm_add_ps(_mm256_castps256_ps128(ab),
+                                _mm256_extractf128_ps(ab, 1));
+    const __m128 t = _mm_hadd_ps(s, s); // [Σa, Σb, Σa, Σb]
+    sa = _mm_cvtss_f32(t);
+    sb = _mm_cvtss_f32(_mm_shuffle_ps(t, t, 1));
+}
+
 #endif // MDBENCH_SIMD_AVX2
 
 // ---------------------------------------------------------------- AVX512
 
 #if defined(MDBENCH_SIMD_AVX512)
-
-/** AVX-512 backend: 8 x u32 indices in an AVX2 register. */
-template <>
-struct SimdIndex<8>
-{
-    __m256i v = _mm256_setzero_si256();
-
-    static SimdIndex
-    load(const std::uint32_t *p)
-    {
-        SimdIndex r;
-        r.v = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
-        return r;
-    }
-
-    static SimdIndex
-    gather32(const int *base, const SimdIndex &idx)
-    {
-        SimdIndex r;
-        r.v = _mm256_i32gather_epi32(base, idx.v, 4);
-        return r;
-    }
-
-    SimdIndex
-    operator*(std::uint32_t s) const
-    {
-        SimdIndex r;
-        r.v = _mm256_mullo_epi32(v, _mm256_set1_epi32(static_cast<int>(s)));
-        return r;
-    }
-
-    SimdIndex
-    operator+(std::uint32_t s) const
-    {
-        SimdIndex r;
-        r.v = _mm256_add_epi32(v, _mm256_set1_epi32(static_cast<int>(s)));
-        return r;
-    }
-
-    static SimdIndex
-    min(const SimdIndex &a, std::uint32_t s)
-    {
-        SimdIndex r;
-        r.v = _mm256_min_epu32(a.v, _mm256_set1_epi32(static_cast<int>(s)));
-        return r;
-    }
-
-    std::uint32_t
-    lane(int l) const
-    {
-        alignas(32) std::uint32_t tmp[8];
-        _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), v);
-        return tmp[l];
-    }
-};
 
 /** AVX-512 mask: a real predicate register. */
 template <>
@@ -1033,6 +1489,14 @@ struct Simd<double, 8>
         return r;
     }
 
+    static Simd
+    maskZero(const SimdMask<double, 8> &mask, const Simd &a)
+    {
+        Simd r;
+        r.v = _mm512_maskz_mov_pd(mask.m, a.v);
+        return r;
+    }
+
     static SimdIndex<8>
     truncToIndex(const Simd &a)
     {
@@ -1075,6 +1539,306 @@ loadXyzw(const double *pack, const std::uint32_t *idx, Simd<double, 8> &x,
     y.v = _mm512_i32gather_pd(rec, pack + 1, 8);
     z.v = _mm512_i32gather_pd(rec, pack + 2, 8);
     w.v = _mm512_i32gather_pd(rec, pack + 3, 8);
+}
+
+/** As above, skipping the unused payload gather. */
+inline void
+loadXyz(const double *pack, const std::uint32_t *idx, Simd<double, 8> &x,
+        Simd<double, 8> &y, Simd<double, 8> &z)
+{
+    const __m256i rec = _mm256_slli_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(idx)), 2);
+    x.v = _mm512_i32gather_pd(rec, pack + 0, 8);
+    y.v = _mm512_i32gather_pd(rec, pack + 1, 8);
+    z.v = _mm512_i32gather_pd(rec, pack + 2, 8);
+}
+
+/** AVX-512 backend: 16 x u32 indices in a ZMM register. */
+template <>
+struct SimdIndex<16>
+{
+    __m512i v = _mm512_setzero_si512();
+
+    static SimdIndex
+    load(const std::uint32_t *p)
+    {
+        SimdIndex r;
+        r.v = _mm512_loadu_si512(p);
+        return r;
+    }
+
+    static SimdIndex
+    gather32(const int *base, const SimdIndex &idx)
+    {
+        SimdIndex r;
+        r.v = _mm512_i32gather_epi32(idx.v, base, 4);
+        return r;
+    }
+
+    SimdIndex
+    operator*(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm512_mullo_epi32(v, _mm512_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    SimdIndex
+    operator+(std::uint32_t s) const
+    {
+        SimdIndex r;
+        r.v = _mm512_add_epi32(v, _mm512_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    static SimdIndex
+    min(const SimdIndex &a, std::uint32_t s)
+    {
+        SimdIndex r;
+        r.v = _mm512_min_epu32(a.v, _mm512_set1_epi32(static_cast<int>(s)));
+        return r;
+    }
+
+    std::uint32_t
+    lane(int l) const
+    {
+        alignas(64) std::uint32_t tmp[16];
+        _mm512_store_si512(reinterpret_cast<__m512i *>(tmp), v);
+        return tmp[l];
+    }
+};
+
+/** AVX-512 float mask: a 16-bit predicate register. */
+template <>
+struct SimdMask<float, 16>
+{
+    __mmask16 m = 0;
+
+    bool lane(int l) const { return (m >> l) & 1; }
+
+    int bits() const { return m; }
+
+    SimdMask
+    operator&(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = static_cast<__mmask16>(m & o.m);
+        return r;
+    }
+};
+
+/** AVX-512 float backend: twice the lanes of `Simd<double, 8>`. */
+template <>
+struct Simd<float, 16>
+{
+    __m512 v = _mm512_setzero_ps();
+
+    Simd() = default;
+
+    /* implicit */ Simd(float s) : v(_mm512_set1_ps(s)) {}
+
+    static Simd
+    loadu(const float *p)
+    {
+        Simd r;
+        r.v = _mm512_loadu_ps(p);
+        return r;
+    }
+
+    void storeu(float *p) const { _mm512_storeu_ps(p, v); }
+
+    static Simd
+    gather(const float *base, const SimdIndex<16> &idx)
+    {
+        Simd r;
+        r.v = _mm512_i32gather_ps(idx.v, base, 4);
+        return r;
+    }
+
+    float
+    lane(int l) const
+    {
+        alignas(64) float tmp[16];
+        _mm512_store_ps(tmp, v);
+        return tmp[l];
+    }
+
+    Simd
+    operator+(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_add_ps(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator-(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_sub_ps(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator*(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_mul_ps(v, o.v);
+        return r;
+    }
+
+    Simd
+    operator/(const Simd &o) const
+    {
+        Simd r;
+        r.v = _mm512_div_ps(v, o.v);
+        return r;
+    }
+
+    Simd &
+    operator+=(const Simd &o)
+    {
+        v = _mm512_add_ps(v, o.v);
+        return *this;
+    }
+
+    static Simd
+    sqrt(const Simd &a)
+    {
+        Simd r;
+        r.v = _mm512_sqrt_ps(a.v);
+        return r;
+    }
+
+    /** Fused a*b + c (per-ISA determinism permits fusing here). */
+    static Simd
+    fma(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm512_fmadd_ps(a.v, b.v, c.v);
+        return r;
+    }
+
+    /** Fused a*b - c. */
+    static Simd
+    fms(const Simd &a, const Simd &b, const Simd &c)
+    {
+        Simd r;
+        r.v = _mm512_fmsub_ps(a.v, b.v, c.v);
+        return r;
+    }
+
+    static Simd
+    min(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm512_min_ps(a.v, b.v);
+        return r;
+    }
+
+    static Simd
+    max(const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm512_max_ps(a.v, b.v);
+        return r;
+    }
+
+    SimdMask<float, 16>
+    operator<(const Simd &o) const
+    {
+        SimdMask<float, 16> r;
+        r.m = _mm512_cmp_ps_mask(v, o.v, _CMP_LT_OQ);
+        return r;
+    }
+
+    SimdMask<float, 16>
+    operator>(const Simd &o) const
+    {
+        SimdMask<float, 16> r;
+        r.m = _mm512_cmp_ps_mask(v, o.v, _CMP_GT_OQ);
+        return r;
+    }
+
+    SimdMask<float, 16>
+    operator!=(const Simd &o) const
+    {
+        SimdMask<float, 16> r;
+        r.m = _mm512_cmp_ps_mask(v, o.v, _CMP_NEQ_UQ);
+        return r;
+    }
+
+    static Simd
+    select(const SimdMask<float, 16> &mask, const Simd &a, const Simd &b)
+    {
+        Simd r;
+        r.v = _mm512_mask_blend_ps(mask.m, b.v, a.v);
+        return r;
+    }
+
+    static Simd
+    maskZero(const SimdMask<float, 16> &mask, const Simd &a)
+    {
+        Simd r;
+        r.v = _mm512_maskz_mov_ps(mask.m, a.v);
+        return r;
+    }
+
+    static SimdIndex<16>
+    truncToIndex(const Simd &a)
+    {
+        SimdIndex<16> r;
+        r.v = _mm512_cvttps_epi32(a.v);
+        return r;
+    }
+
+    static Simd
+    fromIndex(const SimdIndex<16> &idx)
+    {
+        Simd r;
+        r.v = _mm512_cvtepi32_ps(idx.v);
+        return r;
+    }
+
+    float
+    sum() const
+    {
+        alignas(64) float tmp[16];
+        _mm512_store_ps(tmp, v);
+        float total = tmp[0];
+        for (int l = 1; l < 16; ++l)
+            total += tmp[l];
+        return total;
+    }
+};
+
+/**
+ * AVX-512 float loadXyzw: four gathers off a single pre-scaled index
+ * vector (record base = idx*4 floats; component picked by the base
+ * pointer).
+ */
+inline void
+loadXyzw(const float *pack, const std::uint32_t *idx, Simd<float, 16> &x,
+         Simd<float, 16> &y, Simd<float, 16> &z, Simd<float, 16> &w)
+{
+    const __m512i rec =
+        _mm512_slli_epi32(_mm512_loadu_si512(idx), 2);
+    x.v = _mm512_i32gather_ps(rec, pack + 0, 4);
+    y.v = _mm512_i32gather_ps(rec, pack + 1, 4);
+    z.v = _mm512_i32gather_ps(rec, pack + 2, 4);
+    w.v = _mm512_i32gather_ps(rec, pack + 3, 4);
+}
+
+/** As above, skipping the unused payload gather. */
+inline void
+loadXyz(const float *pack, const std::uint32_t *idx, Simd<float, 16> &x,
+        Simd<float, 16> &y, Simd<float, 16> &z)
+{
+    const __m512i rec =
+        _mm512_slli_epi32(_mm512_loadu_si512(idx), 2);
+    x.v = _mm512_i32gather_ps(rec, pack + 0, 4);
+    y.v = _mm512_i32gather_ps(rec, pack + 1, 4);
+    z.v = _mm512_i32gather_ps(rec, pack + 2, 4);
 }
 
 #endif // MDBENCH_SIMD_AVX512

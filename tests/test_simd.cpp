@@ -480,16 +480,23 @@ TEST(WidthApi, BackendNamesAreConsistent)
 {
     EXPECT_STREQ(simdBackendName(0), "scalar");
     EXPECT_STREQ(simdBackendName(-1), "scalar");
-    for (int w : {1, 2, 4, 8}) {
+    for (int w : {1, 2, 4, 8, 16}) {
         ASSERT_TRUE(simdWidthSupported(w));
         const char *name = simdBackendName(w);
         if (w == kSimdCompiledWidth && w > 1)
             EXPECT_STREQ(name, simdIsaName());
         else
             EXPECT_STREQ(name, "generic");
+        // Float lanes at a given width use the ISA backend whose float
+        // vector holds that many lanes (twice the double count).
+        const char *floatName = simdBackendName(w, true);
+        if (w == kSimdCompiledFloatWidth && w > 1)
+            EXPECT_STREQ(floatName, simdIsaName());
+        else
+            EXPECT_STREQ(floatName, "generic");
     }
     EXPECT_FALSE(simdWidthSupported(3));
-    EXPECT_FALSE(simdWidthSupported(16));
+    EXPECT_FALSE(simdWidthSupported(32));
 }
 
 } // namespace
