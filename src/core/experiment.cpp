@@ -67,6 +67,8 @@ runNativeSerial(const ExperimentSpec &spec)
         ThreadPool::setThreads(spec.threads);
     if (spec.simdWidth >= 0)
         setSimdWidth(spec.simdWidth);
+    if (spec.neighLayout >= 0)
+        setNeighLayout(spec.neighLayout);
     if (spec.precision != Precision::EngineDefault)
         setPrecisionTier(spec.precision);
     sim->setup();
@@ -78,6 +80,8 @@ runNativeSerial(const ExperimentSpec &spec)
         setPrecisionTier(Precision::EngineDefault);
     if (spec.simdWidth >= 0)
         setSimdWidth(-1);
+    if (spec.neighLayout >= 0)
+        setNeighLayout(-1);
     if (spec.threads > 0)
         ThreadPool::setThreads(previousThreads);
 
@@ -111,6 +115,8 @@ runNativeRanked(const ExperimentSpec &spec)
         });
     if (spec.simdWidth >= 0)
         setSimdWidth(spec.simdWidth);
+    if (spec.neighLayout >= 0)
+        setNeighLayout(spec.neighLayout);
     if (spec.precision != Precision::EngineDefault)
         setPrecisionTier(spec.precision);
     ranked.setup();
@@ -119,6 +125,8 @@ runNativeRanked(const ExperimentSpec &spec)
         setPrecisionTier(Precision::EngineDefault);
     if (spec.simdWidth >= 0)
         setSimdWidth(-1);
+    if (spec.neighLayout >= 0)
+        setNeighLayout(-1);
 
     ExperimentRecord record;
     record.spec = spec;

@@ -67,6 +67,14 @@ struct ExperimentSpec
      */
     int simdWidth = -1;
 
+    /**
+     * Neighbor-list packing layout for native modes (-1 = engine
+     * default from MDBENCH_NEIGH_LAYOUT, 0 = padded CSR, 1 = cluster
+     * pairs; see setNeighLayout in md/neighbor.h). Takes effect at the
+     * run's first neighbor build.
+     */
+    int neighLayout = -1;
+
     /** "<bench>-<size>k" label as the paper's plots use. */
     std::string label() const;
 };

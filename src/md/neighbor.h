@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "md/vec3.h"
+#include "md/xpack.h"
+#include "util/neigh_layout.h"
 #include "util/precision.h"
 
 namespace mdbench {
@@ -57,6 +59,26 @@ struct NeighborList
      */
     Precision packTier = Precision::Double;
 
+    // Cluster-pair layout (DESIGN.md §14), built instead of the padded
+    // packing when MDBENCH_NEIGH_LAYOUT=cluster. j-clusters are runs of
+    // clusterN consecutive bin-ordered atom slots (the build's counting
+    // sort order, padded with `sentinel`); i-clusters are runs of
+    // clusterM owned atoms in the same order. One stored (i-cluster,
+    // j-cluster) pair serves clusterM × clusterN lane pairs; traversal
+    // is full-style (forces land on the i side only, energies ×1/2).
+    std::vector<std::uint32_t> clusterJAtoms;  ///< njc × clusterN slots
+    std::vector<std::uint32_t> clusterIAtoms;  ///< nic × clusterM slots
+    std::vector<std::uint32_t> clusterOffsets; ///< size nic + 1
+    std::vector<std::uint32_t> clusterPairs;   ///< j-cluster ids (CSR)
+    int clusterN = 0; ///< j-cluster width (0 = cluster layout off)
+    int clusterM = 0; ///< i-cluster height
+
+    /** True when the cluster layout was built at j width @p w. */
+    bool clusterFor(int w) const { return clusterN == w && clusterN >= 2; }
+
+    /** Stored cluster pairs. */
+    std::size_t clusterPairCount() const { return clusterPairs.size(); }
+
     /** Neighbors of atom @p i as a begin/end index pair. */
     std::pair<std::uint32_t, std::uint32_t>
     range(std::size_t i) const
@@ -92,6 +114,15 @@ struct NeighborList
  * and rebuild-interval settings.
  */
 void countSimdLaneUse(const NeighborList &list, int traversals = 1);
+
+/**
+ * Cluster-layout analogue of countSimdLaneUse: active lanes are the
+ * stored pairs as the full-style traversal visits them (twice for half
+ * lists, once per side for full lists); waste is every other lane pair
+ * of the stored cluster pairs (cutoff-rejected, self, and sentinel
+ * slots).
+ */
+void countClusterLaneUse(const NeighborList &list, int traversals = 1);
 
 /**
  * Neighbor-list manager: binning, rebuild policy, and build statistics.
@@ -174,6 +205,15 @@ class Neighbor
     /** Steps at which builds happened (statistics for the harness). */
     double averageRebuildInterval() const;
 
+    /**
+     * Re-derive the packing (padded CSR or cluster pairs) from the
+     * existing plain list when the SIMD width, precision tier, or
+     * layout knob changed since the last build — called by the force
+     * loop before every pair compute, so a knob change between builds
+     * can never leave a kernel traversing stale-width geometry.
+     */
+    void ensureFreshPacking(Simulation &sim);
+
   private:
     /**
      * The build proper. Kept out of line behind the traced build()
@@ -190,6 +230,18 @@ class Neighbor
      */
     void packPadded(Simulation &sim);
 
+    /**
+     * Build the cluster-pair layout from the build's binning (or, with
+     * @p refresh, mid-skin-cycle from drifted positions — the bbox
+     * prune and candidate stencil then widen by one skin / one bin so
+     * every plain-list pair stays covered). Falls back to packPadded
+     * when the SIMD layer is off or the system has exclusions.
+     */
+    void packClusters(Simulation &sim, bool refresh);
+
+    /** Layout dispatch for packPadded/packClusters + bookkeeping. */
+    void packLists(Simulation &sim, bool refresh);
+
     NeighborList list_;
     std::vector<Vec3> lastBuildPos_;
 
@@ -199,6 +251,26 @@ class Neighbor
     std::vector<std::uint32_t> binStart_;  ///< CSR bin offsets (nbins + 1)
     std::vector<std::uint32_t> binCursor_; ///< scatter cursors (scratch)
     std::vector<std::uint32_t> binAtoms_;  ///< atoms grouped by bin
+
+    /** Per-(slice, bin) histograms for the parallel counting sort. */
+    std::vector<std::uint32_t> binSliceCount_;
+
+    /** Bin-ordered [x, y, z, 0] records staged for the SIMD filter. */
+    XPack<double> buildStage_;
+
+    /** Owned atoms in bin order (cluster i-side grouping). */
+    std::vector<std::uint32_t> ownedOrder_;
+
+    /** Per-j-cluster bounding boxes (xyz min, xyz max — scratch). */
+    std::vector<double> clusterBounds_;
+
+    /** Knob values the current packing was built with. */
+    int packedWidth_ = 0;
+    Precision packedTier_ = Precision::Double;
+    NeighLayout packedLayout_ = NeighLayout::Csr;
+
+    /** True when the last build had bond/angle exclusions to honor. */
+    bool hasExclusions_ = false;
 
     /** Payload size of the previous build (sizes the serial reserve). */
     std::size_t prevNeighborCount_ = 0;

@@ -92,6 +92,10 @@ Simulation::computeLocalForces()
 {
     if (pair) {
         TaskScope scope(timer, Task::Pair);
+        // Re-derive the SIMD packing if a width/tier/layout knob
+        // changed since the list was built, so kernels never consume a
+        // packing built for a different geometry.
+        neighbor.ensureFreshPacking(*this);
         pair->compute(*this, neighbor.list());
     }
     if (bondStyle || angleStyle) {

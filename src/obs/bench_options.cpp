@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/neigh_layout.h"
 #include "util/precision.h"
 #include "util/simd.h"
 
@@ -55,7 +56,9 @@ parseBenchOptions(int &argc, char **argv)
             matchValueFlag(argc, argv, i, "--log-level", options.logLevel,
                            consumed) ||
             matchValueFlag(argc, argv, i, "--precision",
-                           options.precision, consumed)) {
+                           options.precision, consumed) ||
+            matchValueFlag(argc, argv, i, "--neigh-layout",
+                           options.neighLayout, consumed)) {
             i += consumed;
             continue;
         }
@@ -87,6 +90,13 @@ parseBenchOptions(int &argc, char **argv)
                     "' (want double|mixed|single|default)");
         setPrecisionTier(tier);
     }
+    if (!options.neighLayout.empty()) {
+        NeighLayout layout = NeighLayout::Csr;
+        require(parseNeighLayout(options.neighLayout.c_str(), layout),
+                "invalid --neigh-layout '" + options.neighLayout +
+                    "' (want csr|cluster)");
+        setNeighLayout(static_cast<int>(layout));
+    }
     return options;
 }
 
@@ -103,7 +113,9 @@ benchOptionsUsage()
            "  --no-simd         run scalar pair kernels "
            "(overrides MDBENCH_SIMD)\n"
            "  --precision TIER  double|mixed|single|default native "
-           "compute tier (overrides MDBENCH_PRECISION)\n";
+           "compute tier (overrides MDBENCH_PRECISION)\n"
+           "  --neigh-layout L  csr|cluster neighbor packing layout "
+           "(overrides MDBENCH_NEIGH_LAYOUT)\n";
 }
 
 BenchRun::BenchRun(int &argc, char **argv, const std::string &program)

@@ -17,6 +17,8 @@ counterName(Counter counter)
       case Counter::NeighTriggerChecks: return "neigh.trigger_checks";
       case Counter::NeighPairs: return "neigh.pairs";
       case Counter::NeighPaddedSlots: return "neigh.padded_slots";
+      case Counter::NeighBuildCandidates: return "neigh.build_candidates";
+      case Counter::NeighBuildAccepted: return "neigh.build_accepted";
       case Counter::SortApplied: return "neigh.sorts_applied";
       case Counter::SortSkipped: return "neigh.sorts_skipped";
       case Counter::PairComputes: return "pair.computes";

@@ -31,6 +31,8 @@ enum class Counter : std::size_t {
     NeighTriggerChecks, ///< displacement trigger evaluations
     NeighPairs,         ///< pairs stored by neighbor builds
     NeighPaddedSlots,   ///< sentinel slots added by SIMD padded packing
+    NeighBuildCandidates, ///< stencil candidates examined by builds
+    NeighBuildAccepted,   ///< candidates accepted into the list
     SortApplied,        ///< spatial atom reorders applied
     SortSkipped,        ///< sort-enabled rebuilds that did not reorder
     PairComputes,       ///< pair-style compute() calls

@@ -1,0 +1,67 @@
+#include "util/neigh_layout.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mdbench {
+
+namespace {
+
+// -1 means "no override": fall back to the MDBENCH_NEIGH_LAYOUT
+// environment default (itself defaulting to csr).
+std::atomic<int> gNeighLayoutOverride{-1};
+
+} // namespace
+
+const char *
+neighLayoutName(NeighLayout layout)
+{
+    return layout == NeighLayout::Cluster ? "cluster" : "csr";
+}
+
+bool
+parseNeighLayout(const char *text, NeighLayout &out)
+{
+    if (text == nullptr)
+        return false;
+    if (std::strcmp(text, "csr") == 0) {
+        out = NeighLayout::Csr;
+        return true;
+    }
+    if (std::strcmp(text, "cluster") == 0) {
+        out = NeighLayout::Cluster;
+        return true;
+    }
+    return false;
+}
+
+NeighLayout
+defaultNeighLayout()
+{
+    static const NeighLayout layout = [] {
+        NeighLayout out = NeighLayout::Csr;
+        parseNeighLayout(std::getenv("MDBENCH_NEIGH_LAYOUT"), out);
+        return out;
+    }();
+    return layout;
+}
+
+NeighLayout
+neighLayout()
+{
+    const int override_ =
+        gNeighLayoutOverride.load(std::memory_order_relaxed);
+    if (override_ >= 0)
+        return override_ == 1 ? NeighLayout::Cluster : NeighLayout::Csr;
+    return defaultNeighLayout();
+}
+
+void
+setNeighLayout(int layout)
+{
+    gNeighLayoutOverride.store(layout >= 0 && layout <= 1 ? layout : -1,
+                               std::memory_order_relaxed);
+}
+
+} // namespace mdbench

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Neighbor-list packing layout knob (DESIGN.md §14).
+ *
+ * Two SIMD-consumable packings of the plain CSR neighbor list:
+ *
+ *  - csr:     padded CSR rows (DESIGN.md §12) — each row rounded up to
+ *             the lane width with sentinel slots. The default; every
+ *             SIMD pair kernel consumes it.
+ *  - cluster: MD-Bench/GROMACS-style M×N cluster pairs — atoms grouped
+ *             into clusters of M (i side) and N = lane width (j side)
+ *             in spatial-bin order, one stored pair per cluster pair.
+ *             List memory shrinks ~N× and j loads become contiguous;
+ *             kernels without a cluster traversal fall back to their
+ *             scalar path.
+ *
+ * Process-wide knob mirroring the SIMD width (util/simd.h) and
+ * precision (util/precision.h) knobs: `MDBENCH_NEIGH_LAYOUT` sets the
+ * default, `setNeighLayout()` overrides it at runtime. It lives in
+ * util so the observability layer can stamp the active layout into
+ * manifests without depending on the md layer.
+ */
+
+#ifndef MDBENCH_UTIL_NEIGH_LAYOUT_H
+#define MDBENCH_UTIL_NEIGH_LAYOUT_H
+
+namespace mdbench {
+
+/** Neighbor-list packing layouts. */
+enum class NeighLayout { Csr = 0, Cluster };
+
+/** Lowercase layout name ("csr", "cluster"). */
+const char *neighLayoutName(NeighLayout layout);
+
+/** Parse a layout name ("csr" | "cluster"). False on unknown text. */
+bool parseNeighLayout(const char *text, NeighLayout &out);
+
+/**
+ * Default layout from `MDBENCH_NEIGH_LAYOUT` (csr | cluster). Unset or
+ * unparseable means NeighLayout::Csr.
+ */
+NeighLayout defaultNeighLayout();
+
+/** The active layout: the override if set, else the default. */
+NeighLayout neighLayout();
+
+/**
+ * Override the active layout for subsequent neighbor packings
+ * (0 = csr, 1 = cluster, -1 = clear the override and fall back to the
+ * environment default). Takes effect at the next neighbor build or
+ * packing refresh.
+ */
+void setNeighLayout(int layout);
+
+} // namespace mdbench
+
+#endif // MDBENCH_UTIL_NEIGH_LAYOUT_H

@@ -49,6 +49,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -332,6 +333,60 @@ struct SimdMask
             r.m[l] = m[l] && o.m[l];
         return r;
     }
+
+    SimdMask
+    operator|(const SimdMask &o) const
+    {
+        SimdMask r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = m[l] || o.m[l];
+        return r;
+    }
+
+    /** Lanes of @p o with this mask's lanes cleared: ~this & o. */
+    SimdMask
+    andnot(const SimdMask &o) const
+    {
+        SimdMask r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = !m[l] && o.m[l];
+        return r;
+    }
+
+    // Index-domain compares lifted into this element type's mask
+    // domain (the neighbor build combines id rules with coordinate
+    // tie-breaks in one vector predicate). Indices are atom ids and
+    // always < 2^31, so the ISA backends may compare signed.
+
+    /** Lane l set when idx[l] < s. */
+    static SimdMask
+    fromIndexLT(const SimdIndex<W> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = idx.lane(l) < s;
+        return r;
+    }
+
+    /** Lane l set when idx[l] > s. */
+    static SimdMask
+    fromIndexGT(const SimdIndex<W> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = idx.lane(l) > s;
+        return r;
+    }
+
+    /** Lane l set when idx[l] == s. */
+    static SimdMask
+    fromIndexEQ(const SimdIndex<W> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = idx.lane(l) == s;
+        return r;
+    }
 };
 
 /**
@@ -506,6 +561,24 @@ struct Simd
         return r;
     }
 
+    SimdMask<T, W>
+    operator==(const Simd &o) const
+    {
+        SimdMask<T, W> r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = v[l] == o.v[l];
+        return r;
+    }
+
+    SimdMask<T, W>
+    operator>=(const Simd &o) const
+    {
+        SimdMask<T, W> r;
+        for (int l = 0; l < W; ++l)
+            r.m[l] = v[l] >= o.v[l];
+        return r;
+    }
+
     /** Lanes of @p a where the mask is set, of @p b elsewhere. */
     static Simd
     select(const SimdMask<T, W> &mask, const Simd &a, const Simd &b)
@@ -600,6 +673,45 @@ loadXyz(const T *pack, const std::uint32_t *idx, Simd<T, W> &x,
         y.v[l] = rec[1];
         z.v[l] = rec[2];
     }
+}
+
+/**
+ * Contiguous-record variant of loadXyz: lanes come from the W
+ * consecutive 4-element records starting at record index @p first.
+ * The neighbor build stages candidates in bin order, so its filter
+ * reads runs of records instead of gathering by neighbor id.
+ */
+template <typename T, int W>
+inline void
+loadXyzRun(const T *pack, std::size_t first, Simd<T, W> &x, Simd<T, W> &y,
+           Simd<T, W> &z)
+{
+    for (int l = 0; l < W; ++l) {
+        const T *rec = pack + 4u * (first + l);
+        x.v[l] = rec[0];
+        y.v[l] = rec[1];
+        z.v[l] = rec[2];
+    }
+}
+
+/**
+ * Compress-store: write the lanes of @p ids whose bit is set in
+ * @p maskBits to @p dst in ascending lane order — the vector analogue
+ * of the scalar "if (keep) out[n++] = id" append, which is how the
+ * vectorized neighbor build emits CSR rows in exactly the scalar
+ * order. Writes exactly popcount(maskBits) elements (no tail slop, so
+ * rows owned by different threads can abut) and returns that count.
+ */
+template <int W>
+inline int
+compressStore(std::uint32_t *dst, const SimdIndex<W> &ids, int maskBits)
+{
+    int n = 0;
+    for (int rest = maskBits; rest; rest &= rest - 1) {
+        const int l = std::countr_zero(static_cast<unsigned>(rest));
+        dst[n++] = ids.lane(l);
+    }
+    return n;
 }
 
 /**
@@ -777,6 +889,56 @@ struct SimdMask<double, 4>
         r.m = _mm256_and_pd(m, o.m);
         return r;
     }
+
+    SimdMask
+    operator|(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = _mm256_or_pd(m, o.m);
+        return r;
+    }
+
+    SimdMask
+    andnot(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = _mm256_andnot_pd(m, o.m);
+        return r;
+    }
+
+    // 32-bit id compares widened to double-lane masks (sign-extending
+    // the 0/-1 compare result to 64 bits; ids are < 2^31, so the
+    // signed epi32 compares agree with the generic unsigned rule).
+
+    static SimdMask
+    fromIndexLT(const SimdIndex<4> &idx, std::uint32_t s)
+    {
+        const __m128i cmp =
+            _mm_cmplt_epi32(idx.v, _mm_set1_epi32(static_cast<int>(s)));
+        SimdMask r;
+        r.m = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(cmp));
+        return r;
+    }
+
+    static SimdMask
+    fromIndexGT(const SimdIndex<4> &idx, std::uint32_t s)
+    {
+        const __m128i cmp =
+            _mm_cmpgt_epi32(idx.v, _mm_set1_epi32(static_cast<int>(s)));
+        SimdMask r;
+        r.m = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(cmp));
+        return r;
+    }
+
+    static SimdMask
+    fromIndexEQ(const SimdIndex<4> &idx, std::uint32_t s)
+    {
+        const __m128i cmp =
+            _mm_cmpeq_epi32(idx.v, _mm_set1_epi32(static_cast<int>(s)));
+        SimdMask r;
+        r.m = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(cmp));
+        return r;
+    }
 };
 
 template <>
@@ -919,6 +1081,22 @@ struct Simd<double, 4>
         return r;
     }
 
+    SimdMask<double, 4>
+    operator==(const Simd &o) const
+    {
+        SimdMask<double, 4> r;
+        r.m = _mm256_cmp_pd(v, o.v, _CMP_EQ_OQ);
+        return r;
+    }
+
+    SimdMask<double, 4>
+    operator>=(const Simd &o) const
+    {
+        SimdMask<double, 4> r;
+        r.m = _mm256_cmp_pd(v, o.v, _CMP_GE_OQ);
+        return r;
+    }
+
     static Simd
     select(const SimdMask<double, 4> &mask, const Simd &a, const Simd &b)
     {
@@ -1017,6 +1195,145 @@ sumXyz(const Simd<double, 4> &x, const Simd<double, 4> &y,
     sz = _mm_cvtsd_f64(_mm_add_sd(sz2, _mm_unpackhi_pd(sz2, sz2)));
 }
 
+/** AVX2 loadXyzRun: the record transpose on 4 consecutive records. */
+inline void
+loadXyzRun(const double *pack, std::size_t first, Simd<double, 4> &x,
+           Simd<double, 4> &y, Simd<double, 4> &z)
+{
+    const double *rec = pack + 4u * first;
+    const __m256d r0 = _mm256_loadu_pd(rec + 0);
+    const __m256d r1 = _mm256_loadu_pd(rec + 4);
+    const __m256d r2 = _mm256_loadu_pd(rec + 8);
+    const __m256d r3 = _mm256_loadu_pd(rec + 12);
+    const __m256d t0 = _mm256_unpacklo_pd(r0, r1); // x0 x1 z0 z1
+    const __m256d t1 = _mm256_unpackhi_pd(r0, r1); // y0 y1 w0 w1
+    const __m256d t2 = _mm256_unpacklo_pd(r2, r3); // x2 x3 z2 z3
+    const __m256d t3 = _mm256_unpackhi_pd(r2, r3); // y2 y3 w2 w3
+    x.v = _mm256_permute2f128_pd(t0, t2, 0x20);
+    y.v = _mm256_permute2f128_pd(t1, t3, 0x20);
+    z.v = _mm256_permute2f128_pd(t0, t2, 0x31);
+}
+
+namespace detail {
+
+/**
+ * Compress permutation tables: row `mask` lists the set-bit lanes of
+ * `mask` ascending (padded with 0 — those lanes are masked off at the
+ * store). AVX2 has no compress instruction, so the compressStore
+ * overloads permute by table lookup and cut the tail with a masked
+ * store of exactly popcount(mask) elements.
+ */
+struct Compress4Table
+{
+    alignas(16) std::uint32_t perm[16][4];
+};
+
+constexpr Compress4Table
+makeCompress4Table()
+{
+    Compress4Table t{};
+    for (int mask = 0; mask < 16; ++mask) {
+        int n = 0;
+        for (int l = 0; l < 4; ++l) {
+            if ((mask >> l) & 1)
+                t.perm[mask][n++] = static_cast<std::uint32_t>(l);
+        }
+    }
+    return t;
+}
+
+inline constexpr Compress4Table kCompress4 = makeCompress4Table();
+
+struct Compress8Table
+{
+    alignas(32) std::uint32_t perm[256][8];
+};
+
+constexpr Compress8Table
+makeCompress8Table()
+{
+    Compress8Table t{};
+    for (int mask = 0; mask < 256; ++mask) {
+        int n = 0;
+        for (int l = 0; l < 8; ++l) {
+            if ((mask >> l) & 1)
+                t.perm[mask][n++] = static_cast<std::uint32_t>(l);
+        }
+    }
+    return t;
+}
+
+inline constexpr Compress8Table kCompress8 = makeCompress8Table();
+
+/** Row `count` enables the first `count` lanes of a maskstore. */
+struct TailMaskTable
+{
+    alignas(32) std::int32_t head[9][8];
+};
+
+constexpr TailMaskTable
+makeTailMaskTable()
+{
+    TailMaskTable t{};
+    for (int count = 0; count <= 8; ++count) {
+        for (int l = 0; l < count; ++l)
+            t.head[count][l] = -1;
+    }
+    return t;
+}
+
+inline constexpr TailMaskTable kTailMask = makeTailMaskTable();
+
+} // namespace detail
+
+/**
+ * AVX2/AVX-512 compressStore over 4 ids: permute the kept lanes to the
+ * front by table lookup, then store exactly popcount(mask) elements
+ * with a masked store (AVX-512 builds use the native compress).
+ */
+inline int
+compressStore(std::uint32_t *dst, const SimdIndex<4> &ids, int maskBits)
+{
+    const unsigned mask = static_cast<unsigned>(maskBits) & 0xFu;
+    const int n = std::popcount(mask);
+#if defined(MDBENCH_SIMD_AVX512)
+    _mm512_mask_compressstoreu_epi32(dst, static_cast<__mmask16>(mask),
+                                     _mm512_castsi128_si512(ids.v));
+#else
+    const __m128i perm = _mm_load_si128(reinterpret_cast<const __m128i *>(
+        detail::kCompress4.perm[mask]));
+    const __m128 packed =
+        _mm_permutevar_ps(_mm_castsi128_ps(ids.v), perm);
+    _mm_maskstore_epi32(reinterpret_cast<int *>(dst),
+                        _mm_load_si128(reinterpret_cast<const __m128i *>(
+                            detail::kTailMask.head[n])),
+                        _mm_castps_si128(packed));
+#endif
+    return n;
+}
+
+/** As above over 8 ids (AVX2 float width / AVX-512 double width). */
+inline int
+compressStore(std::uint32_t *dst, const SimdIndex<8> &ids, int maskBits)
+{
+    const unsigned mask = static_cast<unsigned>(maskBits) & 0xFFu;
+    const int n = std::popcount(mask);
+#if defined(MDBENCH_SIMD_AVX512)
+    _mm512_mask_compressstoreu_epi32(dst, static_cast<__mmask16>(mask),
+                                     _mm512_castsi256_si512(ids.v));
+#else
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(detail::kCompress8.perm[mask]));
+    const __m256i packed = _mm256_permutevar8x32_epi32(ids.v, perm);
+    _mm256_maskstore_epi32(reinterpret_cast<int *>(dst),
+                           _mm256_load_si256(
+                               reinterpret_cast<const __m256i *>(
+                                   detail::kTailMask.head[n])),
+                           packed);
+#endif
+    return n;
+}
+
 /** AVX2 float mask: all-ones / all-zeros float lanes. */
 template <>
 struct SimdMask<float, 8>
@@ -1036,6 +1353,51 @@ struct SimdMask<float, 8>
     {
         SimdMask r;
         r.m = _mm256_and_ps(m, o.m);
+        return r;
+    }
+
+    SimdMask
+    operator|(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = _mm256_or_ps(m, o.m);
+        return r;
+    }
+
+    /** Lanes of @p o with this mask's lanes cleared: ~this & o. */
+    SimdMask
+    andnot(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = _mm256_andnot_ps(m, o.m);
+        return r;
+    }
+
+    // Index-domain compares (ids < 2^31, so signed epi32 compare is safe).
+    static SimdMask
+    fromIndexLT(const SimdIndex<8> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm256_castsi256_ps(_mm256_cmpgt_epi32(
+            _mm256_set1_epi32(static_cast<int>(s)), idx.v));
+        return r;
+    }
+
+    static SimdMask
+    fromIndexGT(const SimdIndex<8> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm256_castsi256_ps(_mm256_cmpgt_epi32(
+            idx.v, _mm256_set1_epi32(static_cast<int>(s))));
+        return r;
+    }
+
+    static SimdMask
+    fromIndexEQ(const SimdIndex<8> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+            idx.v, _mm256_set1_epi32(static_cast<int>(s))));
         return r;
     }
 };
@@ -1181,6 +1543,22 @@ struct Simd<float, 8>
         return r;
     }
 
+    SimdMask<float, 8>
+    operator==(const Simd &o) const
+    {
+        SimdMask<float, 8> r;
+        r.m = _mm256_cmp_ps(v, o.v, _CMP_EQ_OQ);
+        return r;
+    }
+
+    SimdMask<float, 8>
+    operator>=(const Simd &o) const
+    {
+        SimdMask<float, 8> r;
+        r.m = _mm256_cmp_ps(v, o.v, _CMP_GE_OQ);
+        return r;
+    }
+
     static Simd
     select(const SimdMask<float, 8> &mask, const Simd &a, const Simd &b)
     {
@@ -1286,6 +1664,33 @@ loadXyz(const float *pack, const std::uint32_t *idx, Simd<float, 8> &x,
     z.v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
 }
 
+/** AVX2 float loadXyzRun: the 8x4 transpose on consecutive records. */
+inline void
+loadXyzRun(const float *pack, std::size_t first, Simd<float, 8> &x,
+           Simd<float, 8> &y, Simd<float, 8> &z)
+{
+    const float *base = pack + 4u * first;
+    const __m128 a0 = _mm_loadu_ps(base + 0);
+    const __m128 a1 = _mm_loadu_ps(base + 4);
+    const __m128 a2 = _mm_loadu_ps(base + 8);
+    const __m128 a3 = _mm_loadu_ps(base + 12);
+    const __m128 a4 = _mm_loadu_ps(base + 16);
+    const __m128 a5 = _mm_loadu_ps(base + 20);
+    const __m128 a6 = _mm_loadu_ps(base + 24);
+    const __m128 a7 = _mm_loadu_ps(base + 28);
+    const __m256 r04 = _mm256_set_m128(a4, a0);
+    const __m256 r15 = _mm256_set_m128(a5, a1);
+    const __m256 r26 = _mm256_set_m128(a6, a2);
+    const __m256 r37 = _mm256_set_m128(a7, a3);
+    const __m256 t0 = _mm256_unpacklo_ps(r04, r15); // x0 x1 y0 y1 | ...
+    const __m256 t1 = _mm256_unpackhi_ps(r04, r15); // z0 z1 w0 w1 | ...
+    const __m256 t2 = _mm256_unpacklo_ps(r26, r37); // x2 x3 y2 y3 | ...
+    const __m256 t3 = _mm256_unpackhi_ps(r26, r37); // z2 z3 w2 w3 | ...
+    x.v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    y.v = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    z.v = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+}
+
 /** Pairwise three-stripe horizontal sum (see the generic template). */
 inline void
 sumXyz(const Simd<float, 8> &x, const Simd<float, 8> &y,
@@ -1337,6 +1742,52 @@ struct SimdMask<double, 8>
     {
         SimdMask r;
         r.m = static_cast<__mmask8>(m & o.m);
+        return r;
+    }
+
+    SimdMask
+    operator|(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = static_cast<__mmask8>(m | o.m);
+        return r;
+    }
+
+    /** Lanes of @p o with this mask's lanes cleared: ~this & o. */
+    SimdMask
+    andnot(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = static_cast<__mmask8>(~m & o.m);
+        return r;
+    }
+
+    // Index-domain compares, widened to 64-bit so the 8 id lanes line
+    // up with the 8 double lanes.
+    static SimdMask
+    fromIndexLT(const SimdIndex<8> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm512_cmp_epu64_mask(_mm512_cvtepu32_epi64(idx.v),
+                                    _mm512_set1_epi64(s), _MM_CMPINT_LT);
+        return r;
+    }
+
+    static SimdMask
+    fromIndexGT(const SimdIndex<8> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm512_cmp_epu64_mask(_mm512_cvtepu32_epi64(idx.v),
+                                    _mm512_set1_epi64(s), _MM_CMPINT_NLE);
+        return r;
+    }
+
+    static SimdMask
+    fromIndexEQ(const SimdIndex<8> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm512_cmp_epu64_mask(_mm512_cvtepu32_epi64(idx.v),
+                                    _mm512_set1_epi64(s), _MM_CMPINT_EQ);
         return r;
     }
 };
@@ -1481,6 +1932,22 @@ struct Simd<double, 8>
         return r;
     }
 
+    SimdMask<double, 8>
+    operator==(const Simd &o) const
+    {
+        SimdMask<double, 8> r;
+        r.m = _mm512_cmp_pd_mask(v, o.v, _CMP_EQ_OQ);
+        return r;
+    }
+
+    SimdMask<double, 8>
+    operator>=(const Simd &o) const
+    {
+        SimdMask<double, 8> r;
+        r.m = _mm512_cmp_pd_mask(v, o.v, _CMP_GE_OQ);
+        return r;
+    }
+
     static Simd
     select(const SimdMask<double, 8> &mask, const Simd &a, const Simd &b)
     {
@@ -1553,6 +2020,19 @@ loadXyz(const double *pack, const std::uint32_t *idx, Simd<double, 8> &x,
     z.v = _mm512_i32gather_pd(rec, pack + 2, 8);
 }
 
+/** AVX-512 loadXyzRun: gather 8 consecutive records. */
+inline void
+loadXyzRun(const double *pack, std::size_t first, Simd<double, 8> &x,
+           Simd<double, 8> &y, Simd<double, 8> &z)
+{
+    const __m256i rec = _mm256_add_epi32(
+        _mm256_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28),
+        _mm256_set1_epi32(static_cast<int>(4u * first)));
+    x.v = _mm512_i32gather_pd(rec, pack + 0, 8);
+    y.v = _mm512_i32gather_pd(rec, pack + 1, 8);
+    z.v = _mm512_i32gather_pd(rec, pack + 2, 8);
+}
+
 /** AVX-512 backend: 16 x u32 indices in a ZMM register. */
 template <>
 struct SimdIndex<16>
@@ -1608,6 +2088,16 @@ struct SimdIndex<16>
     }
 };
 
+/** AVX-512 compressStore over 16 ids: the native compress. */
+inline int
+compressStore(std::uint32_t *dst, const SimdIndex<16> &ids, int maskBits)
+{
+    const unsigned mask = static_cast<unsigned>(maskBits) & 0xFFFFu;
+    _mm512_mask_compressstoreu_epi32(dst, static_cast<__mmask16>(mask),
+                                     ids.v);
+    return std::popcount(mask);
+}
+
 /** AVX-512 float mask: a 16-bit predicate register. */
 template <>
 struct SimdMask<float, 16>
@@ -1623,6 +2113,51 @@ struct SimdMask<float, 16>
     {
         SimdMask r;
         r.m = static_cast<__mmask16>(m & o.m);
+        return r;
+    }
+
+    SimdMask
+    operator|(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = static_cast<__mmask16>(m | o.m);
+        return r;
+    }
+
+    /** Lanes of @p o with this mask's lanes cleared: ~this & o. */
+    SimdMask
+    andnot(const SimdMask &o) const
+    {
+        SimdMask r;
+        r.m = static_cast<__mmask16>(~m & o.m);
+        return r;
+    }
+
+    // Index-domain compares (lane counts already match at 32 bits).
+    static SimdMask
+    fromIndexLT(const SimdIndex<16> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm512_cmp_epu32_mask(
+            idx.v, _mm512_set1_epi32(static_cast<int>(s)), _MM_CMPINT_LT);
+        return r;
+    }
+
+    static SimdMask
+    fromIndexGT(const SimdIndex<16> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm512_cmp_epu32_mask(
+            idx.v, _mm512_set1_epi32(static_cast<int>(s)), _MM_CMPINT_NLE);
+        return r;
+    }
+
+    static SimdMask
+    fromIndexEQ(const SimdIndex<16> &idx, std::uint32_t s)
+    {
+        SimdMask r;
+        r.m = _mm512_cmp_epu32_mask(
+            idx.v, _mm512_set1_epi32(static_cast<int>(s)), _MM_CMPINT_EQ);
         return r;
     }
 };
@@ -1768,6 +2303,22 @@ struct Simd<float, 16>
         return r;
     }
 
+    SimdMask<float, 16>
+    operator==(const Simd &o) const
+    {
+        SimdMask<float, 16> r;
+        r.m = _mm512_cmp_ps_mask(v, o.v, _CMP_EQ_OQ);
+        return r;
+    }
+
+    SimdMask<float, 16>
+    operator>=(const Simd &o) const
+    {
+        SimdMask<float, 16> r;
+        r.m = _mm512_cmp_ps_mask(v, o.v, _CMP_GE_OQ);
+        return r;
+    }
+
     static Simd
     select(const SimdMask<float, 16> &mask, const Simd &a, const Simd &b)
     {
@@ -1836,6 +2387,20 @@ loadXyz(const float *pack, const std::uint32_t *idx, Simd<float, 16> &x,
 {
     const __m512i rec =
         _mm512_slli_epi32(_mm512_loadu_si512(idx), 2);
+    x.v = _mm512_i32gather_ps(rec, pack + 0, 4);
+    y.v = _mm512_i32gather_ps(rec, pack + 1, 4);
+    z.v = _mm512_i32gather_ps(rec, pack + 2, 4);
+}
+
+/** AVX-512 float loadXyzRun: gather 16 consecutive records. */
+inline void
+loadXyzRun(const float *pack, std::size_t first, Simd<float, 16> &x,
+           Simd<float, 16> &y, Simd<float, 16> &z)
+{
+    const __m512i rec = _mm512_add_epi32(
+        _mm512_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44,
+                          48, 52, 56, 60),
+        _mm512_set1_epi32(static_cast<int>(4u * first)));
     x.v = _mm512_i32gather_ps(rec, pack + 0, 4);
     y.v = _mm512_i32gather_ps(rec, pack + 1, 4);
     z.v = _mm512_i32gather_ps(rec, pack + 2, 4);

@@ -25,6 +25,7 @@
 #include "obs/manifest.h"
 #include "obs/task_scope.h"
 #include "obs/trace.h"
+#include "util/neigh_layout.h"
 #include "util/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -276,6 +277,86 @@ TEST(Trace, SimdKernelScopeAppearsInExport)
     EXPECT_TRUE(sawSimdScope);
     resetTracer();
     setSimdWidth(-1);
+}
+
+TEST(Counters, NeighborBuildFilterAccounting)
+{
+    // setup() does exactly one build: candidates are every stencil slot
+    // the filter examined, accepted is exactly the stored payload, and
+    // neither depends on the filter width (the scalar walk examines the
+    // same candidate set).
+    setSimdWidth(4);
+    resetCounters();
+    auto sim = buildLJ(4);
+    sim->thermoEvery = 0;
+    sim->setup();
+    const auto candidates = counterValue(Counter::NeighBuildCandidates);
+    const auto accepted = counterValue(Counter::NeighBuildAccepted);
+    EXPECT_GT(candidates, accepted);
+    EXPECT_GT(accepted, 0u);
+    EXPECT_EQ(accepted, sim->neighbor.list().pairCount());
+    setSimdWidth(-1);
+
+    setSimdWidth(0);
+    resetCounters();
+    auto scalar = buildLJ(4);
+    scalar->thermoEvery = 0;
+    scalar->setup();
+    EXPECT_EQ(counterValue(Counter::NeighBuildCandidates), candidates);
+    EXPECT_EQ(counterValue(Counter::NeighBuildAccepted), accepted);
+    resetCounters();
+    setSimdWidth(-1);
+}
+
+TEST(Counters, ClusterLaneAccounting)
+{
+    // One build + one force compute through the cluster kernel: active
+    // lanes are the half list's pairs visited from both sides, and
+    // active + waste tiles the stored cluster pairs exactly.
+    setSimdWidth(4);
+    setNeighLayout(1);
+    resetCounters();
+    auto sim = buildLJ(4);
+    sim->thermoEvery = 0;
+    sim->setup();
+    const NeighborList &list = sim->neighbor.list();
+    ASSERT_TRUE(list.clusterFor(4));
+    const auto lanes = counterValue(Counter::PairSimdLanesActive);
+    const auto waste = counterValue(Counter::PairSimdPaddingWaste);
+    EXPECT_EQ(lanes, 2 * list.pairCount());
+    EXPECT_EQ(lanes + waste,
+              list.clusterPairCount() *
+                  static_cast<std::size_t>(list.clusterM) *
+                  static_cast<std::size_t>(list.clusterN));
+    resetCounters();
+    setNeighLayout(-1);
+    setSimdWidth(-1);
+}
+
+TEST(Trace, NeighborBuildFilterScopeAppearsInExport)
+{
+    resetTracer();
+    traceEnable();
+    {
+        auto sim = buildLJ(4);
+        sim->thermoEvery = 0;
+        sim->setup();
+    }
+    traceDisable();
+    const auto doc = JsonValue::parse(exportTrace());
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool sawFilterScope = false;
+    for (std::size_t e = 0; e < events->size(); ++e) {
+        const JsonValue &event = events->at(e);
+        if (event.find("cat")->asString() == "neigh" &&
+            event.find("name")->asString() == "build_filter" &&
+            event.find("ph")->asString() == "B")
+            sawFilterScope = true;
+    }
+    EXPECT_TRUE(sawFilterScope);
+    resetTracer();
 }
 
 // -------------------------------------------------------------- TaskScope

@@ -12,10 +12,13 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/suite.h"
+#include "md/neighbor.h"
 #include "md/simulation.h"
+#include "util/neigh_layout.h"
 #include "util/thread_pool.h"
 
 namespace mdbench {
@@ -180,6 +183,40 @@ TEST(ThreadDeterminism, RhodoProxyWithSortingIsBitwiseReproducible)
             return sim;
         },
         10);
+}
+
+// The vectorized neighbor build threads both the counting sort and the
+// candidate filter; the lists it emits (plain CSR and the packing) must
+// be bitwise identical at any thread count, including oversubscribed
+// ones where slice boundaries land in odd places.
+
+TEST(ThreadDeterminism, VectorizedNeighborBuildListsAreThreadInvariant)
+{
+    const int before = ThreadPool::threads();
+    auto listsAt = [](int nthreads) {
+        ThreadPool::setThreads(nthreads);
+        auto sim = buildLJ(6);
+        sim->thermoEvery = 0;
+        sim->setup();
+        const NeighborList &list = sim->neighbor.list();
+        return std::make_tuple(list.offsets, list.neighbors,
+                               list.packedOffsets, list.packedNeighbors);
+    };
+    const auto reference = listsAt(1);
+    for (int nthreads : {2, 4, 8, 16}) {
+        SCOPED_TRACE(nthreads);
+        EXPECT_EQ(listsAt(nthreads), reference);
+    }
+    ThreadPool::setThreads(before);
+}
+
+TEST(ThreadDeterminism, LJMeltClusterLayoutIsBitwiseReproducible)
+{
+    // The cluster-pair kernel writes forces to the i side only, so its
+    // determinism rests purely on the slice partition of i-clusters.
+    setNeighLayout(1);
+    expectBitwiseReproducible([] { return buildLJ(5); }, 25);
+    setNeighLayout(-1);
 }
 
 } // namespace
