@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "core/experiment.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
 #include "obs/bench_options.h"
@@ -23,6 +24,24 @@ main(int argc, char **argv)
     const auto records = runModelSweep(
         cpuSweep(allBenchmarks(), paperSizesK(), {4, 8, 16, 32, 64}));
     emitTable(std::cout, makeMpiOverheadTable(records), "fig04");
+
+    // Native companion: the same shares from the real engine running
+    // decomposed at host scale, with the measured host wall clock per
+    // step alongside the modeled percentages (the model rows above have
+    // no host run, hence "-" in their wall column).
+    std::cout << "\n-- native decomposed companion (measured wall) --\n";
+    std::vector<ExperimentSpec> nativeSpecs;
+    for (int ranks : {4, 8}) {
+        ExperimentSpec spec;
+        spec.mode = ExperimentMode::NativeRanked;
+        spec.benchmark = BenchmarkId::LJ;
+        spec.natoms = 4000;
+        spec.resources = ranks;
+        spec.steps = 300;
+        nativeSpecs.push_back(spec);
+    }
+    emitTable(std::cout, makeMpiOverheadTable(runSweep(nativeSpecs)),
+              "fig04_native");
 
     std::cout << "\nObservations reproduced:\n"
               << " - MPI share decreases with system size (surface-to-"

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Hybrid rank×thread runtime sweep (DESIGN.md §17): the real engine
+ * decomposed over simulated MPI ranks scheduled concurrently on the
+ * shared ThreadPool, with the halo exchange either blocking or
+ * overlapped with the interior force pass (MDBENCH_COMM_OVERLAP).
+ *
+ * For every (ranks, threads) point the blocking and overlapped runs
+ * execute back to back and the table reports both, plus the measured
+ * wall-clock speedup of overlap over blocking. The win comes from phase
+ * fusion: a blocking step crosses five pool-region barriers (forward,
+ * forces, reverse, final, integrate) while an overlapped step crosses
+ * two (interior+wait+boundary, fused tail), so comm-bound points —
+ * many ranks, few atoms per rank — gain the most. Trajectories are
+ * bitwise identical either way (the split interior/boundary arithmetic
+ * is always on for decomposed ranks).
+ *
+ * Usage: bench_native_rank_overlap [--quick] [shared flags]
+ * `--quick` drops the large rank counts to smoke-test size (CI).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "harness/report.h"
+#include "obs/bench_options.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace mdbench;
+
+namespace {
+
+struct Config
+{
+    int ranks;
+    int threads;
+    long natoms;
+    long steps;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchRun run(argc, argv, "bench_native_rank_overlap");
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        quick = quick || std::strcmp(argv[i], "--quick") == 0;
+
+    printFigureHeader(std::cout, "Rank overlap",
+                      "Concurrent rank execution: blocking vs overlapped "
+                      "halo exchange, measured host wall clock");
+
+    // Small per-rank subdomains make the runs comm/orchestration-bound,
+    // the regime where overlap pays (surface-to-volume argument of
+    // Section 5.1 run in reverse). The high-thread rows oversubscribe
+    // the host on purpose: every pool region boundary then costs real
+    // scheduling work, so fusing five per-step phases into two is where
+    // the overlapped runtime wins its wall clock.
+    std::vector<Config> configs;
+    if (quick) {
+        configs = {{4, 2, 2000, 150}, {8, 8, 512, 200}};
+    } else {
+        configs = {{8, 8, 4000, 300},
+                   {32, 8, 512, 500},
+                   {32, 48, 256, 1000},
+                   {64, 48, 128, 1000}};
+    }
+
+    Table table({"benchmark", "natoms", "ranks", "threads", "overlap",
+                 "wall[ms/step]", "model TS/s", "MPI time %",
+                 "speedup vs blocking"});
+    for (const Config &config : configs) {
+        double blockingWall = 0.0;
+        for (int overlap : {0, 1}) {
+            ExperimentSpec spec;
+            spec.mode = ExperimentMode::NativeRanked;
+            spec.benchmark = BenchmarkId::LJ;
+            spec.natoms = config.natoms;
+            spec.resources = config.ranks;
+            spec.threads = config.threads;
+            spec.steps = config.steps;
+            spec.commOverlap = overlap;
+            spec.rankExec = 1;
+            const ExperimentRecord record = runExperiment(spec);
+            if (overlap == 0)
+                blockingWall = record.wallSeconds;
+            const double msPerStep = record.wallSeconds /
+                                     static_cast<double>(config.steps) *
+                                     1e3;
+            table.addRow(
+                {benchmarkName(spec.benchmark),
+                 std::to_string(spec.natoms),
+                 std::to_string(config.ranks),
+                 std::to_string(config.threads),
+                 overlap ? "on" : "off",
+                 strprintf("%8.4f", msPerStep),
+                 strprintf("%10.2f", record.timestepsPerSecond),
+                 strprintf("%6.2f", record.mpiTimePercent),
+                 overlap ? strprintf("%5.2fx", blockingWall /
+                                                   record.wallSeconds)
+                         : std::string("1.00x")});
+        }
+    }
+    emitTable(std::cout, table, "native_rank_overlap");
+
+    std::cout << "\nObservations:\n"
+              << " - overlap gains grow with the rank count at fixed "
+                 "total size (less compute per rank hides less, but "
+                 "three of five per-step phase barriers disappear)\n"
+              << " - modeled TS/s and MPI% are identical between the "
+                 "overlap rows of a pair up to exposed-wait accounting; "
+                 "only the measured wall clock moves\n";
+    return 0;
+}

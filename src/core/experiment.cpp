@@ -90,6 +90,7 @@ runNativeSerial(const ExperimentSpec &spec)
     record.timestepsPerSecond =
         elapsed > 0.0 ? static_cast<double>(spec.steps) / elapsed : 0.0;
     record.parallelEfficiencyPct = 100.0;
+    record.wallSeconds = elapsed;
     record.taskBreakdown = sim->timer;
     return record;
 }
@@ -113,6 +114,14 @@ runNativeRanked(const ExperimentSpec &spec)
             if (spec.sortEvery >= 0)
                 sim.setSortEvery(spec.sortEvery);
         });
+    if (spec.commOverlap >= 0)
+        ranked.setCommOverlap(spec.commOverlap != 0);
+    if (spec.rankExec >= 0)
+        ranked.setExecution(spec.rankExec != 0 ? RankExecution::Concurrent
+                                               : RankExecution::Sequential);
+    const int previousThreads = ThreadPool::threads();
+    if (spec.threads > 0)
+        ThreadPool::setThreads(spec.threads);
     if (spec.simdWidth >= 0)
         setSimdWidth(spec.simdWidth);
     if (spec.neighLayout >= 0)
@@ -120,13 +129,17 @@ runNativeRanked(const ExperimentSpec &spec)
     if (spec.precision != Precision::EngineDefault)
         setPrecisionTier(spec.precision);
     ranked.setup();
+    WallTimer wall;
     ranked.run(spec.steps);
+    const double elapsed = wall.seconds();
     if (spec.precision != Precision::EngineDefault)
         setPrecisionTier(Precision::EngineDefault);
     if (spec.simdWidth >= 0)
         setSimdWidth(-1);
     if (spec.neighLayout >= 0)
         setNeighLayout(-1);
+    if (spec.threads > 0)
+        ThreadPool::setThreads(previousThreads);
 
     ExperimentRecord record;
     record.spec = spec;
@@ -134,6 +147,7 @@ runNativeRanked(const ExperimentSpec &spec)
     record.timestepsPerSecond =
         virtualTime > 0.0 ? static_cast<double>(spec.steps) / virtualTime
                           : 0.0;
+    record.wallSeconds = elapsed;
     record.taskBreakdown = ranked.aggregateTaskTimer();
     const MpiStats &stats = ranked.mpiStats();
     for (std::size_t f = 0; f < kNumMpiFunctions; ++f)

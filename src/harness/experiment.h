@@ -75,6 +75,20 @@ struct ExperimentSpec
      */
     int neighLayout = -1;
 
+    /**
+     * Overlap the halo exchange with the interior force pass in
+     * NativeRanked mode (-1 = engine default from MDBENCH_COMM_OVERLAP,
+     * 0 = blocking exchange, 1 = nonblocking overlap; DESIGN.md §17).
+     */
+    int commOverlap = -1;
+
+    /**
+     * Rank scheduling for NativeRanked mode (-1 = engine default from
+     * MDBENCH_RANK_EXEC, 0 = sequential oracle, 1 = concurrent over the
+     * shared ThreadPool).
+     */
+    int rankExec = -1;
+
     /** "<bench>-<size>k" label as the paper's plots use. */
     std::string label() const;
 };
@@ -91,6 +105,14 @@ struct ExperimentRecord
     double mpiImbalancePercent = 0.0;
     double deviceUtilization = 0.0; ///< GPU mode only
     double nsPerDay = 0.0;
+
+    /**
+     * Measured host wall-clock seconds of the run (native modes only;
+     * 0 for model replays). Distinct from the modeled virtual time that
+     * timestepsPerSecond is derived from: this is what the concurrent
+     * rank scheduler and the comm-overlap knob actually move.
+     */
+    double wallSeconds = 0.0;
     TaskTimer taskBreakdown;
     /** MPI function seconds over the run (CPU modes). */
     std::array<double, kNumMpiFunctions> mpiFunctionSeconds{};

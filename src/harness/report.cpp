@@ -28,6 +28,17 @@ resourceCell(const ExperimentRecord &record)
     return std::to_string(record.spec.resources);
 }
 
+/** Measured host wall ms/step, or "-" for model replays (no host run). */
+std::string
+wallCell(const ExperimentRecord &record)
+{
+    if (record.wallSeconds <= 0.0 || record.spec.steps <= 0)
+        return "-";
+    return strprintf("%8.4f", record.wallSeconds /
+                                  static_cast<double>(record.spec.steps) *
+                                  1e3);
+}
+
 } // namespace
 
 Table
@@ -61,6 +72,7 @@ makeMpiFunctionTable(const std::vector<ExperimentRecord> &records)
         headers.push_back(
             std::string(mpiFunctionName(static_cast<MpiFunction>(f))) +
             "%");
+    headers.push_back("wall[ms/step]");
     Table table(std::move(headers));
     for (const auto &record : records) {
         std::vector<std::string> row = {
@@ -70,6 +82,7 @@ makeMpiFunctionTable(const std::vector<ExperimentRecord> &records)
         for (std::size_t f = 0; f < kNumMpiFunctions; ++f)
             row.push_back(pct(record.mpiFunctionFraction(
                 static_cast<MpiFunction>(f))));
+        row.push_back(wallCell(record));
         table.addRow(std::move(row));
     }
     return table;
@@ -79,13 +92,14 @@ Table
 makeMpiOverheadTable(const std::vector<ExperimentRecord> &records)
 {
     Table table({"benchmark", "size[k]", "procs", "MPI time %",
-                 "MPI imbalance %"});
+                 "MPI imbalance %", "wall[ms/step]"});
     for (const auto &record : records) {
         table.addRow({benchmarkName(record.spec.benchmark),
                       std::to_string(record.spec.natoms / 1000),
                       resourceCell(record),
                       strprintf("%6.2f", record.mpiTimePercent),
-                      strprintf("%6.2f", record.mpiImbalancePercent)});
+                      strprintf("%6.2f", record.mpiImbalancePercent),
+                      wallCell(record)});
     }
     return table;
 }

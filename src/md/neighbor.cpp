@@ -844,6 +844,31 @@ Neighbor::buildImpl(Simulation &sim)
 void
 Neighbor::packLists(Simulation &sim, bool refresh)
 {
+    if (splitGhostPairs) {
+        // Ranks that split interior/boundary work pack each sublist
+        // separately (the cluster layout cannot split its rows, so
+        // split ranks always use padded CSR). The main list keeps no
+        // packing — the force drivers only ever traverse the sublists.
+        list_.packedOffsets.clear();
+        list_.packedNeighbors.clear();
+        list_.padWidth = 0;
+        list_.paddedSlots = 0;
+        list_.clusterJAtoms.clear();
+        list_.clusterIAtoms.clear();
+        list_.clusterOffsets.clear();
+        list_.clusterPairs.clear();
+        list_.clusterN = 0;
+        list_.clusterM = 0;
+        buildSplitLists(sim);
+        packPadded(sim, interiorList_);
+        packPadded(sim, boundaryList_);
+        packedWidth_ = simdWidthFor(precisionTier() != Precision::Double);
+        packedTier_ = precisionTier();
+        packedLayout_ = NeighLayout::Csr;
+        (void)refresh;
+        return;
+    }
+    splitBuilt_ = false;
     const Precision tier = precisionTier();
     const NeighLayout layout = neighLayout();
     const int width = simdWidthFor(tier != Precision::Double);
@@ -857,7 +882,7 @@ Neighbor::packLists(Simulation &sim, bool refresh)
         list_.clusterPairs.clear();
         list_.clusterN = 0;
         list_.clusterM = 0;
-        packPadded(sim);
+        packPadded(sim, list_);
     }
     // Record the knob values the packing was built with so
     // ensureFreshPacking can detect a stale packing without rebuilding.
@@ -867,9 +892,36 @@ Neighbor::packLists(Simulation &sim, bool refresh)
 }
 
 void
+Neighbor::buildSplitLists(const Simulation &sim)
+{
+    const std::uint32_t nlocal =
+        static_cast<std::uint32_t>(sim.atoms.nlocal());
+    for (NeighborList *sub : {&interiorList_, &boundaryList_}) {
+        sub->full = list_.full;
+        sub->buildCutoff = list_.buildCutoff;
+        sub->offsets.assign(nlocal + 1, 0);
+        sub->neighbors.clear();
+    }
+    interiorList_.neighbors.reserve(list_.neighbors.size());
+    for (std::uint32_t i = 0; i < nlocal; ++i) {
+        const auto range = list_.range(i);
+        for (std::uint32_t k = range.first; k < range.second; ++k) {
+            const std::uint32_t j = list_.neighbors[k];
+            (j < nlocal ? interiorList_ : boundaryList_)
+                .neighbors.push_back(j);
+        }
+        interiorList_.offsets[i + 1] =
+            static_cast<std::uint32_t>(interiorList_.neighbors.size());
+        boundaryList_.offsets[i + 1] =
+            static_cast<std::uint32_t>(boundaryList_.neighbors.size());
+    }
+    splitBuilt_ = true;
+}
+
+void
 Neighbor::ensureFreshPacking(Simulation &sim)
 {
-    if (buildCount_ == 0)
+    if (buildCount_ == 0 || splitGhostPairs)
         return;
     const Precision tier = precisionTier();
     const int width = simdWidthFor(tier != Precision::Double);
@@ -883,7 +935,7 @@ Neighbor::ensureFreshPacking(Simulation &sim)
 }
 
 void
-Neighbor::packPadded(Simulation &sim)
+Neighbor::packPadded(Simulation &sim, NeighborList &list)
 {
     const std::size_t nlocal = sim.atoms.nlocal();
     // Float tiers pack at the float-lane width (twice the double-lane
@@ -892,15 +944,15 @@ Neighbor::packPadded(Simulation &sim)
     // that was actually built.
     const Precision tier = precisionTier();
     const int width = simdWidthFor(tier != Precision::Double);
-    list_.padWidth = width;
-    list_.packTier = tier;
+    list.padWidth = width;
+    list.packTier = tier;
     if (width < 1 || nlocal == 0) {
-        list_.packedOffsets.clear();
-        list_.packedNeighbors.clear();
-        list_.paddedSlots = 0;
-        list_.sentinel = 0;
-        list_.padWidth = 0;
-        list_.packTier = Precision::Double;
+        list.packedOffsets.clear();
+        list.packedNeighbors.clear();
+        list.paddedSlots = 0;
+        list.sentinel = 0;
+        list.padWidth = 0;
+        list.packTier = Precision::Double;
         return;
     }
     TraceScope trace("neigh", "pack_padded");
@@ -911,38 +963,37 @@ Neighbor::packPadded(Simulation &sim)
     // sentinel lane and padding contributes exact zeros.
     const Vec3 span = sim.box.lengths();
     const Vec3 padPos = sim.box.hi() + span + Vec3{1.0e6, 1.0e6, 1.0e6};
-    list_.sentinel =
+    list.sentinel =
         static_cast<std::uint32_t>(sim.atoms.ensurePadAtom(padPos));
 
     const std::uint32_t w = static_cast<std::uint32_t>(width);
-    list_.packedOffsets.resize(nlocal + 1);
-    list_.packedOffsets[0] = 0;
+    list.packedOffsets.resize(nlocal + 1);
+    list.packedOffsets[0] = 0;
     for (std::size_t i = 0; i < nlocal; ++i) {
-        const std::uint32_t count = list_.offsets[i + 1] - list_.offsets[i];
+        const std::uint32_t count = list.offsets[i + 1] - list.offsets[i];
         const std::uint32_t padded = (count + w - 1) / w * w;
-        list_.packedOffsets[i + 1] = list_.packedOffsets[i] + padded;
+        list.packedOffsets[i + 1] = list.packedOffsets[i] + padded;
     }
-    list_.packedNeighbors.resize(list_.packedOffsets[nlocal]);
-    const std::uint32_t *src = list_.neighbors.data();
-    std::uint32_t *dst = list_.packedNeighbors.data();
-    const std::uint32_t sentinel = list_.sentinel;
+    list.packedNeighbors.resize(list.packedOffsets[nlocal]);
+    const std::uint32_t *src = list.neighbors.data();
+    std::uint32_t *dst = list.packedNeighbors.data();
+    const std::uint32_t sentinel = list.sentinel;
     ThreadPool::global().parallelFor(
         0, nlocal, kNeighborGrain,
         [&](std::size_t begin, std::size_t end, int) {
             for (std::size_t i = begin; i < end; ++i) {
-                const std::uint32_t rowBegin = list_.offsets[i];
-                const std::uint32_t count = list_.offsets[i + 1] - rowBegin;
-                std::uint32_t cursor = list_.packedOffsets[i];
-                const std::uint32_t rowEnd = list_.packedOffsets[i + 1];
+                const std::uint32_t rowBegin = list.offsets[i];
+                const std::uint32_t count = list.offsets[i + 1] - rowBegin;
+                std::uint32_t cursor = list.packedOffsets[i];
+                const std::uint32_t rowEnd = list.packedOffsets[i + 1];
                 for (std::uint32_t k = 0; k < count; ++k)
                     dst[cursor++] = src[rowBegin + k];
                 while (cursor < rowEnd)
                     dst[cursor++] = sentinel;
             }
         });
-    list_.paddedSlots =
-        list_.packedNeighbors.size() - list_.neighbors.size();
-    counterAdd(Counter::NeighPaddedSlots, list_.paddedSlots);
+    list.paddedSlots = list.packedNeighbors.size() - list.neighbors.size();
+    counterAdd(Counter::NeighPaddedSlots, list.paddedSlots);
 }
 
 void

@@ -139,6 +139,29 @@ class Neighbor
     /** Build a full list (each pair twice) instead of a half list. */
     bool full = false;
 
+    /**
+     * Partition every build into interior/boundary sublists (DESIGN.md
+     * §17): a pair is *boundary* when its j side is a ghost — it reads
+     * halo data — and *interior* otherwise. Decomposed ranks set this
+     * so the force drivers can compute interior pairs while the halo
+     * exchange is in flight and finish the boundary pairs after it
+     * lands. Each sublist gets its own padded SIMD packing (the cluster
+     * layout, which cannot split rows, falls back to padded CSR); the
+     * two-pass arithmetic stays a fixed regrouping of the one-pass
+     * per-row sums at any schedule because the sublists preserve the
+     * build's per-row neighbor order.
+     */
+    bool splitGhostPairs = false;
+
+    /** True when the current build produced the sublists. */
+    bool splitActive() const { return splitBuilt_; }
+
+    /** Pairs whose j side is owned (computable before the halo). */
+    const NeighborList &interiorList() const { return interiorList_; }
+
+    /** Pairs whose j side is a ghost (need fresh halo positions). */
+    const NeighborList &boundaryList() const { return boundaryList_; }
+
     /** Rebuild at most every this many steps (0 = purely distance based). */
     int every = 1;
 
@@ -224,11 +247,11 @@ class Neighbor
     [[gnu::noinline]] void buildImpl(Simulation &sim);
 
     /**
-     * Build the padded packing of list_ at the current simdWidth() (a
+     * Build the padded packing of @p list at the current simdWidth() (a
      * no-op that clears the packed arrays when the SIMD layer is off)
      * and install the AtomStore pad slot the sentinel ids gather from.
      */
-    void packPadded(Simulation &sim);
+    void packPadded(Simulation &sim, NeighborList &list);
 
     /**
      * Build the cluster-pair layout from the build's binning (or, with
@@ -242,7 +265,13 @@ class Neighbor
     /** Layout dispatch for packPadded/packClusters + bookkeeping. */
     void packLists(Simulation &sim, bool refresh);
 
+    /** Partition list_ into interiorList_/boundaryList_ by j side. */
+    void buildSplitLists(const Simulation &sim);
+
     NeighborList list_;
+    NeighborList interiorList_; ///< owned-j pairs (splitGhostPairs)
+    NeighborList boundaryList_; ///< ghost-j pairs (splitGhostPairs)
+    bool splitBuilt_ = false;
     std::vector<Vec3> lastBuildPos_;
 
     // Counting-sort binning state, persistent across builds so the

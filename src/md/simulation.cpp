@@ -90,13 +90,43 @@ Simulation::zeroForceAccumulators()
 void
 Simulation::computeLocalForces()
 {
+    computePairInterior();
+    computeBoundaryForces();
+}
+
+void
+Simulation::computePairInterior()
+{
+    if (!pair || !neighbor.splitActive())
+        return;
+    TaskScope scope(timer, Task::Pair);
+    const NeighborList &interior = neighbor.interiorList();
+    counterAdd(Counter::PairInteriorPairs, interior.pairCount());
+    pair->compute(*this, interior);
+    pairInteriorEnergy_ = pair->energy();
+    pairInteriorVirial_ = pair->virial();
+}
+
+void
+Simulation::computeBoundaryForces()
+{
     if (pair) {
         TaskScope scope(timer, Task::Pair);
-        // Re-derive the SIMD packing if a width/tier/layout knob
-        // changed since the list was built, so kernels never consume a
-        // packing built for a different geometry.
-        neighbor.ensureFreshPacking(*this);
-        pair->compute(*this, neighbor.list());
+        if (neighbor.splitActive()) {
+            const NeighborList &boundary = neighbor.boundaryList();
+            counterAdd(Counter::PairBoundaryPairs, boundary.pairCount());
+            pair->compute(*this, boundary);
+            // compute() reset the accumulators; the interior pass's
+            // energy/virial belong to the same logical evaluation.
+            pair->addAccumulated(pairInteriorEnergy_,
+                                 pairInteriorVirial_);
+        } else {
+            // Re-derive the SIMD packing if a width/tier/layout knob
+            // changed since the list was built, so kernels never
+            // consume a packing built for a different geometry.
+            neighbor.ensureFreshPacking(*this);
+            pair->compute(*this, neighbor.list());
+        }
     }
     if (bondStyle || angleStyle) {
         TaskScope scope(timer, Task::Bond);

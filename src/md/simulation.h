@@ -163,6 +163,19 @@ class Simulation
     void reverseForceComm();
 
     /**
+     * Overlap-split force phases (DESIGN.md §17). When the Neighbor
+     * carries interior/boundary sublists (decomposed ranks), the
+     * interior pairs read no ghost data and can run while the halo
+     * exchange is in flight; the boundary pairs plus the bonded terms
+     * (which may read ghost positions) run after it lands. With the
+     * split inactive, computePairInterior() is a no-op and
+     * computeBoundaryForces() evaluates everything, so in every mode
+     * computeLocalForces() == the two calls in order.
+     */
+    void computePairInterior();
+    void computeBoundaryForces();
+
+    /**
      * Individual timestep phases, public so that a multi-rank driver
      * (parallel::RankedSimulation) can run all ranks through each phase
      * in lockstep. Serial run() composes exactly these.
@@ -177,6 +190,10 @@ class Simulation
     void maybeSampleThermo();
 
   private:
+    /** Interior-pass accumulators folded back after the boundary pass. */
+    double pairInteriorEnergy_ = 0.0;
+    double pairInteriorVirial_ = 0.0;
+
     std::vector<ThermoRow> thermoLog_;
     std::vector<std::uint32_t> sortOrder_; ///< reusable sort scratch
     long reneighborCount_ = 0;

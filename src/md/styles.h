@@ -47,6 +47,19 @@ class StyleBase
     /** Scalar virial (sum of r . f over interactions) of last compute(). */
     double virial() const { return virial_; }
 
+    /**
+     * Fold energy/virial accumulated by an earlier compute() call back
+     * in after a later call reset the accumulators — the
+     * interior/boundary split force phases run one logical evaluation
+     * as two compute() calls (DESIGN.md §17).
+     */
+    void
+    addAccumulated(double energy, double virial)
+    {
+        energy_ += energy;
+        virial_ += virial;
+    }
+
   protected:
     void
     resetAccumulators()

@@ -26,8 +26,12 @@ counterName(Counter counter)
       case Counter::PairSimdLanesActive: return "pair.simd_lanes_active";
       case Counter::PairSimdPaddingWaste: return "pair.simd_padding_waste";
       case Counter::PairFloatComputes: return "pair.float_computes";
+      case Counter::PairInteriorPairs: return "pair.interior_pairs";
+      case Counter::PairBoundaryPairs: return "pair.boundary_pairs";
       case Counter::CommExchanges: return "comm.exchanges";
       case Counter::CommGhostAtoms: return "comm.ghost_atoms";
+      case Counter::CommOverlapSteps: return "comm.overlap_steps";
+      case Counter::CommBytesInflight: return "comm.bytes_inflight";
       case Counter::KspaceFfts: return "kspace.ffts";
       case Counter::KspaceFft1dLines: return "kspace.fft1d_lines";
       case Counter::KspacePlanCacheHits: return "kspace.plan_cache_hits";

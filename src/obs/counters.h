@@ -40,8 +40,12 @@ enum class Counter : std::size_t {
     PairSimdLanesActive,  ///< real-pair lanes processed by SIMD kernels
     PairSimdPaddingWaste, ///< sentinel lanes processed by SIMD kernels
     PairFloatComputes,    ///< pair compute() calls run at a float tier
+    PairInteriorPairs,    ///< pairs computed in interior (pre-halo) passes
+    PairBoundaryPairs,    ///< pairs computed in boundary (post-halo) passes
     CommExchanges,      ///< comm exchange/borders rebuilds
     CommGhostAtoms,     ///< ghost atoms created by borders()
+    CommOverlapSteps,   ///< steps whose halo exchange overlapped compute
+    CommBytesInflight,  ///< halo bytes in flight during interior compute
     KspaceFfts,         ///< 3-D FFT transforms executed
     KspaceFft1dLines,   ///< 1-D line transforms batched by 3-D FFTs
     KspacePlanCacheHits,///< FFT plan cache lookups served from cache

@@ -16,6 +16,9 @@ mpiFunctionName(MpiFunction fn)
       case MpiFunction::Sendrecv:  return "MPI_Sendrecv";
       case MpiFunction::Wait:      return "MPI_Wait";
       case MpiFunction::Waitany:   return "MPI_Waitany";
+      case MpiFunction::Isend:     return "MPI_Isend";
+      case MpiFunction::Irecv:     return "MPI_Irecv";
+      case MpiFunction::Waitall:   return "MPI_Waitall";
       case MpiFunction::Others:    return "others";
       default: panic("invalid MpiFunction");
     }

@@ -2,19 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <unordered_map>
 
 #include "obs/counters.h"
 #include "obs/task_scope.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace mdbench {
 
 namespace {
 // Approximate wire sizes per atom for the three exchange kinds.
-constexpr std::size_t kBytesPosition = 3 * sizeof(double);
 constexpr std::size_t kBytesPositionVelocity = 6 * sizeof(double);
 constexpr std::size_t kBytesForce = 3 * sizeof(double);
 constexpr std::size_t kBytesMigrate = 14 * sizeof(double);
@@ -42,42 +44,57 @@ RankComm::borders(Simulation &)
 }
 
 void
-RankComm::forwardPositions(Simulation &sim)
+RankComm::copyHalo(Simulation &sim)
 {
     const Vec3 len = parent_.globalBox_.lengths();
     AtomStore &atoms = sim.atoms;
     const std::size_t nlocal = atoms.nlocal();
     ensure(atoms.nghost() == ghosts_.size(), "ghost bookkeeping out of sync");
+    // Owners' positions are stable while any rank copies: every caller
+    // runs in a phase whose ranks read owned x/v/omega but never write
+    // them (integration happens in a previous phase).
     for (std::size_t g = 0; g < ghosts_.size(); ++g) {
         const GhostRecord &rec = ghosts_[g];
         const AtomStore &src = parent_.rank(rec.srcRank).atoms;
         const Vec3 shift{rec.image[0] * len.x, rec.image[1] * len.y,
                          rec.image[2] * len.z};
         atoms.x[nlocal + g] = src.x[rec.srcIndex] + shift;
-        atoms.v[nlocal + g] = src.v[rec.srcIndex];
-        atoms.omega[nlocal + g] = src.omega[rec.srcIndex];
+        if (haloVelocities_) {
+            atoms.v[nlocal + g] = src.v[rec.srcIndex];
+            atoms.omega[nlocal + g] = src.omega[rec.srcIndex];
+        }
     }
+}
+
+void
+RankComm::forwardPositions(Simulation &sim)
+{
+    copyHalo(sim);
     parent_.chargeComm(rank_, MpiFunction::Send,
-                       ghosts_.size() * kBytesPositionVelocity, 6);
+                       ghosts_.size() * perGhostBytes(), 6);
 }
 
 void
 RankComm::reverseForces(Simulation &sim)
 {
+    // Owner-side pull: fold every ghost copy of our owned atoms home
+    // and zero the holder's slot. Each ghost slot has exactly one
+    // owner, so concurrent ranks write disjoint memory; incoming_ is
+    // ordered (holderRank, ghostSlot) ascending, fixing the fold order
+    // at any schedule.
     AtomStore &atoms = sim.atoms;
-    const std::size_t nlocal = atoms.nlocal();
     std::size_t sentBytes = 0;
-    for (std::size_t g = 0; g < ghosts_.size(); ++g) {
-        Vec3 &force = atoms.f[nlocal + g];
-        Vec3 &torque = atoms.torque[nlocal + g];
+    for (const PullRecord &rec : incoming_) {
+        AtomStore &holder = parent_.rank(rec.holderRank).atoms;
+        const std::size_t slot = holder.nlocal() + rec.ghostSlot;
+        Vec3 &force = holder.f[slot];
+        Vec3 &torque = holder.torque[slot];
         if (force.x == 0.0 && force.y == 0.0 && force.z == 0.0 &&
             torque.x == 0.0 && torque.y == 0.0 && torque.z == 0.0) {
             continue;
         }
-        const GhostRecord &rec = ghosts_[g];
-        AtomStore &src = parent_.rank(rec.srcRank).atoms;
-        src.f[rec.srcIndex] += force;
-        src.torque[rec.srcIndex] += torque;
+        atoms.f[rec.ownedIndex] += force;
+        atoms.torque[rec.ownedIndex] += torque;
         force = {};
         torque = {};
         sentBytes += kBytesForce;
@@ -101,13 +118,34 @@ RankComm::reverseScalar(Simulation &, std::vector<double> &)
 
 // -------------------------------------------------------- RankedSimulation
 
+RankExecution
+RankedSimulation::defaultExecution()
+{
+    if (const char *env = std::getenv("MDBENCH_RANK_EXEC")) {
+        const std::string value(env);
+        if (value == "seq" || value == "sequential")
+            return RankExecution::Sequential;
+    }
+    return RankExecution::Concurrent;
+}
+
+bool
+RankedSimulation::defaultCommOverlap()
+{
+    if (const char *env = std::getenv("MDBENCH_COMM_OVERLAP"))
+        return env[0] == '1' || env[0] == 'y' || env[0] == 'Y' ||
+               env[0] == 't' || env[0] == 'T';
+    return false;
+}
+
 RankedSimulation::RankedSimulation(
     Simulation &global, int nranks,
     const std::function<void(Simulation &)> &configureRank,
     MpiMachineModel machine)
     : globalBox_(global.box), globalTopology_(global.topology),
       decomp_(nranks, global.box), machine_(machine), mpiStats_(nranks),
-      clocks_(nranks, 0.0)
+      clocks_(nranks, 0.0), postClock_(nranks, 0.0), rebuildVote_(nranks, 0),
+      outBytes_(nranks, 0), destCount_(nranks, 0)
 {
     require(nranks >= 1, "need at least one rank");
     require(global.topology.shakeClusters.empty(),
@@ -160,34 +198,177 @@ RankedSimulation::RankedSimulation(
 }
 
 void
-RankedSimulation::chargeComm(int rank, MpiFunction fn, std::size_t bytes,
-                             int messages)
+RankedSimulation::chargeCommTime(int rank, MpiFunction fn, double seconds,
+                                 std::size_t bytes, int messages)
 {
-    const double time =
-        messages * machine_.latency +
-        static_cast<double>(bytes) / machine_.bandwidth;
-    counterAdd(Counter::MpiMessages, static_cast<std::uint64_t>(messages));
-    counterAdd(Counter::MpiModeledBytes, bytes);
+    ensure(seconds >= 0.0, "negative modeled comm time");
+    if (messages > 0)
+        counterAdd(Counter::MpiMessages,
+                   static_cast<std::uint64_t>(messages));
+    if (bytes > 0) {
+        counterAdd(Counter::MpiModeledBytes, bytes);
+        commBytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
     if (traceEnabled())
         traceInstant("mpi", mpiFunctionName(fn));
-    mpiStats_.add(rank, fn, time);
-    clocks_[rank] += time;
-    commBytes_ += bytes;
+    // Per-rank rows only: safe from concurrent rank contexts because
+    // each touches its own stats row, clock, and task timer.
+    mpiStats_.add(rank, fn, seconds);
+    clocks_[rank] += seconds;
     // Also visible in the Table 1 breakdown as "Comm".
-    sims_[rank]->timer.add(Task::Comm, time);
+    sims_[rank]->timer.add(Task::Comm, seconds);
 }
 
 void
-RankedSimulation::synchronizeClocks(MpiFunction reason)
+RankedSimulation::chargeComm(int rank, MpiFunction fn, std::size_t bytes,
+                             int messages)
 {
+    chargeCommTime(rank, fn,
+                   messages * machine_.latency +
+                       static_cast<double>(bytes) / machine_.bandwidth,
+                   bytes, messages);
+}
+
+void
+RankedSimulation::synchronizeClocks(MpiFunction blockedIn)
+{
+    // Charge the skew to the MPI function the fast ranks actually block
+    // in at this synchronization point (MPI_Allreduce at the rebuild
+    // vote, MPI_Wait at the reverse exchange), not a generic catch-all.
     const double maxClock = *std::max_element(clocks_.begin(), clocks_.end());
+    ensure(maxClock >= lastSyncClock_,
+           "per-rank virtual clocks must be monotone across sync points");
+    lastSyncClock_ = maxClock;
     for (int r = 0; r < nranks(); ++r) {
         const double wait = maxClock - clocks_[r];
         if (wait > 0.0) {
-            mpiStats_.add(r, reason, wait);
+            mpiStats_.add(r, blockedIn, wait);
             clocks_[r] = maxClock;
         }
     }
+}
+
+void
+RankedSimulation::forRanks(const std::function<void(int)> &fn)
+{
+    if (exec_ == RankExecution::Concurrent && nranks() > 1) {
+        // One pool region per phase: the region boundary is the
+        // barrier standing in for a blocking collective. Rank contexts
+        // run their own kernels inline (nested parallelFor calls
+        // execute on the calling thread), so per-rank arithmetic is
+        // identical to the sequential schedule by the slice-determinism
+        // contract.
+        ThreadPool::global().parallelFor(
+            0, static_cast<std::size_t>(nranks()), 1,
+            [&](std::size_t begin, std::size_t end, int) {
+                for (std::size_t r = begin; r < end; ++r)
+                    fn(static_cast<int>(r));
+            });
+    } else {
+        for (int r = 0; r < nranks(); ++r)
+            fn(r);
+    }
+}
+
+void
+RankedSimulation::rankIntegrate(int r)
+{
+    Simulation &sim = *sims_[r];
+    WallTimer wall;
+    ++sim.step;
+    sim.integrateInitial();
+    rebuildVote_[r] = sim.needsReneighbor() ? 1 : 0;
+    clocks_[r] += wall.seconds();
+}
+
+void
+RankedSimulation::rankPostHalo(int r)
+{
+    // Post the nonblocking halo for the next force phase: receives
+    // first, then sends (latency only — the wire time is charged where
+    // it is exposed, at the receivers' Waitall). The post clock is what
+    // receivers read to decide how much of the transfer their interior
+    // compute hid.
+    const RankComm &comm = *comms_[r];
+    if (comm.sourceCount_ > 0)
+        chargeCommTime(r, MpiFunction::Irecv,
+                       comm.sourceCount_ * machine_.latency, 0,
+                       comm.sourceCount_);
+    if (destCount_[r] > 0) {
+        chargeCommTime(r, MpiFunction::Isend,
+                       destCount_[r] * machine_.latency, 0, destCount_[r]);
+        counterAdd(Counter::CommBytesInflight, outBytes_[r]);
+    }
+    postClock_[r] = clocks_[r];
+}
+
+void
+RankedSimulation::completeHaloRecv(int r)
+{
+    const RankComm &comm = *comms_[r];
+    double arrival = 0.0;
+    for (int s : comm.sourceRanks_) {
+        arrival = std::max(arrival,
+                           postClock_[s] +
+                               machine_.sendTime(comm.bytesFromSource_[s]));
+    }
+    const double wait = std::max(0.0, arrival - clocks_[r]);
+    chargeCommTime(r, MpiFunction::Waitall, wait,
+                   comm.ghosts_.size() * comm.perGhostBytes(), 0);
+}
+
+void
+RankedSimulation::rankForwardBlocking(int r)
+{
+    TaskScope scope(sims_[r]->timer, Task::Comm);
+    comms_[r]->forwardPositions(*sims_[r]);
+}
+
+void
+RankedSimulation::rankBuildNeighbors(int r)
+{
+    Simulation &sim = *sims_[r];
+    WallTimer wall;
+    TaskScope scope(sim.timer, Task::Neigh);
+    sim.neighbor.build(sim);
+    clocks_[r] += wall.seconds();
+}
+
+void
+RankedSimulation::rankForces(int r, bool haloInFlight)
+{
+    TraceScope trace("parallel", "rank_step");
+    Simulation &sim = *sims_[r];
+    {
+        WallTimer wall;
+        sim.zeroForceAccumulators();
+        sim.computePairInterior();
+        clocks_[r] += wall.seconds();
+    }
+    if (haloInFlight) {
+        completeHaloRecv(r);
+        TaskScope scope(sim.timer, Task::Comm);
+        comms_[r]->copyHalo(sim);
+    }
+    WallTimer wall;
+    sim.computeBoundaryForces();
+    clocks_[r] += wall.seconds();
+}
+
+void
+RankedSimulation::rankReverse(int r)
+{
+    sims_[r]->reverseForceComm();
+}
+
+void
+RankedSimulation::rankFinal(int r)
+{
+    Simulation &sim = *sims_[r];
+    WallTimer wall;
+    sim.integrateFinal();
+    sim.maybeSampleThermo();
+    clocks_[r] += wall.seconds();
 }
 
 void
@@ -196,8 +377,10 @@ RankedSimulation::migrateAtoms()
     // Drop ghosts everywhere, wrap positions, then move strays.
     for (auto &sim : sims_)
         sim->atoms.clearGhosts();
-    for (auto &comm : comms_)
+    for (auto &comm : comms_) {
         comm->ghosts_.clear();
+        comm->incoming_.clear();
+    }
 
     struct Move
     {
@@ -321,6 +504,39 @@ RankedSimulation::rebuildGhosts()
         }
     }
 
+    // Derive the reverse-exchange pull records and the per-(src, dst)
+    // halo byte counts the nonblocking model charges. The (holder
+    // ascending, slot ascending) build order fixes each owner's fold
+    // order independently of the execution schedule.
+    for (int r = 0; r < nranks(); ++r) {
+        comms_[r]->incoming_.clear();
+        comms_[r]->bytesFromSource_.assign(nranks(), 0);
+        comms_[r]->sourceRanks_.clear();
+        comms_[r]->sourceCount_ = 0;
+        outBytes_[r] = 0;
+        destCount_[r] = 0;
+    }
+    for (int h = 0; h < nranks(); ++h) {
+        const auto &ghosts = comms_[h]->ghosts_;
+        const std::size_t ghostBytes = comms_[h]->perGhostBytes();
+        for (std::size_t g = 0; g < ghosts.size(); ++g) {
+            const RankComm::GhostRecord &rec = ghosts[g];
+            comms_[rec.srcRank]->incoming_.push_back(
+                {h, static_cast<std::uint32_t>(g), rec.srcIndex});
+            comms_[h]->bytesFromSource_[rec.srcRank] += ghostBytes;
+        }
+    }
+    for (int r = 0; r < nranks(); ++r) {
+        for (int s = 0; s < nranks(); ++s) {
+            if (comms_[r]->bytesFromSource_[s] == 0)
+                continue;
+            comms_[r]->sourceRanks_.push_back(s);
+            ++comms_[r]->sourceCount_;
+            ++destCount_[s];
+            outBytes_[s] += comms_[r]->bytesFromSource_[s];
+        }
+    }
+
     for (int r = 0; r < nranks(); ++r) {
         chargeComm(r, MpiFunction::Sendrecv,
                    comms_[r]->ghosts_.size() * kBytesPositionVelocity, 6);
@@ -350,15 +566,6 @@ RankedSimulation::assignTopology()
 }
 
 void
-RankedSimulation::forwardAll()
-{
-    for (int r = 0; r < nranks(); ++r) {
-        TaskScope scope(sims_[r]->timer, Task::Comm);
-        comms_[r]->forwardPositions(*sims_[r]);
-    }
-}
-
-void
 RankedSimulation::setup()
 {
     // MPI context creation: the cost the paper finds surprisingly large
@@ -372,7 +579,8 @@ RankedSimulation::setup()
     migrateAtoms();
     sortAtoms();
     assignTopology();
-    for (auto &sim : sims_) {
+    for (int r = 0; r < nranks(); ++r) {
+        Simulation *sim = sims_[r].get();
         if (sim->pair) {
             sim->neighbor.cutoff =
                 std::max(sim->neighbor.cutoff, sim->pair->cutoff());
@@ -380,6 +588,16 @@ RankedSimulation::setup()
                 sim->neighbor.full || sim->pair->needsFullList();
             sim->pair->setup(*sim);
         }
+        // Half-list ranks always run the split interior/boundary
+        // arithmetic so the overlap knob changes scheduling only, never
+        // results. Full lists (granular history) stay unsplit: their
+        // boundary pass simply covers everything after the halo lands.
+        sim->neighbor.splitGhostPairs =
+            sim->pair != nullptr && !sim->neighbor.full;
+        // Per-step halos carry velocities only for styles that read
+        // them; everything else gets the x-only fast path.
+        comms_[r]->haloVelocities_ =
+            !sim->pair || sim->pair->needsGhostVelocities();
     }
     rebuildGhosts();
     for (int r = 0; r < nranks(); ++r) {
@@ -392,8 +610,8 @@ RankedSimulation::setup()
         sim.zeroForceAccumulators();
         clocks_[r] += wall.seconds();
     }
-    // Same three-sweep discipline as run(): no rank may zero its
-    // accumulators after another rank folded ghost forces into them.
+    // Same phase discipline as run(): no rank may zero its accumulators
+    // after another rank's pull already consumed its ghost slots.
     for (int r = 0; r < nranks(); ++r) {
         WallTimer wall;
         sims_[r]->computeLocalForces();
@@ -417,65 +635,79 @@ void
 RankedSimulation::run(long nsteps)
 {
     ensure(setupDone_, "RankedSimulation::run before setup()");
-    for (long stepIdx = 0; stepIdx < nsteps; ++stepIdx) {
-        // Phase 1: first integration half on every rank.
-        for (int r = 0; r < nranks(); ++r) {
-            WallTimer wall;
-            ++sims_[r]->step;
-            sims_[r]->integrateInitial();
-            clocks_[r] += wall.seconds();
-        }
+    if (nsteps <= 0)
+        return;
 
-        // Rebuild decision is collective (an Allreduce in LAMMPS).
+    // Step k+1's first integration half (and, with overlap, its halo
+    // posts) ride in step k's tail phase; the first step's run here.
+    forRanks([&](int r) {
+        rankIntegrate(r);
+        if (overlap_)
+            rankPostHalo(r);
+    });
+
+    for (long stepIdx = 0; stepIdx < nsteps; ++stepIdx) {
+        // The rebuild decision is collective (an Allreduce in LAMMPS):
+        // every rank pays the modeled reduction, and the step skew up
+        // to this point materializes as time inside MPI_Allreduce.
         bool rebuild = false;
+        for (int r = 0; r < nranks(); ++r)
+            rebuild = rebuild || rebuildVote_[r] != 0;
+        const double allreduce =
+            machine_.allreduceTime(sizeof(int), nranks());
         for (int r = 0; r < nranks(); ++r) {
-            WallTimer wall;
-            rebuild = sims_[r]->needsReneighbor() || rebuild;
-            clocks_[r] += wall.seconds();
+            mpiStats_.add(r, MpiFunction::Allreduce, allreduce);
+            clocks_[r] += allreduce;
         }
-        for (int r = 0; r < nranks(); ++r) {
-            const double t = machine_.allreduceTime(sizeof(int), nranks());
-            mpiStats_.add(r, MpiFunction::Allreduce, t);
-            clocks_[r] += t;
-        }
+        synchronizeClocks(MpiFunction::Allreduce);
 
         if (rebuild) {
+            // Reneighbor: serial orchestration (migration mutates every
+            // store), then a per-rank build phase. Any halo posted for
+            // this step addressed the old ghost pattern and is simply
+            // not consumed — real codes reneighbor exactly when the
+            // pattern changes.
             migrateAtoms();
             sortAtoms();
             assignTopology();
             rebuildGhosts();
-            for (int r = 0; r < nranks(); ++r) {
-                Simulation &sim = *sims_[r];
-                WallTimer wall;
-                TaskScope scope(sim.timer, Task::Neigh);
-                sim.neighbor.build(sim);
-                clocks_[r] += wall.seconds();
-            }
+            forRanks([&](int r) { rankBuildNeighbors(r); });
+        } else if (!overlap_) {
+            // Blocking halo exchange in its own phase: every rank's
+            // forward completes before any force work starts.
+            forRanks([&](int r) { rankForwardBlocking(r); });
         } else {
-            forwardAll();
+            counterAdd(Counter::CommOverlapSteps);
         }
 
-        // Phase 2: forces. All ranks must zero their accumulators
-        // before any rank folds ghost forces into a neighbor, hence the
-        // three sweeps. Ranks finish computing at different times; the
-        // reverse exchange is where the skew materializes as MPI_Wait.
-        for (int r = 0; r < nranks(); ++r)
-            sims_[r]->zeroForceAccumulators();
-        for (int r = 0; r < nranks(); ++r) {
-            WallTimer wall;
-            sims_[r]->computeLocalForces();
-            clocks_[r] += wall.seconds();
-        }
+        const bool haloInFlight = overlap_ && !rebuild;
+        forRanks([&](int r) { rankForces(r, haloInFlight); });
+
+        // The reverse exchange is a blocking neighbor-wise barrier:
+        // ranks that finished computing early block in MPI_Wait for the
+        // slowest rank's forces.
         synchronizeClocks(MpiFunction::Wait);
-        for (int r = 0; r < nranks(); ++r)
-            sims_[r]->reverseForceComm();
 
-        // Phase 3: final integration half.
-        for (int r = 0; r < nranks(); ++r) {
-            WallTimer wall;
-            sims_[r]->integrateFinal();
-            sims_[r]->maybeSampleThermo();
-            clocks_[r] += wall.seconds();
+        const bool last = stepIdx + 1 == nsteps;
+        if (overlap_) {
+            // Nonblocking tail: reverse, final half, and the next
+            // step's integrate + halo posts fuse into one phase — the
+            // pull-based reverse completes each rank's own forces
+            // independently of its neighbors' progress.
+            forRanks([&](int r) {
+                rankReverse(r);
+                rankFinal(r);
+                if (!last) {
+                    rankIntegrate(r);
+                    rankPostHalo(r);
+                }
+            });
+        } else {
+            // Blocking semantics: each exchange phase is a barrier.
+            forRanks([&](int r) { rankReverse(r); });
+            forRanks([&](int r) { rankFinal(r); });
+            if (!last)
+                forRanks([&](int r) { rankIntegrate(r); });
         }
     }
 }

@@ -108,26 +108,47 @@ ThreadPool::workerLoop()
             fn = fn_;
         }
         // Dereferencing fn is safe even if the region completes
-        // concurrently: claiming a valid slice keeps pendingSlices_
-        // above zero until this thread's own decrement, and an
-        // exhausted claim never touches fn.
-        runSlices(slices, *fn);
+        // concurrently: claims are generation-tagged (see claim_), so
+        // this thread either claims a slice of generation
+        // seenGeneration — keeping pendingSlices_ above zero and the
+        // caller (whose frame owns the function object) blocked until
+        // this thread's own decrement — or touches neither fn nor the
+        // region's accounting.
+        runSlices(slices, *fn, seenGeneration);
     }
 }
 
 void
-ThreadPool::runSlices(const SliceRange &slices, const SliceFn &fn)
+ThreadPool::runSlices(const SliceRange &slices, const SliceFn &fn,
+                      std::uint64_t generation)
 {
-    // One scope per participating thread per region, so a trace shows
-    // which thread worked (and stalled) in every parallel region.
-    TraceScope trace("pool", "slices");
     tlInParallelRegion = true;
     int completed = 0;
     std::exception_ptr error;
+    bool traced = false;
+    std::uint64_t claim = claim_.load(std::memory_order_relaxed);
     for (;;) {
-        const int s = nextSlice_.fetch_add(1, std::memory_order_relaxed);
+        // Claim the next slice only while the claim word still belongs
+        // to our region; a single compare-exchange makes the
+        // generation check and the claim atomic.
+        if ((claim >> 32) != (generation & 0xffffffffu))
+            break;
+        const int s = static_cast<int>(claim & 0xffffffffu);
         if (s >= slices.count())
             break;
+        if (!claim_.compare_exchange_weak(claim, claim + 1,
+                                          std::memory_order_relaxed))
+            continue; // claim reloaded; maybe another slice, maybe done
+        // One scope per thread that claimed work, so a trace shows
+        // which threads carried every region. Opened only after a
+        // successful claim and closed before the accounting flush
+        // below, so every ring write of a pool thread is ordered
+        // before the caller can leave the region (and a stale-woken
+        // thread that claimed nothing writes no events at all).
+        if (!traced && traceEnabled()) {
+            traced = true;
+            traceBegin("pool", "slices");
+        }
         if (!error) {
             try {
                 fn(slices.begin(s), slices.end(s), s);
@@ -138,8 +159,17 @@ ThreadPool::runSlices(const SliceRange &slices, const SliceFn &fn)
             }
         }
         ++completed;
+        claim = claim_.load(std::memory_order_relaxed);
     }
     tlInParallelRegion = false;
+    if (traced)
+        traceEnd("pool", "slices");
+    if (completed == 0) {
+        // No claims (errors only arise from claimed slices): this
+        // region's accounting is none of our business — and with a
+        // stale generation, the region may already be torn down.
+        return;
+    }
     counterAdd(Counter::PoolSlices, static_cast<std::uint64_t>(completed));
 
     std::lock_guard<std::mutex> lock(mutex_);
@@ -169,19 +199,21 @@ ThreadPool::run(const SliceRange &slices, const SliceFn &fn)
     }
 
     TraceScope trace("pool", "region");
+    std::uint64_t generation;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         jobSlices_ = slices;
         fn_ = &fn;
-        nextSlice_.store(0, std::memory_order_relaxed);
         pendingSlices_ = slices.count();
         firstError_ = nullptr;
-        ++generation_;
+        generation = ++generation_;
+        claim_.store((generation & 0xffffffffu) << 32,
+                     std::memory_order_relaxed);
     }
     wake_.notify_all();
 
     // The caller is thread 0 of the crew.
-    runSlices(slices, fn);
+    runSlices(slices, fn, generation);
 
     std::exception_ptr error;
     {

@@ -143,7 +143,8 @@ class ThreadPool
 
   private:
     void workerLoop();
-    void runSlices(const SliceRange &slices, const SliceFn &fn);
+    void runSlices(const SliceRange &slices, const SliceFn &fn,
+                   std::uint64_t generation);
 
     std::vector<std::thread> workers_;
     int nthreads_ = 1;
@@ -157,7 +158,17 @@ class ThreadPool
     // State of the in-flight parallel region.
     SliceRange jobSlices_{0, 0, 1};
     const SliceFn *fn_ = nullptr;
-    std::atomic<int> nextSlice_{0};
+
+    /**
+     * Slice-claim word: generation in the high 32 bits, next unclaimed
+     * slice index in the low 32. Claiming compare-exchanges the whole
+     * word, so a worker that woke up for an earlier region (its copied
+     * generation no longer matches) can never claim a slice of — and
+     * then run a dangling function pointer against — a region that
+     * started after it read fn_. With back-to-back short regions and an
+     * oversubscribed pool that stale-claim window is hit in practice.
+     */
+    std::atomic<std::uint64_t> claim_{0};
     int pendingSlices_ = 0;
     std::exception_ptr firstError_;
 };

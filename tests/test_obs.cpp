@@ -172,6 +172,11 @@ TEST(Counters, NamesAreStableAndDistinct)
     EXPECT_EQ(names.count("kspace.ffts"), 1u);
     EXPECT_EQ(names.count("pool.slices"), 1u);
     EXPECT_EQ(names.count("mpi.modeled_bytes"), 1u);
+    // Hybrid rank×thread runtime counters (DESIGN.md §17).
+    EXPECT_EQ(names.count("pair.interior_pairs"), 1u);
+    EXPECT_EQ(names.count("pair.boundary_pairs"), 1u);
+    EXPECT_EQ(names.count("comm.overlap_steps"), 1u);
+    EXPECT_EQ(names.count("comm.bytes_inflight"), 1u);
 }
 
 TEST(Counters, AddAndReset)

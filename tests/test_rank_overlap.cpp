@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Hybrid rank×thread runtime correctness (DESIGN.md §17): the
+ * concurrent rank scheduler against the sequential oracle, overlapped
+ * against blocking halo exchange, determinism under an oversubscribed
+ * thread pool, and the overlap-specific accounting (counters, modeled
+ * Isend/Irecv/Waitall, virtual-clock monotonicity).
+ *
+ * Every trajectory comparison here is *bitwise*: the concurrent
+ * scheduler, the overlap knob, and the pool geometry may only change
+ * when work happens, never the arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "forcefield/pair_lj_charmm_coul_long.h"
+#include "forcefield/pair_lj_cut.h"
+#include "md/fix_nve.h"
+#include "md/lattice.h"
+#include "md/simulation.h"
+#include "md/velocity.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "parallel/mpi_model.h"
+#include "parallel/ranked_sim.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mdbench {
+namespace {
+
+/** Serial LJ melt used as the uncharged workload. */
+void
+buildMelt(Simulation &sim, int cells, std::uint64_t seed)
+{
+    buildFcc(sim, cells, cells, cells, fccLatticeConstant(0.8442));
+    sim.dt = 0.005;
+    sim.thermoEvery = 0;
+    Rng rng(seed);
+    createVelocities(sim, 1.44, rng);
+}
+
+void
+configureLJ(Simulation &sim)
+{
+    auto pair = std::make_unique<PairLJCut>(1, 2.5);
+    pair->setCoeff(1, 1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    sim.neighbor.skin = 0.3;
+    sim.addFix<FixNVE>();
+}
+
+/**
+ * Charged workload: the LJ melt with alternating ±q charges (neutral
+ * overall — the fcc builder produces an even atom count) under the
+ * charmm/coul pair style with no k-space solver attached, so the
+ * Coulomb term is the plain cut 1/r (splitting parameter 0). This is
+ * the charged path a decomposed native run supports.
+ */
+void
+buildCharged(Simulation &sim, int cells, std::uint64_t seed)
+{
+    buildMelt(sim, cells, seed);
+    for (std::size_t i = 0; i < sim.atoms.nlocal(); ++i)
+        sim.atoms.q[i] = (i % 2 == 0) ? 0.2 : -0.2;
+}
+
+void
+configureCharmm(Simulation &sim)
+{
+    auto pair = std::make_unique<PairLJCharmmCoulLong>(1, 2.0, 2.5, 2.5);
+    pair->setCoeff(1, 1.0, 1.0);
+    sim.pair = std::move(pair);
+    sim.neighbor.skin = 0.3;
+    sim.addFix<FixNVE>();
+}
+
+using Builder = void (*)(Simulation &, int, std::uint64_t);
+using Configure = void (*)(Simulation &);
+
+/** Run a ranked simulation with explicit knobs and gather the result. */
+Simulation
+runRanked(Builder build, Configure configure, int cells, int nranks,
+          RankExecution exec, bool overlap, long steps,
+          std::uint64_t seed = 42)
+{
+    Simulation global;
+    build(global, cells, seed);
+    RankedSimulation ranked(global, nranks, configure);
+    ranked.setExecution(exec);
+    ranked.setCommOverlap(overlap);
+    ranked.setup();
+    ranked.run(steps);
+    Simulation gathered;
+    ranked.gather(gathered);
+    return gathered;
+}
+
+/** Exact (bitwise) equality of two gathered trajectories. */
+void
+expectBitwiseEqual(const Simulation &a, const Simulation &b)
+{
+    ASSERT_EQ(a.atoms.nlocal(), b.atoms.nlocal());
+    for (std::size_t i = 0; i < a.atoms.nlocal(); ++i) {
+        ASSERT_EQ(a.atoms.tag[i], b.atoms.tag[i]);
+        EXPECT_EQ(a.atoms.x[i].x, b.atoms.x[i].x) << "tag " << a.atoms.tag[i];
+        EXPECT_EQ(a.atoms.x[i].y, b.atoms.x[i].y) << "tag " << a.atoms.tag[i];
+        EXPECT_EQ(a.atoms.x[i].z, b.atoms.x[i].z) << "tag " << a.atoms.tag[i];
+        EXPECT_EQ(a.atoms.v[i].x, b.atoms.v[i].x) << "tag " << a.atoms.tag[i];
+        EXPECT_EQ(a.atoms.v[i].y, b.atoms.v[i].y) << "tag " << a.atoms.tag[i];
+        EXPECT_EQ(a.atoms.v[i].z, b.atoms.v[i].z) << "tag " << a.atoms.tag[i];
+    }
+}
+
+class ConcurrentVsSequential : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ConcurrentVsSequential, BitwiseIdenticalLJ)
+{
+    const int nranks = GetParam();
+    const Simulation seq =
+        runRanked(buildMelt, configureLJ, 5, nranks,
+                  RankExecution::Sequential, false, 60);
+    const Simulation conc =
+        runRanked(buildMelt, configureLJ, 5, nranks,
+                  RankExecution::Concurrent, false, 60);
+    expectBitwiseEqual(seq, conc);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ConcurrentVsSequential,
+                         ::testing::Values(4, 8));
+
+TEST(ConcurrentRanks, BitwiseIdenticalCharged)
+{
+    // Charges exercise the coulomb kernel's ghost reads (the halo
+    // carries x only; q travels with migration/border events).
+    const Simulation seq =
+        runRanked(buildCharged, configureCharmm, 4, 4,
+                  RankExecution::Sequential, false, 40);
+    const Simulation conc =
+        runRanked(buildCharged, configureCharmm, 4, 4,
+                  RankExecution::Concurrent, false, 40);
+    expectBitwiseEqual(seq, conc);
+}
+
+TEST(CommOverlap, BitwiseIdenticalToBlockingLongRun)
+{
+    // 1000 steps crosses many reneighbor/migration events, so every
+    // overlap edge case (rebuild steps fall back to blocking, halo
+    // completion mid-force-pass) is exercised repeatedly.
+    const Simulation blocking =
+        runRanked(buildMelt, configureLJ, 4, 4, RankExecution::Concurrent,
+                  false, 1000);
+    const Simulation overlapped =
+        runRanked(buildMelt, configureLJ, 4, 4, RankExecution::Concurrent,
+                  true, 1000);
+    expectBitwiseEqual(blocking, overlapped);
+}
+
+TEST(CommOverlap, BitwiseIdenticalCharged)
+{
+    const Simulation blocking =
+        runRanked(buildCharged, configureCharmm, 4, 4,
+                  RankExecution::Concurrent, false, 100);
+    const Simulation overlapped =
+        runRanked(buildCharged, configureCharmm, 4, 4,
+                  RankExecution::Concurrent, true, 100);
+    expectBitwiseEqual(blocking, overlapped);
+}
+
+TEST(ConcurrentRanks, OversubscribedPoolIsDeterministic)
+{
+    // More ranks than pool threads: rank phases interleave arbitrarily
+    // on the worker threads, repeat runs and the sequential oracle must
+    // still agree bitwise.
+    const int before = ThreadPool::threads();
+    ThreadPool::setThreads(3);
+    const Simulation first =
+        runRanked(buildMelt, configureLJ, 4, 8, RankExecution::Concurrent,
+                  true, 80);
+    const Simulation second =
+        runRanked(buildMelt, configureLJ, 4, 8, RankExecution::Concurrent,
+                  true, 80);
+    const Simulation oracle =
+        runRanked(buildMelt, configureLJ, 4, 8, RankExecution::Sequential,
+                  true, 80);
+    ThreadPool::setThreads(before);
+    expectBitwiseEqual(first, second);
+    expectBitwiseEqual(first, oracle);
+}
+
+TEST(CommOverlap, NonblockingFunctionsAccounted)
+{
+    // A deliberately slow wire (0.1 s latency) guarantees the modeled
+    // halo flight time exceeds the interior compute wall time, so the
+    // Waitall charge — the *exposed* part of the wire time only — must
+    // come out positive. (On the default model a fast interior can
+    // legitimately hide the whole flight and book a zero wait.)
+    MpiMachineModel slow;
+    slow.latency = 0.1;
+    slow.bandwidth = 1.0e6;
+
+    Simulation global;
+    buildMelt(global, 5, 42);
+    RankedSimulation ranked(global, 8, configureLJ, slow);
+    ranked.setExecution(RankExecution::Concurrent);
+    ranked.setCommOverlap(true);
+    ranked.setup();
+    ranked.run(50);
+
+    const MpiStats &stats = ranked.mpiStats();
+    // Overlapped halo exchange books Isend/Irecv at post time and the
+    // exposed wire time in Waitall; the blocking Send path only runs on
+    // reneighbor steps' border rebuilds, and reverse folds stay
+    // Sendrecv.
+    EXPECT_GT(stats.meanFunction(MpiFunction::Isend), 0.0);
+    EXPECT_GT(stats.meanFunction(MpiFunction::Irecv), 0.0);
+    EXPECT_GT(stats.meanFunction(MpiFunction::Waitall), 0.0);
+    EXPECT_GT(stats.meanFunction(MpiFunction::Sendrecv), 0.0);
+    EXPECT_GT(ranked.virtualTime(), 0.0);
+}
+
+TEST(CommOverlap, CountersPopulate)
+{
+    resetCounters();
+    Simulation global;
+    buildMelt(global, 4, 7);
+    RankedSimulation ranked(global, 4, configureLJ);
+    ranked.setExecution(RankExecution::Concurrent);
+    ranked.setCommOverlap(true);
+    ranked.setup();
+    ranked.run(30);
+    EXPECT_GT(counterValue(Counter::CommOverlapSteps), 0u);
+    EXPECT_GT(counterValue(Counter::CommBytesInflight), 0u);
+    EXPECT_GT(counterValue(Counter::PairInteriorPairs), 0u);
+    EXPECT_GT(counterValue(Counter::PairBoundaryPairs), 0u);
+
+    // Blocking runs never report overlapped steps or in-flight bytes,
+    // but still split the pair work (decomposed ranks always do).
+    resetCounters();
+    Simulation global2;
+    buildMelt(global2, 4, 7);
+    RankedSimulation blocking(global2, 4, configureLJ);
+    blocking.setExecution(RankExecution::Concurrent);
+    blocking.setCommOverlap(false);
+    blocking.setup();
+    blocking.run(30);
+    EXPECT_EQ(counterValue(Counter::CommOverlapSteps), 0u);
+    EXPECT_EQ(counterValue(Counter::CommBytesInflight), 0u);
+    EXPECT_GT(counterValue(Counter::PairInteriorPairs), 0u);
+    EXPECT_GT(counterValue(Counter::PairBoundaryPairs), 0u);
+    resetCounters();
+}
+
+TEST(ConcurrentRanks, RankStepScopeAppearsInTrace)
+{
+    traceClear();
+    traceEnable();
+    {
+        Simulation global;
+        buildMelt(global, 4, 5);
+        RankedSimulation ranked(global, 4, configureLJ);
+        ranked.setExecution(RankExecution::Concurrent);
+        ranked.setCommOverlap(true);
+        ranked.setup();
+        ranked.run(5);
+    }
+    traceDisable();
+    std::ostringstream os;
+    writeChromeTrace(os);
+    const auto doc = JsonValue::parse(os.str());
+    traceClear();
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool sawRankStep = false;
+    for (std::size_t e = 0; e < events->size(); ++e) {
+        const JsonValue &event = events->at(e);
+        if (event.find("cat")->asString() == "parallel" &&
+            event.find("name")->asString() == "rank_step" &&
+            event.find("ph")->asString() == "B")
+            sawRankStep = true;
+    }
+    EXPECT_TRUE(sawRankStep);
+}
+
+TEST(ConcurrentRanks, VirtualClocksMonotoneAcrossRuns)
+{
+    Simulation global;
+    buildMelt(global, 4, 9);
+    RankedSimulation ranked(global, 4, configureLJ);
+    ranked.setExecution(RankExecution::Concurrent);
+    ranked.setCommOverlap(true);
+    ranked.setup();
+    const double t0 = ranked.virtualTime();
+    EXPECT_GT(t0, 0.0); // setup charges MPI_Init
+    ranked.run(20);
+    const double t1 = ranked.virtualTime();
+    EXPECT_GT(t1, t0);
+    ranked.run(20); // resuming must keep the clocks monotone
+    EXPECT_GT(ranked.virtualTime(), t1);
+    ASSERT_EQ(ranked.clocks().size(), 4u);
+    for (double clock : ranked.clocks())
+        EXPECT_GT(clock, 0.0);
+}
+
+} // namespace
+} // namespace mdbench
